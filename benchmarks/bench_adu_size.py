@@ -1,0 +1,41 @@
+"""F2 — ADU survival vs ADU size under ATM cell loss (paper §5).
+
+"Excessively large ADUs might prevent useful progress at all, since the
+probability of any ADU having at least one uncorrected error would
+approach one."  The benchmark times segmentation + reassembly of a
+64-cell ADU; the shape assertions pin the survival curve.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import octet_payload
+from repro.net.atm import AtmAdaptationLayer, segment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.adu_size_survival(n_trials=300)
+
+
+def test_bench_segment_reassemble(benchmark, result, report):
+    payload = octet_payload(44 * 64)  # 64 cells
+
+    def roundtrip():
+        done = []
+        aal = AtmAdaptationLayer(lambda vci, sid, p: done.append(p))
+        for cell in segment(payload, vci=1, sdu_id=1):
+            aal.receive(cell)
+        return done[0]
+
+    assert benchmark(roundtrip) == payload
+    report(result)
+
+
+def test_shape_matches_paper(result):
+    survivals = [row.measured for row in result.rows]
+    # Monotone non-increasing with size, 1.0-ish at the small end,
+    # ~zero at a megabyte.
+    assert all(a >= b - 0.05 for a, b in zip(survivals, survivals[1:]))
+    assert survivals[0] > 0.95
+    assert survivals[-1] < 0.05

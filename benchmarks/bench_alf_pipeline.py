@@ -1,0 +1,47 @@
+"""F1 — goodput vs loss with an application-bottleneck receiver.
+
+The paper's §5 argument rendered as a figure: in-order (TCP-style)
+delivery stalls the presentation pipeline on every loss; ALF keeps the
+bottleneck application fed.  The benchmark times one full simulated
+transfer per mode.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.experiments import _pipeline_goodput
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.alf_pipeline(
+        loss_rates=(0.0, 0.02, 0.05), total_bytes=400_000
+    )
+
+
+def test_bench_tcp_mode(benchmark, result, report):
+    goodput, _ = benchmark(
+        _pipeline_goodput, "tcp", 0.02, 200_000, 4096, 0
+    )
+    assert goodput > 0
+    report(result)
+
+
+def test_bench_alf_mode(benchmark):
+    goodput, _ = benchmark(
+        _pipeline_goodput, "alf", 0.02, 200_000, 4096, 0
+    )
+    assert goodput > 0
+
+
+def test_shape_matches_paper(result):
+    # Parity on a clean path; divergence under loss.
+    assert result.measured("alf loss=0.00") == pytest.approx(
+        result.measured("tcp loss=0.00"), rel=0.1
+    )
+    assert result.measured("alf loss=0.05") > 3 * result.measured(
+        "tcp loss=0.05"
+    )
+    assert result.measured("alf loss=0.05") > 0.7 * result.measured(
+        "alf loss=0.00"
+    )

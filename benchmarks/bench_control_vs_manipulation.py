@@ -1,0 +1,41 @@
+"""E5 — transfer control is tens of instructions; manipulation is
+thousands of memory cycles per packet (paper §4).
+
+Times a complete clean-path TCP-style transfer (the control path in
+action) and asserts the instruction/cycle shape.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import file_payload
+from repro.net.topology import two_hosts
+from repro.transport.tcpstyle import TcpStyleReceiver, TcpStyleSender
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.control_vs_manipulation()
+
+
+def run_transfer():
+    path = two_hosts(seed=11, bandwidth_bps=100e6, propagation_delay=0.002)
+    received = bytearray()
+    TcpStyleReceiver(path.loop, path.b, "a", 1, deliver=received.extend)
+    sender = TcpStyleSender(path.loop, path.a, "b", 1)
+    data = file_payload(64 * 1024)
+    sender.send(data)
+    sender.close()
+    path.loop.run(until=60)
+    return bytes(received) == data
+
+
+def test_bench_clean_transfer(benchmark, result, report):
+    assert benchmark(run_transfer)
+    report(result)
+
+
+def test_shape_matches_paper(result):
+    per_packet = result.measured("control instructions / packet")
+    assert 10 < per_packet < 150  # tens, not hundreds
+    assert result.measured("manipulation / control ratio") > 10

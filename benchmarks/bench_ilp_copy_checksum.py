@@ -1,0 +1,51 @@
+"""E1 — separate vs integrated copy+checksum (paper §4: ~60 vs 90 Mb/s).
+
+The benchmark times both executor paths over the real stages; the shape
+assertions pin the paper's result: one fused loop beats two passes by
+~1.5x on the R2000.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import PACKET_BYTES, octet_payload
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000
+from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.copy import CopyStage
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.ilp_copy_checksum()
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return octet_payload(PACKET_BYTES)
+
+
+def make_pipeline():
+    return Pipeline([CopyStage(), ChecksumComputeStage()], name="copy+csum")
+
+
+def test_bench_layered(benchmark, payload, result, report):
+    executor = LayeredExecutor(MIPS_R2000)
+    out, _ = benchmark(executor.execute, make_pipeline(), payload)
+    assert out == payload
+    report(result)
+
+
+def test_bench_integrated(benchmark, payload):
+    executor = IntegratedExecutor(MIPS_R2000)
+    out, _ = benchmark(executor.execute, make_pipeline(), payload)
+    assert out == payload
+
+
+def test_shape_matches_paper(result):
+    separate = result.measured("MIPS R2000 separate")
+    integrated = result.measured("MIPS R2000 integrated")
+    assert separate == pytest.approx(60.0, rel=0.05)
+    assert integrated == pytest.approx(90.0, rel=0.02)
+    assert 1.3 < integrated / separate < 1.6

@@ -1,0 +1,32 @@
+"""E7 — end-to-end goodput: the engineering decision's consequences.
+
+The closing experiment: identical lossy transfers into a host whose
+per-ADU service time comes from the calibrated machine model; layered vs
+integrated receive-path engineering is the only variable.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.ilp_end_to_end(n_adus=120)
+
+
+def test_bench_end_to_end_integrated(benchmark, result, report):
+    goodput = benchmark(
+        lambda: experiments.ilp_end_to_end(n_adus=40).measured(
+            "goodput, integrated receive path"
+        )
+    )
+    assert goodput > 0
+    report(result)
+
+
+def test_shape(result):
+    layered = result.measured("goodput, layered receive path")
+    integrated = result.measured("goodput, integrated receive path")
+    assert integrated > 1.3 * layered
+    assert result.measured("end-to-end ILP speedup") < 2.5

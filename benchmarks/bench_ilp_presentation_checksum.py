@@ -1,0 +1,53 @@
+"""E4 — ASN.1 conversion fused with the TCP checksum (28 -> 24 Mb/s).
+
+Times the real fused pipeline (encode + checksum in one executor group);
+asserts the paper's point: the checksum is nearly free once fused.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import PACKET_BYTES, integer_array
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import TUNED_BER
+from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.presentation import PresentationEncodeStage
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.ilp_presentation_checksum()
+
+
+def make_pipeline(values):
+    encode = PresentationEncodeStage(BerCodec(), ArrayOf(Int32()), TUNED_BER)
+    encode.set_value(values)
+    return Pipeline([encode, ChecksumComputeStage()], name="encode+csum")
+
+
+def test_bench_fused(benchmark, result, report):
+    values = integer_array(PACKET_BYTES // 4)
+    executor = IntegratedExecutor(MIPS_R2000)
+    out, _ = benchmark(executor.execute, make_pipeline(values), b"")
+    assert BerCodec().decode(out, ArrayOf(Int32())) == values
+    report(result)
+
+
+def test_bench_separate(benchmark):
+    values = integer_array(PACKET_BYTES // 4)
+    executor = LayeredExecutor(MIPS_R2000)
+    out, _ = benchmark(executor.execute, make_pipeline(values), b"")
+    assert len(out) > 0
+
+
+def test_shape_matches_paper(result):
+    alone = result.measured("encode alone")
+    fused = result.measured("encode + checksum, integrated")
+    separate = result.measured("encode + checksum, separate passes")
+    assert alone == pytest.approx(28.0, rel=0.01)
+    assert separate < fused < alone
+    assert (alone - fused) / alone < 0.15  # nearly free (paper: 14%)

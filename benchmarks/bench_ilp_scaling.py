@@ -1,0 +1,45 @@
+"""F3 — ILP speedup vs number of fused stages (paper §4/§6).
+
+"The effect would be much more beneficial if several of the necessary
+manipulation steps were combined" — and more so on superscalar machines.
+The benchmark times the 5-stage pipeline both ways.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.experiments import _receive_stage_list
+from repro.bench.workloads import PACKET_BYTES, octet_payload
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.ilp_scaling()
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return octet_payload(PACKET_BYTES)
+
+
+def test_bench_five_stage_layered(benchmark, payload, result, report):
+    executor = LayeredExecutor(MIPS_R2000)
+    benchmark(executor.execute, Pipeline(_receive_stage_list(5)), payload)
+    report(result)
+
+
+def test_bench_five_stage_integrated(benchmark, payload):
+    executor = IntegratedExecutor(MIPS_R2000)
+    benchmark(executor.execute, Pipeline(_receive_stage_list(5)), payload)
+
+
+def test_shape_matches_paper(result):
+    r2000 = [row.measured for row in result.rows if row.label.startswith("MIPS")]
+    assert r2000 == sorted(r2000)  # monotone in fused depth
+    assert r2000[-1] > 1.5
+    assert result.measured("Superscalar (extrapolated) 5 stages") > result.measured(
+        "MIPS R2000 5 stages"
+    )

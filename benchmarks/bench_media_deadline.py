@@ -1,0 +1,37 @@
+"""F7 — media deadline repair: FEC vs nothing under playout deadlines.
+
+Retransmission is useless for a tile whose frame plays before the
+repair round trip completes; transmission-unit FEC repairs in zero RTTs
+at ~25% bandwidth overhead.
+"""
+
+import pytest
+
+from repro.apps.video import stream_video
+from repro.bench import experiments
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.media_deadline_repair()
+
+
+def test_bench_fec_video_session(benchmark, result, report):
+    outcome = benchmark(
+        stream_video, n_frames=10, loss_rate=0.05, seed=4, fec_group=4
+    )
+    assert outcome.tiles_sent == 10 * 12
+    report(result)
+
+
+def test_bench_plain_video_session(benchmark):
+    outcome = benchmark(stream_video, n_frames=10, loss_rate=0.05, seed=4)
+    assert outcome.tiles_sent == 10 * 12
+
+
+def test_shape(result):
+    for loss in ("0.02", "0.05"):
+        plain = result.measured(f"plain, loss={loss}")
+        fec = result.measured(f"FEC(k=4), loss={loss}")
+        assert fec >= plain
+    assert result.measured("FEC(k=4), loss=0.02") > 0.95

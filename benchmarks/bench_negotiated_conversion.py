@@ -1,0 +1,46 @@
+"""A2 (ablation) — single-step sender-side conversion vs a canonical
+transfer syntax (paper §5).
+
+Sender-side conversion makes receiver placement computable (no reorder
+buffering) and skips the double conversion.  The benchmark times a real
+lossy file transfer in each placement regime.
+"""
+
+import pytest
+
+from repro.apps.filetransfer import transfer_file
+from repro.bench import experiments
+from repro.bench.workloads import file_payload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.negotiated_conversion(file_bytes=60_000)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return file_payload(60_000, seed=3)
+
+
+def test_bench_transfer_with_placement(benchmark, data, result, report):
+    outcome = benchmark(
+        transfer_file, data, loss_rate=0.05, seed=3, placement_at_sender=True
+    )
+    assert outcome.ok
+    report(result)
+
+
+def test_bench_transfer_without_placement(benchmark, data):
+    outcome = benchmark(
+        transfer_file, data, loss_rate=0.05, seed=3, placement_at_sender=False
+    )
+    assert outcome.ok
+
+
+def test_shape(result):
+    assert result.measured(
+        "sender-converts end-to-end conversion"
+    ) > 2 * result.measured("canonical-ber end-to-end conversion")
+    assert result.measured("reorder buffer, placement@sender") == 0.0
+    assert result.measured("reorder buffer, placement@receiver") > 0.0

@@ -1,0 +1,53 @@
+"""A1 (ablation) — what ordering constraints cost, what speculation buys.
+
+The receive path's VERIFIED fact forces a loop break at the checksum;
+speculative fusion (optimistic delivery, late abort) removes it.  The
+benchmark times the constraint planner itself plus a full execution.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import PACKET_BYTES, octet_payload
+from repro.ilp.fusion import plan_fusion
+from repro.stages.base import Facts
+from repro.stages.checksum import ChecksumVerifyStage
+from repro.stages.copy import CopyStage
+from repro.stages.encrypt import DecryptStage, XorStreamCipher
+from repro.stages.netio import NetworkExtractStage
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.ordering_constraints()
+
+
+def make_stages():
+    return [
+        NetworkExtractStage(),
+        ChecksumVerifyStage(),
+        DecryptStage(XorStreamCipher(7)),
+        CopyStage(name="move", category="application"),
+    ]
+
+
+INITIAL = frozenset({Facts.DEMUXED, Facts.TU_IN_ORDER, Facts.ADU_COMPLETE})
+
+
+def test_bench_fusion_planner(benchmark, result, report):
+    plan = benchmark(plan_fusion, make_stages(), INITIAL)
+    assert plan.n_loops >= 2
+    report(result)
+
+
+def test_bench_speculative_planner(benchmark):
+    plan = benchmark(plan_fusion, make_stages(), INITIAL, True)
+    assert plan.n_loops >= 1
+
+
+def test_shape(result):
+    layered = result.measured("layered")
+    integrated = result.measured("integrated (constraints respected)")
+    speculative = result.measured("integrated (speculative delivery)")
+    assert layered < integrated < speculative
+    assert result.measured("illegal pipeline rejected") == 1.0

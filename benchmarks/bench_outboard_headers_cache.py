@@ -1,0 +1,80 @@
+"""A3 / A4 / A5 — the remaining ablations.
+
+* A3: outboard-processor steering bulk and Amdahl bound (§6).
+* A4: layered encapsulation vs shared-field header (§8).
+* A5: cache depletion across separate passes (footnote 2).
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.core.headers import (
+    FragmentInfo,
+    LayeredEncapsulation,
+    SharedHeader,
+)
+from repro.machine.cache import DirectMappedCache
+
+INFO = FragmentInfo(
+    flow_id=7, adu_sequence=3, fragment_index=1, fragment_total=4,
+    adu_length=4096, checksum=0xBEEF, app_name=12345,
+)
+
+
+@pytest.fixture(scope="module")
+def a3():
+    return experiments.outboard_analysis()
+
+
+@pytest.fixture(scope="module")
+def a4():
+    return experiments.header_overhead()
+
+
+@pytest.fixture(scope="module")
+def a5():
+    return experiments.cache_depletion()
+
+
+def test_bench_layered_header_parse(benchmark, a4, report):
+    scheme = LayeredEncapsulation()
+    packed = scheme.pack(INFO, 1024)
+    parsed, _ = benchmark(scheme.parse, packed)
+    assert parsed == INFO
+    report(a4)
+
+
+def test_bench_shared_header_parse(benchmark, a3, report):
+    scheme = SharedHeader()
+    packed = scheme.pack(INFO, 1024)
+    parsed, _ = benchmark(scheme.parse, packed)
+    assert parsed == INFO
+    report(a3)
+
+
+def test_bench_cache_passes(benchmark, a5, report):
+    def three_passes():
+        cache = DirectMappedCache(1024, line_bytes=16)
+        for _ in range(3):
+            cache.access_range(0, 4096)
+        return cache.stats.misses
+
+    assert benchmark(three_passes) == 768  # 4096 B / 16 B lines x 3 passes
+    report(a5)
+
+
+def test_a3_shape(a3):
+    assert a3.measured("steering ratio, per-element RPC") >= 1.0
+    assert a3.measured("outboard speedup bound, toolkit conversion") < 1.1
+
+
+def test_a4_shape(a4):
+    assert a4.measured("shared header bytes") < a4.measured(
+        "layered header bytes"
+    )
+    assert a4.measured("wire efficiency at 44 B payload") > 1.2
+
+
+def test_a5_shape(a5):
+    assert a5.measured("1 KB cache") == pytest.approx(3.0)
+    assert a5.measured("64 KB cache") == pytest.approx(1.0)

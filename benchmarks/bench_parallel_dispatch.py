@@ -1,0 +1,33 @@
+"""F4 — striped delivery to a parallel processor (paper §7).
+
+Self-describing ADUs dispatch directly to their stripe's node; a serial
+byte-stream funnels through one hot spot.  The benchmark times each
+dispatch simulation.
+"""
+
+import pytest
+
+from repro.apps.parallel import striped_delivery
+from repro.bench import experiments
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.parallel_dispatch()
+
+
+def test_bench_alf_dispatch(benchmark, result, report):
+    outcome = benchmark(striped_delivery, n_nodes=4, n_adus=64, mode="alf")
+    assert outcome.aggregate_throughput_bps > 0
+    report(result)
+
+
+def test_bench_serial_dispatch(benchmark):
+    outcome = benchmark(striped_delivery, n_nodes=4, n_adus=64, mode="serial")
+    assert outcome.aggregate_throughput_bps > 0
+
+
+def test_shape_matches_paper(result):
+    assert result.measured("1 nodes") == pytest.approx(1.0, rel=0.1)
+    assert result.measured("4 nodes") > 3.0
+    assert result.measured("8 nodes") > 6.0

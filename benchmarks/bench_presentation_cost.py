@@ -1,0 +1,52 @@
+"""E2 — presentation conversion vs the basic copy (130 vs 28 Mb/s).
+
+Times the real BER integer-array encoder (the paper's conversion
+workload) and asserts the modelled 4-5x slowdown.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import integer_array
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.ber import BerCodec
+from repro.presentation.xdr import XdrCodec
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.presentation_cost()
+
+
+@pytest.fixture(scope="module")
+def values():
+    return integer_array(1000)
+
+
+def test_bench_ber_encode(benchmark, values, result, report):
+    codec = BerCodec()
+    encoded = benchmark(codec.encode, values, ArrayOf(Int32()))
+    assert codec.decode(encoded, ArrayOf(Int32())) == values
+    report(result)
+
+
+def test_bench_ber_decode(benchmark, values):
+    codec = BerCodec()
+    encoded = codec.encode(values, ArrayOf(Int32()))
+    decoded = benchmark(codec.decode, encoded, ArrayOf(Int32()))
+    assert decoded == values
+
+
+def test_bench_xdr_encode(benchmark, values):
+    """XDR is the cheap comparison point (a byte swap per word)."""
+    codec = XdrCodec()
+    encoded = benchmark(codec.encode, values, ArrayOf(Int32()))
+    assert len(encoded) == 4 + 4 * len(values)
+
+
+def test_shape_matches_paper(result):
+    assert result.measured("word-aligned copy") == pytest.approx(130.0, rel=0.01)
+    assert result.measured(
+        "ASN.1 integer-array encode (tuned)"
+    ) == pytest.approx(28.0, rel=0.01)
+    assert 4.0 <= result.measured("slowdown factor") <= 5.0

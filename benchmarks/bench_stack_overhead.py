@@ -1,0 +1,53 @@
+"""E3 — the TCP+ISODE stack experiment (~30x slower, ~97% presentation).
+
+Times a full stack round trip (encode, buffer, checksum, copies, verify,
+decode) for both workloads; asserts the paper's headline ratio and share.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import PACKET_BYTES, integer_array, octet_payload
+from repro.core.stack import ProtocolStack, StackConfig
+from repro.presentation.abstract import ArrayOf, Int32, OctetString
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import TOOLKIT_BER
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.stack_overhead()
+
+
+def test_bench_conversion_stack(benchmark, result, report):
+    values = integer_array(PACKET_BYTES // 4)
+
+    def roundtrip():
+        stack = ProtocolStack(
+            StackConfig(schema=ArrayOf(Int32()), codec=BerCodec(),
+                        codec_costs=TOOLKIT_BER)
+        )
+        value, _, _ = stack.transfer(values)
+        return value
+
+    assert benchmark(roundtrip) == values
+    report(result)
+
+
+def test_bench_baseline_stack(benchmark):
+    octets = octet_payload(PACKET_BYTES)
+
+    def roundtrip():
+        stack = ProtocolStack(
+            StackConfig(schema=OctetString(), codec=BerCodec(),
+                        codec_costs=TOOLKIT_BER)
+        )
+        value, _, _ = stack.transfer(octets)
+        return value
+
+    assert benchmark(roundtrip) == octets
+
+
+def test_shape_matches_paper(result):
+    assert 20.0 <= result.measured("relative slowdown") <= 40.0
+    assert result.measured("presentation share of overhead") >= 0.95

@@ -1,0 +1,64 @@
+"""F6 / A6 — synchronization-unit overhead and out-of-band rate control.
+
+* F6: the per-unit control path priced at cell / packet / ADU
+  granularity (§5's "too small a unit" argument).
+* A6: the §3 in-band/out-of-band split — receiver grants bound the
+  bottleneck application's queue.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.control.ratecontrol import PacedAduSource, ReceiverRateController
+from repro.core.adu import Adu
+from repro.core.app import ApplicationProcess
+from repro.sim.eventloop import EventLoop
+
+
+@pytest.fixture(scope="module")
+def f6():
+    return experiments.sync_unit_overhead()
+
+
+@pytest.fixture(scope="module")
+def a6():
+    return experiments.rate_control(n_adus=100)
+
+
+def run_controlled_transfer():
+    loop = EventLoop()
+    app = ApplicationProcess(loop, processing_rate_bps=20e6)
+    adus = [Adu(index, bytes(4096)) for index in range(50)]
+    source = PacedAduSource(
+        loop, lambda adu: app.submit(adu.sequence, len(adu.payload)), adus,
+        initial_rate_bps=20e6,
+    )
+    controller = ReceiverRateController(loop, app, source.on_rate_update)
+    source.on_drained = controller.stop
+    loop.run(until=60)
+    return app.processed_bytes
+
+
+def test_bench_controlled_transfer(benchmark, f6, a6, report):
+    assert benchmark(run_controlled_transfer) == 50 * 4096
+    report(f6)
+    report(a6)
+
+
+def test_f6_shape(f6):
+    cell = f6.measured("sync on ATM cell (44 B net)")
+    packet = f6.measured("sync on packet (4 KB)")
+    adu = f6.measured("sync on ADU (64 KB)")
+    assert cell > 0.5          # cells: control alone eats most of the CPU
+    assert packet < 0.05
+    assert adu < packet
+
+
+def test_a6_shape(a6):
+    flood = a6.measured("max app backlog, unpaced")
+    paced = a6.measured("max app backlog, out-of-band control")
+    assert paced < flood / 5
+    # Pacing must not meaningfully slow the transfer.
+    assert a6.measured("completion time, out-of-band control") < 2 * a6.measured(
+        "completion time, unpaced"
+    )

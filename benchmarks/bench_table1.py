@@ -1,0 +1,38 @@
+"""T1 — Table 1: copy and checksum speeds on the paper's two machines.
+
+The benchmark times the *functional* implementations (a real 4 KB copy
+and RFC 1071 checksum); the experiment rows report the calibrated model's
+Mb/s against the paper's table.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.workloads import PACKET_BYTES, octet_payload
+from repro.stages.checksum import internet_checksum
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiments.table1()
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return octet_payload(PACKET_BYTES)
+
+
+def test_bench_copy(benchmark, payload, result, report):
+    out = benchmark(lambda: bytes(payload))
+    assert out == payload
+    report(result)
+
+
+def test_bench_checksum(benchmark, payload, result):
+    checksum = benchmark(internet_checksum, payload)
+    assert 0 <= checksum <= 0xFFFF
+
+
+def test_shape_matches_paper(result):
+    for row in result.rows:
+        assert row.measured == pytest.approx(row.paper, rel=1e-3), row.label

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py``/``test_*`` pair regenerates one table or figure from
+the paper (see DESIGN.md's experiment index).  The pytest-benchmark
+timing measures the reproduction's own hot path; the experiment's
+paper-vs-measured rows are printed to stdout (run with ``-s`` to see
+them) and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an experiment table beneath the benchmark output."""
+    print()
+    print(result.format())
+
+
+@pytest.fixture(scope="session")
+def report():
+    """The emit helper as a fixture, for readability in benches."""
+    return emit

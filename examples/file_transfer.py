@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""File transfer: ALF recovery policies and out-of-order placement.
+
+Transfers the same file over the same lossy path four ways and compares:
+
+* TCP-style byte stream (the baseline the paper critiques);
+* ALF with transport buffering (classic retransmission, but per-ADU);
+* ALF with application recomputation (the sender keeps *nothing*);
+* ALF without sender-computed placement (the clogged-pipeline case).
+
+Run:  python examples/file_transfer.py
+"""
+
+from repro import RecoveryMode, TcpStyleReceiver, TcpStyleSender
+from repro.apps import transfer_file
+from repro.bench.workloads import file_payload
+from repro.net.topology import two_hosts
+
+FILE_BYTES = 200_000
+LOSS = 0.05
+SEED = 42
+
+
+def tcp_baseline() -> None:
+    """The byte-stream baseline: loss stalls everything behind it."""
+    path = two_hosts(seed=SEED, loss_rate=LOSS, bandwidth_bps=10e6)
+    data = file_payload(FILE_BYTES, seed=SEED)
+    received = bytearray()
+    finished: list[float] = []
+    receiver = TcpStyleReceiver(
+        path.loop, path.b, "a", 1, deliver=received.extend
+    )
+    sender = TcpStyleSender(
+        path.loop, path.a, "b", 1,
+        on_complete=lambda: finished.append(path.loop.now),
+    )
+    sender.send(data)
+    sender.close()
+    path.loop.run(until=300)
+    ok = bytes(received) == data
+    duration = finished[0] if finished else path.loop.now
+    print(f"  tcp-style           ok={ok}  {duration:6.2f}s  "
+          f"retx={sender.stats.retransmissions:3d}  "
+          f"time stalled behind holes={receiver.total_blocked_time:.2f}s")
+
+
+def alf_variant(recovery: RecoveryMode, placement: bool, label: str) -> None:
+    """One ALF configuration over the identical path."""
+    data = file_payload(FILE_BYTES, seed=SEED)
+    result = transfer_file(
+        data,
+        adu_size=4096,
+        loss_rate=LOSS,
+        seed=SEED,
+        recovery=recovery,
+        placement_at_sender=placement,
+    )
+    print(f"  {label:<18}  ok={result.ok}  {result.duration:6.2f}s  "
+          f"retx={result.retransmissions:3d}  "
+          f"recomputed={result.recomputations:3d}  "
+          f"out-of-order={result.out_of_order_deliveries:3d}  "
+          f"reorder-buffer={result.max_reorder_buffer_bytes}B")
+
+
+def main() -> None:
+    print(f"Transferring {FILE_BYTES} bytes at {LOSS:.0%} loss:\n")
+    tcp_baseline()
+    alf_variant(RecoveryMode.TRANSPORT_BUFFER, True, "alf buffered")
+    alf_variant(RecoveryMode.APP_RECOMPUTE, True, "alf recompute")
+    alf_variant(RecoveryMode.TRANSPORT_BUFFER, False, "alf no-placement")
+    print(
+        "\nNote the last row: without sender-computed receiver offsets the"
+        "\ntransfer still completes, but out-of-order ADUs pile up in a"
+        "\nreorder buffer — the 'clogged presentation pipeline' of §5."
+    )
+
+
+if __name__ == "__main__":
+    main()

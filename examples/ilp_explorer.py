@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""ILP explorer: build a receive path, price it on every machine.
+
+Shows the fusion planner at work: the receive path's ordering
+constraints (the VERIFIED fact, a chained cipher's in-order demand)
+determine where integrated loops must break, and the machine profile
+determines what each break costs.
+
+Run:  python examples/ilp_explorer.py
+"""
+
+from repro import IntegratedExecutor, LayeredExecutor, Pipeline
+from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.ilp.fusion import plan_fusion
+from repro.machine import MICROVAX_III, MIPS_R2000, SUPERSCALAR
+from repro.stages import (
+    ChecksumVerifyStage,
+    DecryptStage,
+    MoveToAppStage,
+    NetworkExtractStage,
+    XorStreamCipher,
+)
+from repro.stages.base import Facts
+from repro.stages.checksum import internet_checksum
+
+PAYLOAD = bytes(i % 256 for i in range(4096))
+KEY = 1234
+
+
+def build_pipeline() -> Pipeline:
+    """A realistic receive path: extract, verify, decrypt, deliver."""
+    encrypted = XorStreamCipher(KEY).process(PAYLOAD)
+    verify = ChecksumVerifyStage()
+    verify.expect(internet_checksum(encrypted))
+    space = ApplicationAddressSpace()
+    space.add_region("sink", len(PAYLOAD))
+    move = MoveToAppStage(space)
+    move.set_destination(ScatterMap.linear("sink", 0, len(PAYLOAD)))
+    return Pipeline(
+        [NetworkExtractStage(), verify, DecryptStage(XorStreamCipher(KEY)), move],
+        name="receive-path",
+        initial_facts={Facts.DEMUXED, Facts.TU_IN_ORDER, Facts.ADU_COMPLETE},
+    )
+
+
+def show_plan(speculative: bool) -> None:
+    pipeline = build_pipeline()
+    plan = plan_fusion(pipeline.stages, pipeline.initial_facts,
+                       speculative=speculative)
+    label = "speculative" if speculative else "constraint-respecting"
+    groups = " | ".join(
+        "+".join(stage.name for stage in group) for group in plan.groups
+    )
+    print(f"  {label:<22} {plan.n_loops} loops:  {groups}")
+    if plan.speculative_facts:
+        print(f"  {'':<22} (consumed speculatively: "
+              f"{sorted(plan.speculative_facts)})")
+
+
+def price_everywhere() -> None:
+    encrypted = XorStreamCipher(KEY).process(PAYLOAD)
+    print(f"\n  {'machine':<28} {'layered':>10} {'integrated':>11} "
+          f"{'speculative':>12}")
+    for profile in (MICROVAX_III, MIPS_R2000, SUPERSCALAR):
+        row = [profile.name]
+        for executor in (
+            LayeredExecutor(profile),
+            IntegratedExecutor(profile),
+            IntegratedExecutor(profile, speculative=True),
+        ):
+            pipeline = build_pipeline()
+            output, report = executor.execute(pipeline, encrypted)
+            assert output == PAYLOAD
+            row.append(f"{report.mbps():.1f}")
+        print(f"  {row[0]:<28} {row[1]:>10} {row[2]:>11} {row[3]:>12}  Mb/s")
+
+
+def main() -> None:
+    print("Fusion plans for the receive path:")
+    show_plan(speculative=False)
+    show_plan(speculative=True)
+    price_everywhere()
+    print(
+        "\nThe constraint-respecting plan breaks the loop at the checksum"
+        "\n(nothing may be delivered before VERIFIED); the speculative plan"
+        "\nfuses through it — optimistic delivery with a late abort."
+    )
+
+
+if __name__ == "__main__":
+    main()

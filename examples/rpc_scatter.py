@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""RPC: marshalled ADUs scattered into per-argument variables.
+
+Demonstrates the paper's §6 delivery problem: RPC arguments land in
+*different variables* of the server program, not a linear region.  Each
+call is one ADU; on delivery the server scatters the encoded arguments
+into per-argument regions of its address space, dispatches the
+procedure, and replies the same way.
+
+Run:  python examples/rpc_scatter.py
+"""
+
+from repro.apps import RpcClient, RpcServer
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import (
+    ArrayOf,
+    Field,
+    Int32,
+    Struct,
+    Utf8String,
+)
+
+
+def main() -> None:
+    path = two_hosts(seed=9, loss_rate=0.03, propagation_delay=0.02)
+    server = RpcServer(path)
+
+    add_params = Struct((Field("x", Int32()), Field("y", Int32())))
+    server.register("add", add_params, Int32(), lambda x, y: x + y)
+
+    stats_params = Struct((Field("samples", ArrayOf(Int32())),))
+    stats_result = Struct((Field("total", Int32()), Field("count", Int32())))
+    server.register(
+        "stats",
+        stats_params,
+        stats_result,
+        lambda samples: {"total": sum(samples), "count": len(samples)},
+    )
+
+    greet_params = Struct((Field("name", Utf8String()),))
+    server.register(
+        "greet", greet_params, Utf8String(), lambda name: f"hello, {name}"
+    )
+
+    client = RpcClient(path, server)
+    calls = [
+        client.call("add", add_params, Int32(), x=20, y=22),
+        client.call("stats", stats_params, stats_result,
+                    samples=[3, 1, 4, 1, 5, 9, 2, 6]),
+        client.call("greet", greet_params, Utf8String(), name="SIGCOMM"),
+    ]
+    path.loop.run(until=30)
+
+    print("Results (over a 3%-loss path; ALF repairs silently):")
+    for call_id in calls:
+        result = client.result_of(call_id)
+        print(f"  {result.procedure}(...) -> {result.value!r}  "
+              f"(rtt {result.rtt * 1000:.0f} ms)")
+    print(f"\nServer-side scatter: {server.scatter_entries} argument regions "
+          f"filled across {server.calls_served} calls")
+    print("Regions:", ", ".join(server.app_space.region_names()[:6]), "...")
+    print(
+        "\nThe scatter map's size grows with the data — the paper's §6"
+        "\nargument for why an outboard processor cannot do this move."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Sensor telemetry: Float64 streams, negotiated syntax, paced delivery.
+
+A telemetry producer streams batches of IEEE-double samples to a slower
+consumer.  Three of the paper's ideas cooperate:
+
+* each batch is one ADU whose name carries the batch index and start
+  timestamp — losses are meaningful ("batch 17, t=1.7s") and simply
+  recomputed from the sensor's ring buffer (APP_RECOMPUTE recovery);
+* the session handshake negotiates the wire format between the
+  big-endian producer and little-endian consumer (sender converts);
+* the consumer's rate controller grants bandwidth out of band, keeping
+  its backlog bounded (§3's in-band/out-of-band split).
+
+Run:  python examples/sensor_telemetry.py
+"""
+
+import math
+
+from repro.control.ratecontrol import PacedAduSource, ReceiverRateController
+from repro.core.adu import Adu
+from repro.core.app import ApplicationProcess
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import ArrayOf, Float64
+from repro.presentation.negotiate import LocalSyntax
+from repro.transport.alf import RecoveryMode
+from repro.transport.session import (
+    SessionConfig,
+    SessionInitiator,
+    SessionListener,
+)
+
+SCHEMAS = {"samples": ArrayOf(Float64())}
+BATCH_SAMPLES = 128
+N_BATCHES = 60
+
+
+def sensor_batch(index: int) -> list[float]:
+    """A deterministic, recomputable signal (so losses need no buffer)."""
+    t0 = index * BATCH_SAMPLES
+    return [
+        math.sin((t0 + i) * 0.01) * 100.0 + math.cos((t0 + i) * 0.003)
+        for i in range(BATCH_SAMPLES)
+    ]
+
+
+def main() -> None:
+    path = two_hosts(seed=21, loss_rate=0.03, bandwidth_bps=20e6)
+    consumer_app = ApplicationProcess(path.loop, processing_rate_bps=4e6)
+    received: dict[int, list[float]] = {}
+
+    plan_holder = {}
+
+    def on_batch(flow_id: int, delivered) -> None:
+        plan = plan_holder["plan"]
+        values = plan.codec.decode(delivered.payload, SCHEMAS["samples"])
+        received[delivered.name["batch"]] = values
+        consumer_app.submit(delivered.name["batch"], len(delivered.payload))
+
+    listener = SessionListener(
+        path.loop, path.b, SCHEMAS,
+        local_syntax=LocalSyntax("consumer-le", "little"),
+        deliver=on_batch,
+    )
+
+    def recompute(sequence: int) -> Adu:
+        # The sensor regenerates the batch instead of having buffered it.
+        return make_adu(sequence)
+
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(
+            schema_name="samples",
+            recovery=RecoveryMode.APP_RECOMPUTE,
+            local_syntax=LocalSyntax("sensor-be", "big"),
+        ),
+        SCHEMAS,
+        recompute=recompute,
+    )
+    path.loop.run(until=2)
+    session = initiator.session
+    assert session is not None
+    plan_holder["plan"] = session.plan
+    print(f"negotiated: {session.plan.describe()}")
+
+    def make_adu(index: int) -> Adu:
+        payload = session.plan.codec.encode(
+            sensor_batch(index), SCHEMAS["samples"]
+        )
+        return Adu(index, payload, {"batch": index, "t0": index * 0.1})
+
+    source = PacedAduSource(
+        path.loop, session.sender.send_adu,
+        [make_adu(i) for i in range(N_BATCHES)],
+        initial_rate_bps=4e6,
+    )
+    controller = ReceiverRateController(
+        path.loop, consumer_app, source.on_rate_update, target_backlog=3
+    )
+    source.on_drained = lambda: (session.sender.close(), controller.stop())
+    path.loop.run(until=60)
+
+    complete = sum(
+        1
+        for index in range(N_BATCHES)
+        if index in received and received[index] == sensor_batch(index)
+    )
+    print(f"batches intact: {complete}/{N_BATCHES} over 3% loss")
+    print(f"recomputed at the sensor (never buffered): "
+          f"{session.sender.adus_recomputed}")
+    print(f"sender retransmit buffer high-water mark: "
+          f"{session.sender.buffered_bytes} bytes")
+    print(f"consumer max backlog: {controller.max_backlog_seen} batches "
+          f"(target 3); rate grants sent: {controller.updates_sent}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Video streaming: ADUs named in space and time, losses tolerated.
+
+Streams tiled video over increasingly lossy paths.  The application
+"accept[s] less than perfect delivery and continue[s] unchecked" (§5):
+no retransmission, late tiles concealed, playout scheduled from sender
+timestamps plus a jitter allowance.
+
+Run:  python examples/video_stream.py
+"""
+
+from repro.apps import stream_video
+
+
+def main() -> None:
+    print("30 frames, 4x3 tiles/frame, 30 fps, 80 ms playout offset\n")
+    print(f"  {'loss':>6}  {'frames complete':>16}  {'tiles concealed':>16}  "
+          f"{'jitter (ms)':>12}  {'retransmissions':>16}")
+    for loss in (0.0, 0.01, 0.02, 0.05, 0.10):
+        result = stream_video(
+            n_frames=30, loss_rate=loss, reorder_rate=0.02, seed=7
+        )
+        print(
+            f"  {loss:>6.2f}  {result.frame_completion_rate:>15.0%}  "
+            f"{result.tile_loss_rate:>15.1%}  "
+            f"{result.mean_jitter * 1000:>12.2f}  "
+            f"{result.retransmissions:>16d}"
+        )
+    print(
+        "\nRetransmissions stay at zero by design (NO_RETRANSMIT recovery):"
+        "\nthe frame/slot naming lets the renderer place whatever arrives"
+        "\nand conceal the rest — a byte stream could do neither."
+    )
+
+
+if __name__ == "__main__":
+    main()

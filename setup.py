@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the offline
+environment lacks the ``wheel`` package needed by PEP 517 builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Example application frameworks built on the ALF core.
+
+Each models one of the application classes the paper uses to motivate
+ADUs:
+
+* :mod:`~repro.apps.filetransfer` — bulk transfer with out-of-order
+  placement: the sender labels every ADU with its location in the
+  receiver's file, so ADUs land directly even with holes before them.
+* :mod:`~repro.apps.video` — real-time media: ADUs named in space (slot)
+  and time (frame), no retransmission, playout with jitter allowance.
+* :mod:`~repro.apps.rpc` — Remote Procedure Call: arguments marshalled
+  into an ADU and scattered into per-argument variables on delivery.
+* :mod:`~repro.apps.parallel` — §7's parallel-processor receiver: ADUs
+  carry enough information to control their own delivery, so stripes go
+  to the right node without a serial hot spot.
+"""
+
+from repro.apps.filetransfer import FileTransferResult, transfer_file
+from repro.apps.video import VideoStreamResult, stream_video
+from repro.apps.rpc import RpcServer, RpcClient, RpcResult
+from repro.apps.parallel import StripedDeliveryResult, striped_delivery
+
+__all__ = [
+    "FileTransferResult",
+    "transfer_file",
+    "VideoStreamResult",
+    "stream_video",
+    "RpcServer",
+    "RpcClient",
+    "RpcResult",
+    "StripedDeliveryResult",
+    "striped_delivery",
+]

@@ -1,0 +1,169 @@
+"""File transfer with out-of-order ADU placement.
+
+The paper's worked example (§5): "for each ADU, the sender must provide
+information as to its eventual location within the receiver's file."
+Here the sender names every ADU with both its *source* offset and its
+*receiver* offset (computable because the negotiated conversion plan has
+``placement_computable``), so the receiver copies each ADU straight into
+place even when intervening ADUs are missing.
+
+When placement is *not* computable (canonical transfer syntax over
+variable-size elements), the receiver is forced to buffer out-of-order
+ADUs — the "clogged pipeline" case — and the result reports how many
+bytes sat in that buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.core.adu import Adu
+from repro.errors import ApplicationError
+from repro.net.topology import two_hosts
+from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
+from repro.transport.base import DeliveredAdu
+
+
+@dataclass
+class FileTransferResult:
+    """Outcome of one simulated file transfer."""
+
+    ok: bool
+    file_bytes: int
+    adu_count: int
+    delivered_adus: int
+    out_of_order_deliveries: int
+    retransmissions: int
+    recomputations: int
+    duration: float
+    placement_at_sender: bool
+    max_reorder_buffer_bytes: int
+    received: bytes = field(repr=False, default=b"")
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered file bits per second of simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.file_bytes * 8 / self.duration
+
+
+def transfer_file(
+    data: bytes,
+    adu_size: int = 4096,
+    mtu: int = 1024,
+    loss_rate: float = 0.0,
+    reorder_rate: float = 0.0,
+    bandwidth_bps: float = 10e6,
+    propagation_delay: float = 0.01,
+    seed: int = 0,
+    recovery: RecoveryMode = RecoveryMode.TRANSPORT_BUFFER,
+    placement_at_sender: bool = True,
+    sim_time_limit: float = 300.0,
+) -> FileTransferResult:
+    """Transfer ``data`` over a lossy path using ALF ADUs.
+
+    Args:
+        placement_at_sender: True models the negotiated single-step
+            conversion (sender labels each ADU with its receiver offset);
+            False models a canonical transfer syntax where the receiver
+            must hold out-of-order ADUs until all predecessors arrive.
+    """
+    if adu_size <= 0:
+        raise ApplicationError("adu_size must be positive")
+    path = two_hosts(
+        seed=seed,
+        loss_rate=loss_rate,
+        reorder_rate=reorder_rate,
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay=propagation_delay,
+    )
+    app_space = ApplicationAddressSpace(label="receiver")
+    app_space.add_region("file", len(data))
+
+    adus = [
+        Adu(
+            sequence=index,
+            payload=data[offset : offset + adu_size],
+            name={
+                "src_offset": offset,
+                "dst_offset": offset,  # identity conversion keeps sizes
+                "length": min(adu_size, len(data) - offset),
+            },
+        )
+        for index, offset in enumerate(range(0, len(data), adu_size))
+    ]
+
+    # Receiver-side state for the no-placement case: ADUs wait until all
+    # predecessors have been placed.
+    reorder_buffer: dict[int, DeliveredAdu] = {}
+    next_placeable = 0
+    max_buffered = 0
+    placed_bytes = 0
+
+    def place(delivered: DeliveredAdu) -> None:
+        nonlocal placed_bytes
+        scatter = ScatterMap.linear(
+            "file", delivered.name["dst_offset"], len(delivered.payload)
+        )
+        app_space.deliver(delivered.payload, scatter)
+        placed_bytes += len(delivered.payload)
+
+    def on_adu(delivered: DeliveredAdu) -> None:
+        nonlocal next_placeable, max_buffered
+        if placement_at_sender:
+            place(delivered)
+            return
+        # Without sender-computed placement, out-of-order ADUs must wait.
+        reorder_buffer[delivered.sequence] = delivered
+        max_buffered = max(
+            max_buffered,
+            sum(len(d.payload) for d in reorder_buffer.values()),
+        )
+        while next_placeable in reorder_buffer:
+            place(reorder_buffer.pop(next_placeable))
+            next_placeable += 1
+
+    receiver = AlfReceiver(
+        path.loop, path.b, "a", 1, deliver=on_adu, expected_adus=len(adus)
+    )
+    finish_times: list[float] = []
+    recompute_calls = {"count": 0}
+
+    def recompute(sequence: int) -> Adu:
+        recompute_calls["count"] += 1
+        return adus[sequence]
+
+    sender = AlfSender(
+        path.loop,
+        path.a,
+        "b",
+        1,
+        mtu=mtu,
+        recovery=recovery,
+        recompute=recompute if recovery is RecoveryMode.APP_RECOMPUTE else None,
+        on_complete=lambda: finish_times.append(path.loop.now),
+    )
+    for adu in adus:
+        sender.send_adu(adu)
+    sender.close()
+    path.loop.run(until=sim_time_limit)
+
+    received = app_space.read_region("file")
+    complete = receiver.delivered_count == len(adus)
+    ok = complete and received == data and placed_bytes == len(data)
+    duration = finish_times[0] if finish_times else path.loop.now
+    return FileTransferResult(
+        ok=ok,
+        file_bytes=len(data),
+        adu_count=len(adus),
+        delivered_adus=receiver.delivered_count,
+        out_of_order_deliveries=receiver.out_of_order_deliveries,
+        retransmissions=sender.stats.retransmissions,
+        recomputations=sender.adus_recomputed,
+        duration=duration,
+        placement_at_sender=placement_at_sender,
+        max_reorder_buffer_bytes=max_buffered,
+        received=received,
+    )

@@ -1,0 +1,174 @@
+"""Remote Procedure Call over ALF ADUs.
+
+"This is the general paradigm of the Remote Procedure Call, in which the
+incoming data is made to appear as parameters of a subroutine call in
+some high level programming language" (§6).  A call's arguments are
+marshalled (XDR) into one ADU; on delivery the server *scatters* the
+decoded arguments into per-argument regions of its address space — the
+distributed, non-linear delivery the paper says rules out outboard
+presentation processing — then dispatches the registered procedure and
+returns the result the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.core.adu import Adu
+from repro.errors import ApplicationError
+from repro.net.topology import DuplexPath
+from repro.presentation.abstract import ASType, Struct, validate
+from repro.presentation.base import TransferCodec
+from repro.presentation.xdr import XdrCodec
+from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
+from repro.transport.base import DeliveredAdu
+
+_CALL_FLOW = 100
+_REPLY_FLOW = 101
+
+
+@dataclass(frozen=True)
+class RpcProcedure:
+    """A remotely callable procedure."""
+
+    name: str
+    params: Struct
+    result: ASType
+    fn: Callable[..., Any]
+
+
+@dataclass
+class RpcResult:
+    """Outcome of one RPC."""
+
+    call_id: int
+    procedure: str
+    value: Any
+    rtt: float
+
+
+class RpcServer:
+    """Registers procedures; unmarshals, scatters, dispatches, replies."""
+
+    def __init__(self, path: DuplexPath, codec: TransferCodec | None = None):
+        self.path = path
+        self.codec = codec or XdrCodec()
+        self._procedures: dict[str, RpcProcedure] = {}
+        self.app_space = ApplicationAddressSpace(label="rpc-server")
+        self.calls_served = 0
+        self.scatter_entries = 0
+        self._reply_sender = AlfSender(
+            path.loop, path.b, "a", _REPLY_FLOW,
+            recovery=RecoveryMode.TRANSPORT_BUFFER,
+        )
+        self._next_reply_seq = 0
+        AlfReceiver(
+            path.loop, path.b, "a", _CALL_FLOW, deliver=self._on_call,
+        )
+
+    def register(
+        self,
+        name: str,
+        params: Struct,
+        result: ASType,
+        fn: Callable[..., Any],
+    ) -> None:
+        """Expose ``fn`` as procedure ``name``."""
+        if name in self._procedures:
+            raise ApplicationError(f"procedure {name!r} already registered")
+        self._procedures[name] = RpcProcedure(name, params, result, fn)
+
+    def _on_call(self, delivered: DeliveredAdu) -> None:
+        procedure = self._procedures.get(delivered.name["procedure"])
+        if procedure is None:
+            raise ApplicationError(
+                f"no procedure {delivered.name['procedure']!r} registered"
+            )
+        arguments = self.codec.decode(delivered.payload, procedure.params)
+
+        # Scatter each argument's encoded form into its own region: the
+        # "separated into different values stored in different variables"
+        # delivery pattern.  Regions are created per call+argument.
+        syntax_map = self.codec.syntax_map(arguments, procedure.params)
+        call_id = delivered.name["call_id"]
+        for extent in syntax_map.extents:
+            region_name = f"call{call_id}:{'.'.join(str(p) for p in extent.path)}"
+            self.app_space.add_region(region_name, extent.length)
+            scatter = ScatterMap.linear(region_name, 0, extent.length)
+            self.app_space.deliver(
+                delivered.payload[extent.start : extent.end], scatter
+            )
+            self.scatter_entries += 1
+
+        result_value = procedure.fn(**arguments)
+        validate(result_value, procedure.result)
+        self.calls_served += 1
+        reply_payload = self.codec.encode(result_value, procedure.result)
+        reply = Adu(
+            sequence=self._next_reply_seq,
+            payload=reply_payload,
+            name={"call_id": call_id, "procedure": procedure.name},
+        )
+        self._next_reply_seq += 1
+        self._reply_sender.send_adu(reply)
+
+
+class RpcClient:
+    """Marshals calls into ADUs and matches replies by call id."""
+
+    def __init__(self, path: DuplexPath, server: RpcServer,
+                 codec: TransferCodec | None = None):
+        self.path = path
+        self.server = server
+        self.codec = codec or XdrCodec()
+        self.results: dict[int, RpcResult] = {}
+        self._sent_at: dict[int, float] = {}
+        self._result_types: dict[int, ASType] = {}
+        self._next_call_id = 0
+        self._next_seq = 0
+        self._sender = AlfSender(
+            path.loop, path.a, "b", _CALL_FLOW,
+            recovery=RecoveryMode.TRANSPORT_BUFFER,
+        )
+        AlfReceiver(
+            path.loop, path.a, "b", _REPLY_FLOW, deliver=self._on_reply,
+        )
+
+    def call(self, procedure: str, params: Struct, result: ASType,
+             **arguments: Any) -> int:
+        """Issue a call; returns the call id (resolve after loop.run)."""
+        validate(arguments, params)
+        call_id = self._next_call_id
+        self._next_call_id += 1
+        payload = self.codec.encode(arguments, params)
+        adu = Adu(
+            sequence=self._next_seq,
+            payload=payload,
+            name={"procedure": procedure, "call_id": call_id},
+        )
+        self._next_seq += 1
+        self._sent_at[call_id] = self.path.loop.now
+        self._result_types[call_id] = result
+        self._sender.send_adu(adu)
+        return call_id
+
+    def _on_reply(self, delivered: DeliveredAdu) -> None:
+        call_id = delivered.name["call_id"]
+        result_type = self._result_types.pop(call_id, None)
+        if result_type is None:
+            return  # duplicate reply
+        value = self.codec.decode(delivered.payload, result_type)
+        self.results[call_id] = RpcResult(
+            call_id=call_id,
+            procedure=delivered.name["procedure"],
+            value=value,
+            rtt=self.path.loop.now - self._sent_at.pop(call_id),
+        )
+
+    def result_of(self, call_id: int) -> RpcResult:
+        """The completed result for ``call_id`` (after running the loop)."""
+        if call_id not in self.results:
+            raise ApplicationError(f"call {call_id} has not completed")
+        return self.results[call_id]

@@ -1,0 +1,28 @@
+"""Benchmark harness shared by ``benchmarks/`` and EXPERIMENTS.md.
+
+One function per experiment id (see DESIGN.md's experiment index), each
+returning an :class:`~repro.bench.harness.ExperimentResult` whose rows
+carry both the paper's reported value and the reproduction's measured
+value.  The pytest-benchmark files under ``benchmarks/`` call these and
+assert the paper's *shape* (who wins, by roughly what factor).
+"""
+
+from repro.bench.workloads import (
+    integer_array,
+    octet_payload,
+    file_payload,
+    PACKET_BYTES,
+)
+from repro.bench.harness import ExperimentResult, Row, format_table
+from repro.bench import experiments
+
+__all__ = [
+    "integer_array",
+    "octet_payload",
+    "file_payload",
+    "PACKET_BYTES",
+    "ExperimentResult",
+    "Row",
+    "format_table",
+    "experiments",
+]

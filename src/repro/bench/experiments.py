@@ -1,0 +1,1293 @@
+"""The experiments: one function per table/figure in DESIGN.md's index.
+
+Every function is pure given its arguments (all randomness is seeded) and
+returns an :class:`ExperimentResult` whose rows pair the paper's reported
+value with the reproduction's measurement.  ``all_experiments()`` runs
+the whole battery; ``scripts in benchmarks/`` wrap the individual
+functions for pytest-benchmark and assert the paper's shape.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, Row
+from repro.bench.workloads import (
+    PACKET_BYTES,
+    file_payload,
+    integer_array,
+    octet_payload,
+)
+from repro.apps.parallel import striped_delivery
+from repro.control.instructions import InstructionCounter
+from repro.core.adu import Adu
+from repro.core.app import ApplicationProcess
+from repro.core.stack import ProtocolStack, StackConfig
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.machine.costs import CHECKSUM_COST, COPY_COST
+from repro.machine.profile import MICROVAX_III, MIPS_R2000, SUPERSCALAR, MachineProfile
+from repro.machine.throughput import combined_serial_mbps
+from repro.net.atm import cells_for, segment
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import ArrayOf, Int32, OctetString
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import TOOLKIT_BER, TUNED_BER, TUNED_LWTS
+from repro.presentation.negotiate import NATIVE_BIG, NATIVE_LITTLE, negotiate
+from repro.sim.rng import RngStreams
+from repro.stages.base import Facts, PassthroughStage
+from repro.stages.checksum import (
+    ChecksumComputeStage,
+    ChecksumVerifyStage,
+    internet_checksum,
+)
+from repro.stages.copy import CopyStage
+from repro.stages.encrypt import DecryptStage, EncryptStage, XorStreamCipher
+from repro.stages.netio import NetworkExtractStage
+from repro.stages.presentation import PresentationEncodeStage
+from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
+from repro.transport.tcpstyle import TcpStyleReceiver, TcpStyleSender
+
+
+# ----------------------------------------------------------------------
+# T1 — Table 1: copy and checksum speeds
+
+
+def table1() -> ExperimentResult:
+    """Table 1: Mb/s for the two fundamental manipulations, two machines."""
+    paper = {
+        ("uVax III", "copy"): 42.0,
+        ("uVax III", "checksum"): 60.0,
+        ("MIPS R2000", "copy"): 130.0,
+        ("MIPS R2000", "checksum"): 115.0,
+    }
+    rows = []
+    for profile in (MICROVAX_III, MIPS_R2000):
+        rows.append(
+            Row(
+                label=f"{profile.name} copy",
+                paper=paper[(profile.name, "copy")],
+                measured=profile.mbps_for_cost(COPY_COST),
+            )
+        )
+        rows.append(
+            Row(
+                label=f"{profile.name} checksum",
+                paper=paper[(profile.name, "checksum")],
+                measured=profile.mbps_for_cost(CHECKSUM_COST),
+            )
+        )
+    return ExperimentResult(
+        "T1",
+        "Speed of manipulation operations (paper Table 1)",
+        rows,
+        notes="profiles are calibrated from these plus the E1 integrated "
+        "measurement; three R2000 equations pin read/write/ALU exactly",
+    )
+
+
+# ----------------------------------------------------------------------
+# E1 — separate vs integrated copy+checksum
+
+
+def ilp_copy_checksum(payload_bytes: int = PACKET_BYTES) -> ExperimentResult:
+    """§4: copy then checksum separately (~60) vs one fused loop (90)."""
+    data = octet_payload(payload_bytes)
+    rows = []
+    for profile in (MIPS_R2000, MICROVAX_III):
+        pipeline = Pipeline(
+            [CopyStage(), ChecksumComputeStage()], name="copy+checksum"
+        )
+        _, layered = LayeredExecutor(profile).execute(pipeline, data)
+        _, integrated = IntegratedExecutor(profile).execute(pipeline, data)
+        is_r2000 = profile is MIPS_R2000
+        rows.append(
+            Row(
+                label=f"{profile.name} separate",
+                paper=60.0 if is_r2000 else None,
+                measured=layered.mbps(),
+                extra={"memory_passes": layered.memory_passes},
+            )
+        )
+        rows.append(
+            Row(
+                label=f"{profile.name} integrated",
+                paper=90.0 if is_r2000 else None,
+                measured=integrated.mbps(),
+                extra={"memory_passes": integrated.memory_passes},
+            )
+        )
+    return ExperimentResult(
+        "E1",
+        "Separate vs integrated copy+checksum loop",
+        rows,
+        notes="paper reports the R2000 numbers; the uVax rows are the "
+        "model's predictions for the same code",
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — presentation conversion cost
+
+
+def presentation_cost(n_integers: int = 1000) -> ExperimentResult:
+    """§4: word copy at 130 Mb/s vs ASN.1 integer conversion at 28 Mb/s."""
+    profile = MIPS_R2000
+    copy_mbps = profile.mbps_for_cost(COPY_COST)
+    ber_mbps = profile.mbps_for_cost(TUNED_BER.encode)
+    rows = [
+        Row("word-aligned copy", paper=130.0, measured=copy_mbps),
+        Row("ASN.1 integer-array encode (tuned)", paper=28.0, measured=ber_mbps),
+        Row(
+            "slowdown factor",
+            paper=4.5,
+            measured=copy_mbps / ber_mbps,
+            unit="x",
+        ),
+    ]
+    # Functional check rides along: the codec really encodes the array.
+    values = integer_array(n_integers)
+    encoded = BerCodec().encode(values, ArrayOf(Int32()))
+    rows.append(
+        Row(
+            "encoding expansion",
+            paper=None,
+            measured=len(encoded) / (4 * n_integers),
+            unit="x bytes",
+        )
+    )
+    return ExperimentResult(
+        "E2",
+        "Presentation conversion vs the basic copy",
+        rows,
+        notes="paper says 'a factor of 4-5 slower'; tuned-BER ALU budget "
+        "is derived once from the 28 Mb/s measurement",
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — full-stack overhead with an interpretive presentation layer
+
+
+def stack_overhead(payload_bytes: int = PACKET_BYTES) -> ExperimentResult:
+    """§4: TCP+ISODE stack — conversion case ~30x slower, ~97% in
+    presentation."""
+    n_integers = payload_bytes // 4
+
+    conversion_stack = ProtocolStack(
+        StackConfig(
+            schema=ArrayOf(Int32()),
+            codec=BerCodec(),
+            codec_costs=TOOLKIT_BER,
+        )
+    )
+    value, _, _ = conversion_stack.transfer(integer_array(n_integers))
+    assert len(value) == n_integers
+
+    baseline_stack = ProtocolStack(
+        StackConfig(
+            schema=OctetString(),
+            codec=BerCodec(),
+            codec_costs=TOOLKIT_BER,
+        )
+    )
+    octets = octet_payload(payload_bytes)
+    value2, _, _ = baseline_stack.transfer(octets)
+    assert value2 == octets
+
+    conversion_cpb = conversion_stack.total_cycles() / payload_bytes
+    baseline_cpb = baseline_stack.total_cycles() / payload_bytes
+    slowdown = conversion_cpb / baseline_cpb
+    share = conversion_stack.presentation_share()
+    rows = [
+        Row("baseline (OCTET STRING) cycles/byte", paper=None,
+            measured=baseline_cpb, unit="cyc/B"),
+        Row("conversion (INTEGER array) cycles/byte", paper=None,
+            measured=conversion_cpb, unit="cyc/B"),
+        Row("relative slowdown", paper=30.0, measured=slowdown, unit="x"),
+        Row("presentation share of overhead", paper=0.97, measured=share,
+            unit="frac"),
+    ]
+    return ExperimentResult(
+        "E3",
+        "Full-stack overhead with toolkit (ISODE-style) presentation",
+        rows,
+        notes="the toolkit cost profile models interpretive TLV dispatch; "
+        "both stacks really encode/decode their payloads",
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — conversion fused with the checksum
+
+
+def ilp_presentation_checksum(payload_bytes: int = PACKET_BYTES) -> ExperimentResult:
+    """§4: ASN.1 encode 28 Mb/s alone; 24 Mb/s with the checksum fused in."""
+    profile = MIPS_R2000
+    encode_only = profile.mbps_for_cost(TUNED_BER.encode)
+    fused = profile.mbps_for_cost(
+        CHECKSUM_COST.fuse_after(TUNED_BER.encode)
+    )
+    separate = combined_serial_mbps(
+        [encode_only, profile.mbps_for_cost(CHECKSUM_COST)]
+    )
+    rows = [
+        Row("encode alone", paper=28.0, measured=encode_only),
+        Row("encode + checksum, integrated", paper=24.0, measured=fused),
+        Row("encode + checksum, separate passes", paper=None, measured=separate),
+        Row(
+            "integration penalty",
+            paper=(28.0 - 24.0) / 28.0,
+            measured=(encode_only - fused) / encode_only,
+            unit="frac",
+        ),
+    ]
+    # Functional ride-along: the fused pipeline really converts + checksums.
+    stage = PresentationEncodeStage(BerCodec(), ArrayOf(Int32()), TUNED_BER)
+    stage.set_value(integer_array(payload_bytes // 4))
+    pipeline = Pipeline([stage, ChecksumComputeStage()], name="encode+checksum")
+    IntegratedExecutor(profile).execute(pipeline, b"")
+    return ExperimentResult(
+        "E4",
+        "Presentation conversion fused with the transport checksum",
+        rows,
+        notes="the checksum is nearly free once the data is in registers: "
+        "its reads are satisfied by the conversion loop",
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — control vs manipulation
+
+
+def control_vs_manipulation(
+    n_segments: int = 100, mss: int = 1024
+) -> ExperimentResult:
+    """§4: in-band control is tens of instructions; manipulation is
+    thousands of memory cycles per packet."""
+    path = two_hosts(seed=11, bandwidth_bps=100e6, propagation_delay=0.002)
+    counter = InstructionCounter()
+    delivered = bytearray()
+    receiver = TcpStyleReceiver(
+        path.loop, path.b, "a", 1, deliver=delivered.extend, counter=counter
+    )
+    sender = TcpStyleSender(
+        path.loop, path.a, "b", 1, mss=mss, counter=counter,
+        use_congestion_control=False,
+    )
+    data = file_payload(n_segments * mss)
+    sender.send(data)
+    sender.close()
+    path.loop.run(until=60)
+    assert bytes(delivered) == data
+
+    packets = counter.packets_processed
+    control_per_packet = counter.per_packet()
+    control_cycles = MIPS_R2000.instruction_cycles(control_per_packet)
+    manipulation_cost = CHECKSUM_COST.fuse_after(COPY_COST)
+    manipulation_cycles = MIPS_R2000.cycles(manipulation_cost, PACKET_BYTES)
+    rows = [
+        Row("control instructions / packet", paper=None,
+            measured=control_per_packet, unit="instr",
+            extra={"packets": packets}),
+        Row("control cycles / packet (R2000)", paper=None,
+            measured=control_cycles, unit="cycles"),
+        Row("manipulation cycles / 4KB packet", paper=None,
+            measured=manipulation_cycles, unit="cycles"),
+        Row("manipulation / control ratio", paper=None,
+            measured=manipulation_cycles / control_cycles, unit="x"),
+    ]
+    return ExperimentResult(
+        "E5",
+        "Transfer control vs data manipulation cost",
+        rows,
+        notes="paper: 'total path lengths are tens, not hundreds of "
+        "instructions' for control; a 4KB packet costs ~1000 memory "
+        "cycles per touch",
+    )
+
+
+# ----------------------------------------------------------------------
+# F1 — the presentation pipeline under loss (TCP vs ALF delivery)
+
+
+def _pipeline_goodput(
+    mode: str,
+    loss_rate: float,
+    total_bytes: int,
+    adu_bytes: int,
+    seed: int,
+) -> tuple[float, float]:
+    """(goodput bps, app utilization) for one transfer.
+
+    The network runs at 50 Mb/s; the application converts at 25 Mb/s, so
+    the app is the bottleneck (§5's premise).  TCP-style delivery feeds
+    it only in-order bytes; ALF feeds it every complete ADU immediately.
+    """
+    path = two_hosts(
+        seed=seed,
+        loss_rate=loss_rate,
+        bandwidth_bps=50e6,
+        propagation_delay=0.01,
+        reverse_loss_rate=0.0,
+    )
+    app = ApplicationProcess(path.loop, processing_rate_bps=25e6)
+    n_adus = total_bytes // adu_bytes
+    total_bytes = n_adus * adu_bytes  # whole ADUs only, both modes
+    data = file_payload(total_bytes)
+
+    if mode == "tcp":
+        def deliver(chunk: bytes) -> None:
+            app.submit("chunk", len(chunk))
+
+        TcpStyleReceiver(path.loop, path.b, "a", 1, deliver=deliver)
+        sender = TcpStyleSender(
+            path.loop, path.a, "b", 1, mss=1024,
+            window_bytes=256 * 1024, rto=0.06,
+            use_congestion_control=False,
+        )
+        sender.send(data)
+        sender.close()
+    elif mode == "alf":
+        def deliver_adu(delivered) -> None:
+            app.submit(delivered.sequence, len(delivered.payload))
+
+        AlfReceiver(
+            path.loop, path.b, "a", 1, deliver=deliver_adu,
+            ack_interval=0.03, expected_adus=n_adus,
+        )
+        sender_alf = AlfSender(
+            path.loop, path.a, "b", 1, mtu=1024, rto=0.06,
+            recovery=RecoveryMode.TRANSPORT_BUFFER,
+        )
+        for index in range(n_adus):
+            sender_alf.send_adu(
+                Adu(index, data[index * adu_bytes : (index + 1) * adu_bytes],
+                    {"offset": index * adu_bytes})
+            )
+        sender_alf.close()
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    path.loop.run(until=300)
+    if not app.completed or app.processed_bytes < total_bytes:
+        # Transfer did not finish inside the horizon; report what moved.
+        finished = path.loop.now
+    else:
+        finished = app.completed[-1].finished_at
+    goodput = app.processed_bytes * 8 / finished if finished > 0 else 0.0
+    return goodput, app.utilization(finished)
+
+
+def alf_pipeline(
+    loss_rates: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10),
+    total_bytes: int = 1_000_000,
+    adu_bytes: int = 4096,
+    seed: int = 0,
+) -> ExperimentResult:
+    """F1 (rendered figure): app-bottleneck goodput vs loss, both
+    transports."""
+    rows = []
+    for loss in loss_rates:
+        for mode in ("tcp", "alf"):
+            goodput, utilization = _pipeline_goodput(
+                mode, loss, total_bytes, adu_bytes, seed
+            )
+            rows.append(
+                Row(
+                    label=f"{mode} loss={loss:.2f}",
+                    paper=None,
+                    measured=goodput / 1e6,
+                    extra={"app_utilization": round(utilization, 3)},
+                )
+            )
+    return ExperimentResult(
+        "F1",
+        "Goodput vs loss when the application is the bottleneck",
+        rows,
+        notes="§5 in prose: in-order (TCP) delivery stalls the conversion "
+        "pipeline on every loss; ALF keeps the bottleneck process fed",
+    )
+
+
+# ----------------------------------------------------------------------
+# F2 — ADU size vs survival under cell loss
+
+
+def adu_size_survival(
+    adu_sizes: tuple[int, ...] = (128, 512, 2048, 8192, 65536, 1 << 20),
+    cell_loss_rate: float = 1e-3,
+    n_trials: int = 400,
+    seed: int = 0,
+) -> ExperimentResult:
+    """F2 (rendered figure): P(ADU survives) vs ADU size at fixed cell
+    loss.
+
+    "Since the loss of even one bit will trigger the loss of a whole ADU,
+    excessively large ADUs might prevent useful progress at all" (§5).
+    """
+    rng = RngStreams(seed).stream("cell-loss")
+    rows = []
+    for size in adu_sizes:
+        n_cells = cells_for(size)
+        analytic = (1.0 - cell_loss_rate) ** n_cells
+        survived = 0
+        trials = max(n_trials // max(n_cells // 1000, 1), 20)
+        for _ in range(trials):
+            if all(rng.random() >= cell_loss_rate for _ in range(n_cells)):
+                survived += 1
+        rows.append(
+            Row(
+                label=f"ADU {size} B ({n_cells} cells)",
+                paper=None,
+                measured=survived / trials,
+                unit="P(survive)",
+                extra={"analytic": round(analytic, 4)},
+            )
+        )
+    # Functional ride-along: segmentation really produces that many cells.
+    cells = segment(octet_payload(2048), vci=1)
+    assert len(cells) == cells_for(2048)
+    return ExperimentResult(
+        "F2",
+        "ADU survival probability vs ADU size under ATM cell loss",
+        rows,
+        notes=f"cell loss rate {cell_loss_rate}; the paper's bound on ADU "
+        "size follows from survival approaching zero for huge ADUs",
+    )
+
+
+# ----------------------------------------------------------------------
+# F3 — ILP gain vs number of fused stages
+
+
+def _receive_stage_list(depth: int, key: int = 7):
+    stages = [
+        CopyStage(name="nic-to-kernel", category="netio"),
+        ChecksumComputeStage(),
+        EncryptStage(XorStreamCipher(key), name="decrypt-pass"),
+        PassthroughStage("convert-lwts", cost=TUNED_LWTS.encode),
+        CopyStage(name="move-to-app", category="application"),
+    ]
+    return stages[:depth]
+
+
+def ilp_scaling(
+    depths: tuple[int, ...] = (1, 2, 3, 4, 5),
+    payload_bytes: int = PACKET_BYTES,
+    profiles: tuple[MachineProfile, ...] = (MIPS_R2000, SUPERSCALAR),
+) -> ExperimentResult:
+    """F3 (rendered figure): the more stages fused, the bigger the win —
+    especially on machines where ALU work is cheap relative to memory."""
+    data = octet_payload(payload_bytes)
+    rows = []
+    for profile in profiles:
+        for depth in depths:
+            pipeline = Pipeline(_receive_stage_list(depth), name=f"depth-{depth}")
+            _, layered = LayeredExecutor(profile).execute(pipeline, data)
+            pipeline.reset()
+            _, integrated = IntegratedExecutor(profile).execute(pipeline, data)
+            rows.append(
+                Row(
+                    label=f"{profile.name} {depth} stages",
+                    paper=None,
+                    measured=integrated.mbps() / layered.mbps(),
+                    unit="x speedup",
+                    extra={
+                        "layered_mbps": round(layered.mbps(), 1),
+                        "integrated_mbps": round(integrated.mbps(), 1),
+                    },
+                )
+            )
+    return ExperimentResult(
+        "F3",
+        "ILP speedup vs number of fused manipulation stages",
+        rows,
+        notes="the superscalar profile shows the paper's §4 prediction: "
+        "fusion matters more as memory dominates ALU",
+    )
+
+
+# ----------------------------------------------------------------------
+# F4 — striped delivery to a parallel processor
+
+
+def parallel_dispatch(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    n_adus: int = 64,
+) -> ExperimentResult:
+    """F4 (rendered figure): self-describing ADUs scale with nodes; a
+    serial delivery point cannot."""
+    rows = []
+    for n_nodes in node_counts:
+        alf = striped_delivery(n_nodes=n_nodes, n_adus=n_adus, mode="alf")
+        serial = striped_delivery(n_nodes=n_nodes, n_adus=n_adus, mode="serial")
+        rows.append(
+            Row(
+                label=f"{n_nodes} nodes",
+                paper=None,
+                measured=alf.aggregate_throughput_bps
+                / serial.aggregate_throughput_bps,
+                unit="x speedup",
+                extra={
+                    "alf_mbps": round(alf.aggregate_throughput_bps / 1e6, 1),
+                    "serial_mbps": round(serial.aggregate_throughput_bps / 1e6, 1),
+                },
+            )
+        )
+    return ExperimentResult(
+        "F4",
+        "ADU-dispatched striped delivery vs a serial hot spot",
+        rows,
+        notes="§7: with ADUs, delivery information is visible to all "
+        "protocol functions, so no single point must run at aggregate speed",
+    )
+
+
+# ----------------------------------------------------------------------
+# A1 — ordering constraints and speculative fusion (ablation)
+
+
+def ordering_constraints(payload_bytes: int = PACKET_BYTES) -> ExperimentResult:
+    """A1: what the receive path's ordering constraints cost, and what
+    speculative (optimistic-delivery) fusion buys back."""
+    from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+    from repro.stages.copy import MoveToAppStage
+
+    key = 99
+    data = octet_payload(payload_bytes)
+    encrypted = XorStreamCipher(key).process(data)
+
+    def build() -> Pipeline:
+        verify = ChecksumVerifyStage()
+        verify.expect(internet_checksum(encrypted))
+        space = ApplicationAddressSpace()
+        space.add_region("sink", payload_bytes)
+        move = MoveToAppStage(space)
+        move.set_destination(ScatterMap.linear("sink", 0, payload_bytes))
+        return Pipeline(
+            [
+                NetworkExtractStage(hardware_offload=True),
+                verify,
+                DecryptStage(XorStreamCipher(key)),
+                move,  # requires VERIFIED: the loop-splitting constraint
+            ],
+            name="receive",
+            initial_facts={Facts.DEMUXED, Facts.TU_IN_ORDER, Facts.ADU_COMPLETE},
+        )
+
+    results = {}
+    for label, executor in (
+        ("layered", LayeredExecutor(MIPS_R2000)),
+        ("integrated", IntegratedExecutor(MIPS_R2000)),
+        ("integrated+speculative", IntegratedExecutor(MIPS_R2000, speculative=True)),
+    ):
+        pipeline = build()
+        output, report = executor.execute(pipeline, encrypted)
+        assert output == data
+        results[label] = report
+
+    # The constraint engine must reject a pipeline that moves data to the
+    # application before anything verified it.
+    illegal_rejected = False
+    try:
+        from repro.stages.copy import MoveToAppStage
+        from repro.buffers.appspace import ApplicationAddressSpace
+
+        space = ApplicationAddressSpace()
+        space.add_region("sink", payload_bytes)
+        move = MoveToAppStage(space)
+        Pipeline(
+            [NetworkExtractStage(), move],
+            name="illegal",
+            initial_facts={Facts.DEMUXED, Facts.ADU_COMPLETE},
+        )
+    except Exception:
+        illegal_rejected = True
+
+    rows = [
+        Row("layered", paper=None, measured=results["layered"].mbps(),
+            extra={"memory_passes": results["layered"].memory_passes}),
+        Row("integrated (constraints respected)", paper=None,
+            measured=results["integrated"].mbps(),
+            extra={"memory_passes": results["integrated"].memory_passes}),
+        Row("integrated (speculative delivery)", paper=None,
+            measured=results["integrated+speculative"].mbps(),
+            extra={"memory_passes":
+                   results["integrated+speculative"].memory_passes}),
+        Row("illegal pipeline rejected", paper=None,
+            measured=1.0 if illegal_rejected else 0.0, unit="bool"),
+    ]
+    return ExperimentResult(
+        "A1",
+        "Ordering constraints: what they cost, what speculation buys",
+        rows,
+        notes="the VERIFIED fact normally splits the loop at the checksum; "
+        "speculative mode fuses through it (optimistic delivery, abort on "
+        "late checksum failure)",
+    )
+
+
+# ----------------------------------------------------------------------
+# A2 — negotiated sender-side conversion (ablation)
+
+
+def negotiated_conversion(
+    file_bytes: int = 120_000, loss_rate: float = 0.05, seed: int = 3
+) -> ExperimentResult:
+    """A2: single-step sender-side conversion vs a canonical transfer
+    syntax — both the cycle cost and the out-of-order placement effect."""
+    from repro.apps.filetransfer import transfer_file
+
+    schema = ArrayOf(Int32())  # variable count: sizes not schema-fixed
+    plans = {
+        "identity": negotiate(NATIVE_BIG, NATIVE_BIG, schema),
+        "sender-converts": negotiate(NATIVE_BIG, NATIVE_LITTLE, schema),
+        "canonical-ber": negotiate(
+            NATIVE_BIG, NATIVE_LITTLE, schema, allow_direct=False
+        ),
+    }
+    rows = []
+    for label, plan in plans.items():
+        end_to_end = combined_serial_mbps(
+            [
+                MIPS_R2000.mbps_for_cost(plan.sender_pass),
+                MIPS_R2000.mbps_for_cost(plan.receiver_pass),
+            ]
+        )
+        rows.append(
+            Row(
+                label=f"{label} end-to-end conversion",
+                paper=None,
+                measured=end_to_end,
+                extra={"placement@sender": plan.placement_computable},
+            )
+        )
+
+    data = file_payload(file_bytes, seed=seed)
+    with_placement = transfer_file(
+        data, loss_rate=loss_rate, seed=seed, placement_at_sender=True
+    )
+    without_placement = transfer_file(
+        data, loss_rate=loss_rate, seed=seed, placement_at_sender=False
+    )
+    assert with_placement.ok and without_placement.ok
+    rows.append(
+        Row(
+            "reorder buffer, placement@sender",
+            paper=None,
+            measured=float(with_placement.max_reorder_buffer_bytes),
+            unit="bytes",
+        )
+    )
+    rows.append(
+        Row(
+            "reorder buffer, placement@receiver",
+            paper=None,
+            measured=float(without_placement.max_reorder_buffer_bytes),
+            unit="bytes",
+        )
+    )
+    return ExperimentResult(
+        "A2",
+        "Negotiated single-step conversion vs canonical transfer syntax",
+        rows,
+        notes="§5: with sender-side conversion the receiver places every "
+        "ADU immediately; with an intermediate syntax, out-of-order ADUs "
+        "clog the presentation pipeline",
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def all_experiments() -> list[ExperimentResult]:
+    """Run the full battery (used to regenerate EXPERIMENTS.md)."""
+    return [
+        table1(),
+        ilp_copy_checksum(),
+        presentation_cost(),
+        stack_overhead(),
+        ilp_presentation_checksum(),
+        control_vs_manipulation(),
+        alf_pipeline(),
+        adu_size_survival(),
+        ilp_scaling(),
+        parallel_dispatch(),
+        ordering_constraints(),
+        negotiated_conversion(),
+        word_fusion(),
+        fec_survival(),
+        outboard_analysis(),
+        header_overhead(),
+        cache_depletion(),
+        sync_unit_overhead(),
+        rate_control(),
+        ilp_end_to_end(),
+        media_deadline_repair(),
+    ]
+
+# ----------------------------------------------------------------------
+# E6 — functional word-level fusion (the ILP loop made real)
+
+
+def word_fusion(payload_bytes: int = 65536) -> ExperimentResult:
+    """E6: a real single-pass integrated loop over word kernels.
+
+    Beyond cost modelling: the fused loop actually computes copy +
+    checksum + XOR encryption + byteswap in one traversal and must equal
+    the layered reference byte-for-byte.
+    """
+    from repro.ilp.kernels import (
+        FusedWordLoop,
+        byteswap_kernel,
+        checksum_kernel,
+        copy_kernel,
+        xor_kernel,
+    )
+
+    data = octet_payload(payload_bytes)
+    loop = FusedWordLoop(
+        [copy_kernel(), checksum_kernel(), xor_kernel(0xA5A5A5A5),
+         byteswap_kernel()]
+    )
+    fused_out, fused_obs = loop.run(data)
+    layered_out, layered_obs = loop.run_layered(data)
+    assert fused_out == layered_out
+    assert fused_obs == layered_obs
+
+    fused_mbps = MIPS_R2000.mbps_for_cost(loop.fused_cost)
+    layered_mbps = MIPS_R2000.mbps_for_cost(loop.layered_cost)
+    rows = [
+        Row("4 kernels, layered (model)", paper=None, measured=layered_mbps),
+        Row("4 kernels, fused (model)", paper=None, measured=fused_mbps),
+        Row("fusion speedup", paper=None, measured=fused_mbps / layered_mbps,
+            unit="x"),
+        Row("outputs identical", paper=None,
+            measured=1.0 if fused_out == layered_out else 0.0, unit="bool"),
+    ]
+    return ExperimentResult(
+        "E6",
+        "Functional single-pass fusion of four word kernels",
+        rows,
+        notes="the fused loop loads each word once and threads it through "
+        "copy, checksum, XOR and byteswap while live; equality with the "
+        "layered reference is asserted, not assumed",
+    )
+
+
+# ----------------------------------------------------------------------
+# F5 — ADU-level FEC moves the survival knee (footnote 10)
+
+
+def fec_survival(
+    adu_sizes: tuple[int, ...] = (2048, 8192, 65536),
+    cell_loss_rate: float = 1e-3,
+    group_size: int = 8,
+    n_trials: int = 300,
+    seed: int = 0,
+) -> ExperimentResult:
+    """F5 (extension figure): ADU survival with and without one-parity-
+    per-group FEC at the transmission-unit level."""
+    from repro.core.adu import Adu
+    from repro.transport.alf.fec import (
+        FecDecoder,
+        encode_with_parity,
+        survival_probability,
+    )
+
+    rng = RngStreams(seed).stream("fec-loss")
+    rows = []
+    for size in adu_sizes:
+        n_units = cells_for(size)
+        plain = survival_probability(n_units, cell_loss_rate, None)
+        fec = survival_probability(n_units, cell_loss_rate, group_size)
+        rows.append(
+            Row(
+                label=f"ADU {size} B plain",
+                paper=None,
+                measured=plain,
+                unit="P(survive)",
+            )
+        )
+        rows.append(
+            Row(
+                label=f"ADU {size} B FEC(k={group_size})",
+                paper=None,
+                measured=fec,
+                unit="P(survive)",
+                extra={"gain": round(fec / plain, 2) if plain > 0 else float("inf")},
+            )
+        )
+    # Simulated spot-check at the middle size: real encode/drop/decode.
+    size = adu_sizes[len(adu_sizes) // 2]
+    mtu = 44
+    survived = 0
+    for trial in range(n_trials):
+        adu = Adu(trial, octet_payload(size, seed=trial))
+        decoder = FecDecoder(mtu=mtu)
+        for unit in encode_with_parity(adu, mtu=mtu, group_size=group_size):
+            if rng.random() >= cell_loss_rate:
+                decoder.add(unit)
+        result = decoder.try_reassemble()
+        if result is not None and result.payload == adu.payload:
+            survived += 1
+    rows.append(
+        Row(
+            label=f"ADU {size} B FEC, simulated",
+            paper=None,
+            measured=survived / n_trials,
+            unit="P(survive)",
+        )
+    )
+    return ExperimentResult(
+        "F5",
+        "ADU survival with transmission-unit FEC",
+        rows,
+        notes="footnote 10: lower-layer recovery such as FEC may be applied "
+        "to transmission units; one XOR parity per group recovers any "
+        "single loss per group",
+    )
+
+
+# ----------------------------------------------------------------------
+# A3 — the outboard-processor argument, quantified
+
+
+def outboard_analysis(payload_bytes: int = PACKET_BYTES) -> ExperimentResult:
+    """A3 (ablation): steering information vs data, and the Amdahl bound
+    of outboarding only the transport-level manipulations (paper §6)."""
+    from repro.buffers.appspace import ScatterMap
+    from repro.core.outboard import feasibility, partition_receive_path
+    from repro.presentation.costs import RAW_IMAGE
+
+    # Linear file transfer: one descriptor per 4 KB ADU.
+    linear = feasibility(
+        [(payload_bytes, ScatterMap.linear("file", 0, payload_bytes))] * 16
+    )
+    # RPC-style delivery: one descriptor per 4-byte element.
+    scattered_map = ScatterMap()
+    for index in range(payload_bytes // 4):
+        scattered_map.add(index * 4, f"var{index}", 0, 4)
+    scattered = feasibility([(payload_bytes, scattered_map)] * 16)
+
+    raw = partition_receive_path(MIPS_R2000, RAW_IMAGE, payload_bytes,
+                                 raw_octets=True)
+    toolkit = partition_receive_path(MIPS_R2000, TOOLKIT_BER, payload_bytes)
+    rows = [
+        Row("steering ratio, linear file", paper=None,
+            measured=linear.steering_ratio, unit="B/B"),
+        Row("steering ratio, per-element RPC", paper=None,
+            measured=scattered.steering_ratio, unit="B/B"),
+        Row("outboard speedup bound, raw transfer", paper=None,
+            measured=raw.speedup_bound, unit="x"),
+        Row("outboard speedup bound, toolkit conversion", paper=None,
+            measured=toolkit.speedup_bound, unit="x",
+            extra={"host_share": round(toolkit.host_share, 3)}),
+    ]
+    return ExperimentResult(
+        "A3",
+        "Outboard processor: steering bulk and Amdahl bound",
+        rows,
+        notes="§6: steering information approaches the bulk of the data as "
+        "elements shrink, and outboarding transport manipulations barely "
+        "helps when presentation dominates",
+    )
+
+
+# ----------------------------------------------------------------------
+# A4 — layered encapsulation vs shared-field header (paper §8)
+
+
+def header_overhead(
+    payload_sizes: tuple[int, ...] = (44, 1024, 4096)
+) -> ExperimentResult:
+    """A4 (ablation): header bytes and parse instructions for classic
+    encapsulation vs the §8 shared-syntax ("compiled") header."""
+    from repro.core.headers import (
+        FragmentInfo,
+        LayeredEncapsulation,
+        SharedHeader,
+    )
+
+    info = FragmentInfo(
+        flow_id=7, adu_sequence=3, fragment_index=1, fragment_total=4,
+        adu_length=4096, checksum=0xBEEF, app_name=12345,
+    )
+    layered = LayeredEncapsulation()
+    shared = SharedHeader()
+    # Functional check: both encodings round-trip the same information.
+    for scheme in (layered, shared):
+        packed = scheme.pack(info, 1024)
+        parsed, _ = scheme.parse(packed)
+        assert parsed == info
+
+    layered_counter = InstructionCounter()
+    shared_counter = InstructionCounter()
+    layered.parse(layered.pack(info, 1024), layered_counter)
+    shared.parse(shared.pack(info, 1024), shared_counter)
+
+    rows = [
+        Row("layered header bytes", paper=None,
+            measured=float(layered.header_bytes), unit="B"),
+        Row("shared header bytes", paper=None,
+            measured=float(shared.header_bytes), unit="B"),
+        Row("layered parse instructions", paper=None,
+            measured=float(layered_counter.total), unit="instr"),
+        Row("shared parse instructions", paper=None,
+            measured=float(shared_counter.total), unit="instr"),
+    ]
+    for payload in payload_sizes:
+        layered_eff = payload / (payload + layered.header_bytes)
+        shared_eff = payload / (payload + shared.header_bytes)
+        rows.append(
+            Row(
+                label=f"wire efficiency at {payload} B payload",
+                paper=None,
+                measured=shared_eff / layered_eff,
+                unit="x (shared/layered)",
+                extra={
+                    "layered": round(layered_eff, 3),
+                    "shared": round(shared_eff, 3),
+                },
+            )
+        )
+    return ExperimentResult(
+        "A4",
+        "Layered encapsulation vs shared-field header",
+        rows,
+        notes="§8: semantic isolation without per-layer syntax; the gain "
+        "is largest exactly where the paper aims — small (ATM-cell-sized) "
+        "transmission units",
+    )
+
+
+# ----------------------------------------------------------------------
+# A5 — cache depletion: the footnote-2 indirect cost
+
+
+def cache_depletion(
+    packet_bytes: int = PACKET_BYTES,
+    cache_sizes: tuple[int, ...] = (1024, 4096, 16384, 65536),
+    n_passes: int = 3,
+) -> ExperimentResult:
+    """A5 (ablation): memory traffic of N separate passes vs one fused
+    pass, as a function of cache size (paper footnote 2)."""
+    from repro.machine.cache import DirectMappedCache
+
+    rows = []
+    for capacity in cache_sizes:
+        layered_cache = DirectMappedCache(capacity, line_bytes=16)
+        for _ in range(n_passes):
+            layered_cache.access_range(0, packet_bytes)
+        fused_cache = DirectMappedCache(capacity, line_bytes=16)
+        fused_cache.access_range(0, packet_bytes)
+
+        layered_misses = layered_cache.stats.misses
+        fused_misses = fused_cache.stats.misses
+        rows.append(
+            Row(
+                label=f"{capacity // 1024} KB cache",
+                paper=None,
+                measured=layered_misses / fused_misses,
+                unit="x misses (layered/fused)",
+                extra={
+                    "layered_misses": layered_misses,
+                    "fused_misses": fused_misses,
+                },
+            )
+        )
+    return ExperimentResult(
+        "A5",
+        "Cache depletion across separate passes",
+        rows,
+        notes="footnote 2: when the packet exceeds the cache, every extra "
+        "pass re-reads it all from memory; a cache larger than the packet "
+        "makes the later passes nearly free",
+    )
+
+# ----------------------------------------------------------------------
+# F6 — what unit can manipulation be synchronized on? (paper §5)
+
+
+def sync_unit_overhead(
+    line_rate_mbps: float = 100.0,
+    unit_sizes: tuple[tuple[str, int], ...] = (
+        ("ATM cell (44 B net)", 44),
+        ("packet (4 KB)", PACKET_BYTES),
+        ("ADU (64 KB)", 65536),
+    ),
+) -> ExperimentResult:
+    """F6 (rendered figure): per-unit control cost vs synchronization
+    unit size.
+
+    "[48 bytes] is probably too small a unit of data to permit
+    manipulation operations to be synchronized on each cell."  Each
+    synchronization point pays the in-band control path (parse, demux,
+    order check, bookkeeping); at cell granularity that control rate
+    alone saturates the CPU.
+    """
+    from repro.control.instructions import DEFAULT_COSTS
+
+    per_unit_instructions = (
+        DEFAULT_COSTS.header_parse
+        + DEFAULT_COSTS.demux_lookup
+        + DEFAULT_COSTS.sequence_check
+        + DEFAULT_COSTS.reassembly_bookkeeping
+    )
+    cpu_instructions_per_second = (
+        MIPS_R2000.clock_hz / MIPS_R2000.cycles_per_instruction
+    )
+    rows = []
+    for label, size in unit_sizes:
+        units_per_second = line_rate_mbps * 1e6 / (size * 8)
+        control_rate = per_unit_instructions * units_per_second
+        cpu_share = control_rate / cpu_instructions_per_second
+        rows.append(
+            Row(
+                label=f"sync on {label}",
+                paper=None,
+                measured=cpu_share,
+                unit="CPU share for control",
+                extra={
+                    "units_per_s": int(units_per_second),
+                    "instr_per_s": int(control_rate),
+                },
+            )
+        )
+    return ExperimentResult(
+        "F6",
+        "Control cost of synchronizing manipulation on each unit "
+        f"(R2000 at {line_rate_mbps:.0f} Mb/s line rate)",
+        rows,
+        notes="per-unit control is ~37 instructions (parse, demux, order "
+        "check, bookkeeping); at cell granularity it saturates the CPU — "
+        "hence the ADU, not the cell, as the synchronization unit",
+    )
+
+
+# ----------------------------------------------------------------------
+# A6 — out-of-band rate control keeps the bottleneck app's queue bounded
+
+
+def rate_control(
+    n_adus: int = 200,
+    adu_bytes: int = 4096,
+    app_rate_bps: float = 20e6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A6 (ablation): §3's in-band/out-of-band split, exercised.
+
+    An unpaced sender dumps ADUs at line rate and floods the bottleneck
+    application's queue; a sender paced by out-of-band receiver grants
+    holds the backlog near the setpoint with only a handful of control
+    messages per second.
+    """
+    from repro.control.ratecontrol import PacedAduSource, ReceiverRateController
+    from repro.sim.eventloop import EventLoop
+
+    def run(controlled: bool) -> tuple[int, float, int]:
+        loop = EventLoop()
+        app = ApplicationProcess(loop, processing_rate_bps=app_rate_bps)
+        max_backlog = 0
+
+        def submit(adu: Adu) -> None:
+            nonlocal max_backlog
+            app.submit(adu.sequence, len(adu.payload))
+            max_backlog = max(max_backlog, app.backlog)
+
+        adus = [
+            Adu(index, octet_payload(adu_bytes, seed=seed + index))
+            for index in range(n_adus)
+        ]
+        if controlled:
+            source = PacedAduSource(
+                loop, submit, adus, initial_rate_bps=app_rate_bps
+            )
+            controller = ReceiverRateController(
+                loop, app, source.on_rate_update, target_backlog=4
+            )
+            # The out-of-band channel closes when the source drains.
+            source.on_drained = controller.stop
+            loop.run(until=300)
+            updates = controller.updates_sent
+        else:
+            # Unpaced: everything arrives (nearly) at once at line rate.
+            source = PacedAduSource(loop, submit, adus, initial_rate_bps=1e9)
+            loop.run(until=300)
+            updates = 0
+        completion = (
+            app.completed[-1].finished_at if app.completed else loop.now
+        )
+        return max_backlog, completion, updates
+
+    flood_backlog, flood_time, _ = run(controlled=False)
+    paced_backlog, paced_time, updates = run(controlled=True)
+    rows = [
+        Row("max app backlog, unpaced", paper=None,
+            measured=float(flood_backlog), unit="items"),
+        Row("max app backlog, out-of-band control", paper=None,
+            measured=float(paced_backlog), unit="items",
+            extra={"rate_updates": updates}),
+        Row("completion time, unpaced", paper=None,
+            measured=flood_time, unit="s"),
+        Row("completion time, out-of-band control", paper=None,
+            measured=paced_time, unit="s"),
+    ]
+    return ExperimentResult(
+        "A6",
+        "Out-of-band rate control at the bottleneck application",
+        rows,
+        notes="§3: the transfer rate is computed out of band (a timer at "
+        "the receiver) and enforced in band (a division at the sender); "
+        "the queue stays bounded at nearly no control cost",
+    )
+
+# ----------------------------------------------------------------------
+# E7 — ILP's end-to-end effect: same network, different engineering
+
+
+def ilp_end_to_end(
+    n_adus: int = 200,
+    adu_bytes: int = 4096,
+    loss_rate: float = 0.01,
+    seed: int = 0,
+) -> ExperimentResult:
+    """E7 (closing experiment): identical lossy transfers into a host
+    whose service time per ADU comes from the machine model; the only
+    difference is layered vs integrated receive-path engineering.
+
+    This is the paper's thesis in one number: ILP is an end-system
+    implementation choice ("the deferral of engineering decisions to the
+    implementor", §2) with end-to-end throughput consequences.
+    """
+    from repro.core.endsystem import AlfEndSystem
+    from repro.stages.encrypt import DecryptStage
+    from repro.stages.copy import MoveToAppStage
+    from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+
+    key = 0x5151
+    data_adus = [
+        Adu(
+            index,
+            XorStreamCipher(key).process(
+                octet_payload(adu_bytes, seed=seed + index)
+            ),
+            {"offset": index * adu_bytes},
+        )
+        for index in range(n_adus)
+    ]
+
+    def run(integrated: bool) -> tuple[float, float]:
+        # A fast link makes the receive path the bottleneck: the choice
+        # of engineering, not the network, determines goodput.
+        path = two_hosts(
+            seed=seed, loss_rate=loss_rate, bandwidth_bps=400e6,
+            propagation_delay=0.002, reverse_loss_rate=0.0,
+        )
+        space = ApplicationAddressSpace()
+        space.add_region("file", n_adus * adu_bytes)
+
+        def stage_two(adu: Adu):
+            verify = ChecksumVerifyStage()
+            verify.expect(adu.checksum)
+            move = MoveToAppStage(space)
+            move.set_destination(
+                ScatterMap.linear("file", adu.name["offset"], len(adu.payload))
+            )
+            return [
+                verify,
+                DecryptStage(XorStreamCipher(key)),
+                PassthroughStage("convert-lwts", cost=TUNED_LWTS.decode),
+                move,
+            ]
+
+        end_system = AlfEndSystem(
+            path.loop, path.b, "a", 1,
+            machine=MIPS_R2000,
+            stage_two=stage_two,
+            integrated=integrated,
+            speculative=integrated,  # the full ILP engineering
+            expected_adus=n_adus,
+        )
+        sender = AlfSender(path.loop, path.a, "b", 1, mtu=1024, rto=0.05)
+        for adu in data_adus:
+            sender.send_adu(adu)
+        sender.close()
+        path.loop.run(until=120)
+        completion = end_system.completion_time or path.loop.now
+        goodput = end_system.stats.payload_bytes * 8 / completion
+        return goodput, end_system.processor.utilization(completion)
+
+    layered_goodput, layered_util = run(integrated=False)
+    integrated_goodput, integrated_util = run(integrated=True)
+    rows = [
+        Row("goodput, layered receive path", paper=None,
+            measured=layered_goodput / 1e6,
+            extra={"cpu_utilization": round(layered_util, 3)}),
+        Row("goodput, integrated receive path", paper=None,
+            measured=integrated_goodput / 1e6,
+            extra={"cpu_utilization": round(integrated_util, 3)}),
+        Row("end-to-end ILP speedup", paper=None,
+            measured=integrated_goodput / layered_goodput, unit="x"),
+    ]
+    return ExperimentResult(
+        "E7",
+        "End-to-end goodput: layered vs integrated engineering of the "
+        "same receive path",
+        rows,
+        notes="same network, same losses, same stages; only the loop "
+        "structure differs — the deferred engineering decision of §2",
+    )
+
+# ----------------------------------------------------------------------
+# F7 — repairing real-time media: FEC beats retransmission at deadlines
+
+
+def media_deadline_repair(
+    loss_rates: tuple[float, ...] = (0.0, 0.02, 0.05),
+    n_frames: int = 20,
+    seed: int = 4,
+) -> ExperimentResult:
+    """F7 (extension figure): tile repair under a playout deadline.
+
+    Retransmission cannot help a tile whose frame plays before the
+    repair round trip completes; FEC parity repairs in zero RTTs.  The
+    rows compare frame completion with no protection vs transmission-
+    unit FEC, at identical loss and playout offset.
+    """
+    from repro.apps.video import stream_video
+
+    rows = []
+    for loss in loss_rates:
+        plain = stream_video(n_frames=n_frames, loss_rate=loss, seed=seed)
+        fec = stream_video(
+            n_frames=n_frames, loss_rate=loss, seed=seed, fec_group=4
+        )
+        rows.append(
+            Row(
+                label=f"plain, loss={loss:.2f}",
+                paper=None,
+                measured=plain.frame_completion_rate,
+                unit="frames complete",
+                extra={"tile_loss": round(plain.tile_loss_rate, 3)},
+            )
+        )
+        rows.append(
+            Row(
+                label=f"FEC(k=4), loss={loss:.2f}",
+                paper=None,
+                measured=fec.frame_completion_rate,
+                unit="frames complete",
+                extra={
+                    "tile_loss": round(fec.tile_loss_rate, 3),
+                    "recoveries": fec.fec_recoveries,
+                },
+            )
+        )
+    return ExperimentResult(
+        "F7",
+        "Frame completion under a playout deadline: FEC vs nothing",
+        rows,
+        notes="NO_RETRANSMIT both ways (a retransmission would miss the "
+        "deadline anyway); FEC spends ~25% more bandwidth to repair in "
+        "zero round trips — footnote 10's trade made concrete",
+    )

@@ -1,0 +1,105 @@
+"""Experiment result containers and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Row:
+    """One row of an experiment's output table.
+
+    Attributes:
+        label: what the row measures.
+        paper: the value the paper reports (None for rows the paper
+            only implies, e.g. a series point rendered from prose).
+        measured: the reproduction's value.
+        unit: display unit.
+        extra: any additional columns.
+    """
+
+    label: str
+    measured: float
+    paper: float | None = None
+    unit: str = "Mb/s"
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """A complete experiment: identity, rows, and free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: list[Row]
+    notes: str = ""
+
+    def row(self, label: str) -> Row:
+        """Look up a row by its label."""
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row {label!r} in {self.experiment_id}")
+
+    def measured(self, label: str) -> float:
+        """Shorthand for ``row(label).measured``."""
+        return self.row(label).measured
+
+    def format(self) -> str:
+        """Render the experiment as a fixed-width table."""
+        return format_table(self)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Fixed-width rendering: id, title, then label/paper/measured rows."""
+    lines = [f"[{result.experiment_id}] {result.title}"]
+    label_width = max((len(row.label) for row in result.rows), default=10)
+    header = f"  {'measurement':<{label_width}}  {'paper':>12}  {'measured':>12}  unit"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in result.rows:
+        paper = f"{row.paper:.2f}" if row.paper is not None else "-"
+        extra = ""
+        if row.extra:
+            extra = "  " + ", ".join(f"{k}={v}" for k, v in row.extra.items())
+        lines.append(
+            f"  {row.label:<{label_width}}  {paper:>12}  "
+            f"{row.measured:>12.2f}  {row.unit}{extra}"
+        )
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_series(
+    result: ExperimentResult,
+    width: int = 40,
+    label_filter: str | None = None,
+) -> str:
+    """ASCII bar rendering of an experiment's rows (for the "figures").
+
+    Bars are scaled to the largest measured value; ``label_filter``
+    keeps only rows whose label contains the substring (e.g. plot just
+    the ``tcp`` series of F1).
+    """
+    rows = [
+        row
+        for row in result.rows
+        if label_filter is None or label_filter in row.label
+    ]
+    if not rows:
+        return f"[{result.experiment_id}] (no rows match {label_filter!r})"
+    peak = max((abs(row.measured) for row in rows), default=0.0)
+    label_width = max(len(row.label) for row in rows)
+    lines = [f"[{result.experiment_id}] {result.title}"]
+    for row in rows:
+        if peak > 0:
+            bar = "#" * max(int(abs(row.measured) / peak * width), 0)
+        else:
+            bar = ""
+        lines.append(
+            f"  {row.label:<{label_width}} |{bar:<{width}}| "
+            f"{row.measured:.2f} {row.unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Headline-number regression guards.
+
+The reproduction's value is that specific numbers keep coming out: the
+Table 1 calibration must stay exact, E1 must stay at 61/90, the stack
+ratio must stay near 30×, and the behavioural figures must keep their
+shape.  ``verify_headlines()`` runs the cheap subset of the battery and
+checks every headline against its guard band; the CLI's ``verify``
+command and a test both call it, so any change that drifts a headline
+fails loudly rather than silently rewriting EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One headline check.
+
+    Attributes:
+        experiment_id: which experiment the row lives in.
+        row_label: the row to check.
+        low, high: inclusive guard band for the measured value.
+    """
+
+    experiment_id: str
+    row_label: str
+    low: float
+    high: float
+
+    def check(self, result: ExperimentResult) -> str | None:
+        """None when within band, else a human-readable violation."""
+        measured = result.measured(self.row_label)
+        if self.low <= measured <= self.high:
+            return None
+        return (
+            f"{self.experiment_id} / {self.row_label}: {measured:.3f} "
+            f"outside [{self.low}, {self.high}]"
+        )
+
+
+#: The cheap experiments and the guards over them.  (F1/E7 run long
+#: simulations and have their own tests; the guards here are the ones a
+#: developer should run on every change.)
+_SUITES: list[tuple[Callable[[], ExperimentResult], list[Guard]]] = [
+    (
+        experiments.table1,
+        [
+            Guard("T1", "uVax III copy", 41.9, 42.1),
+            Guard("T1", "uVax III checksum", 59.9, 60.1),
+            Guard("T1", "MIPS R2000 copy", 129.9, 130.1),
+            Guard("T1", "MIPS R2000 checksum", 114.9, 115.1),
+        ],
+    ),
+    (
+        experiments.ilp_copy_checksum,
+        [
+            Guard("E1", "MIPS R2000 separate", 59.0, 63.0),
+            Guard("E1", "MIPS R2000 integrated", 89.0, 91.0),
+        ],
+    ),
+    (
+        experiments.presentation_cost,
+        [
+            Guard("E2", "ASN.1 integer-array encode (tuned)", 27.5, 28.5),
+            Guard("E2", "slowdown factor", 4.0, 5.0),
+        ],
+    ),
+    (
+        experiments.stack_overhead,
+        [
+            Guard("E3", "relative slowdown", 20.0, 40.0),
+            Guard("E3", "presentation share of overhead", 0.95, 1.0),
+        ],
+    ),
+    (
+        experiments.ilp_presentation_checksum,
+        [
+            Guard("E4", "encode + checksum, integrated", 24.0, 27.0),
+        ],
+    ),
+    (
+        experiments.word_fusion,
+        [
+            Guard("E6", "outputs identical", 1.0, 1.0),
+            Guard("E6", "fusion speedup", 1.4, 2.5),
+        ],
+    ),
+    (
+        experiments.header_overhead,
+        [
+            Guard("A4", "layered header bytes", 46.0, 46.0),
+            Guard("A4", "shared header bytes", 26.0, 26.0),
+        ],
+    ),
+    (
+        experiments.cache_depletion,
+        [
+            Guard("A5", "1 KB cache", 2.99, 3.01),
+            Guard("A5", "64 KB cache", 0.99, 1.01),
+        ],
+    ),
+]
+
+
+def verify_headlines() -> list[str]:
+    """Run the guard suites; returns the list of violations (empty = OK)."""
+    violations: list[str] = []
+    for runner, guards in _SUITES:
+        result = runner()
+        for guard in guards:
+            violation = guard.check(result)
+            if violation is not None:
+                violations.append(violation)
+    return violations
+
+
+def guard_count() -> int:
+    """How many headline guards exist (for reporting)."""
+    return sum(len(guards) for _, guards in _SUITES)

@@ -1,0 +1,33 @@
+"""Deterministic workload generators for the experiments.
+
+The paper's canonical packet is "4000 bytes, or 1000 long words"; its
+presentation experiment converts "an array of integers"; its stack
+experiment compares "a very long OCTET STRING" against "an equivalent
+length array of 32 bit integers."  These generators produce exactly
+those shapes, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStreams
+
+#: The paper's typical large packet: 4000 bytes = 1000 long words.
+PACKET_BYTES = 4000
+
+
+def integer_array(n_integers: int, seed: int = 0) -> list[int]:
+    """A list of signed 32-bit integers (the E2/E3/E4 workload)."""
+    rng = RngStreams(seed).stream("integers")
+    return [rng.randint(-(2**31), 2**31 - 1) for _ in range(n_integers)]
+
+
+def octet_payload(n_bytes: int, seed: int = 0) -> bytes:
+    """An uninterpreted byte string (the E3 baseline workload)."""
+    rng = RngStreams(seed).stream("octets")
+    return rng.randbytes(n_bytes)
+
+
+def file_payload(n_bytes: int, seed: int = 0) -> bytes:
+    """File contents for the transfer experiments."""
+    rng = RngStreams(seed).stream("file")
+    return rng.randbytes(n_bytes)

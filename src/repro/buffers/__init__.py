@@ -1,0 +1,34 @@
+"""Buffer management substrate.
+
+The paper's manipulation functions are defined over data sitting in
+buffers: network interface buffers, intermediate system buffers, and the
+application's own address space ("moving to/from application address
+space" is one of the six manipulations).  This package provides the
+building blocks the stack uses:
+
+* :class:`Buffer` — a contiguous, addressable byte region;
+* :class:`BufferView` — a zero-copy window onto a buffer (reading a view
+  costs no data pass; materializing it does);
+* :class:`BufferChain` — an mbuf-style scatter/gather chain used for
+  header prepending and fragmentation without copying;
+* :class:`BufferPool` — fixed-size allocator modelling finite interface
+  memory;
+* :class:`ApplicationAddressSpace` — named, scattered destination regions
+  (file extents, RPC argument slots, video frame slabs) that ADUs are
+  delivered into.
+"""
+
+from repro.buffers.buffer import Buffer, BufferView
+from repro.buffers.chain import BufferChain
+from repro.buffers.pool import BufferPool
+from repro.buffers.appspace import ApplicationAddressSpace, Region, ScatterMap
+
+__all__ = [
+    "Buffer",
+    "BufferView",
+    "BufferChain",
+    "BufferPool",
+    "ApplicationAddressSpace",
+    "Region",
+    "ScatterMap",
+]

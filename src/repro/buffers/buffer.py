@@ -1,0 +1,134 @@
+"""Contiguous buffers and zero-copy views.
+
+A :class:`Buffer` owns a ``bytearray`` and a *base address* in a flat
+modelled address space.  The address matters only to the cache model and
+to the accounting of "moving data from one part of memory to another" —
+functionally the buffer is just bytes.
+
+A :class:`BufferView` is a window onto a buffer.  Creating or slicing a
+view never copies; :meth:`BufferView.tobytes` and writes through a view do
+touch data, and the stage layer accounts for those passes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import BufferError_
+
+_next_base = itertools.count(start=0x1000_0000, step=0x0100_0000)
+
+
+class Buffer:
+    """A contiguous byte region at a stable modelled address.
+
+    Args:
+        size: capacity in bytes.
+        label: optional name used in traces and accounting.
+        base_address: explicit modelled address; allocated monotonically
+            when omitted so distinct buffers never alias.
+    """
+
+    def __init__(self, size: int, label: str = "", base_address: int | None = None):
+        if size < 0:
+            raise BufferError_(f"buffer size must be >= 0, got {size}")
+        self.data = bytearray(size)
+        self.label = label or f"buf@{id(self):x}"
+        self.base_address = next(_next_base) if base_address is None else base_address
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, label: str = "") -> "Buffer":
+        """Buffer initialized with a copy of ``payload``."""
+        buffer = cls(len(payload), label=label)
+        buffer.data[:] = payload
+        return buffer
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def view(self, offset: int = 0, length: int | None = None) -> "BufferView":
+        """Zero-copy window ``[offset, offset+length)`` onto this buffer."""
+        return BufferView(self, offset, length)
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Store ``payload`` at ``offset`` (must fit)."""
+        if offset < 0 or offset + len(payload) > len(self.data):
+            raise BufferError_(
+                f"write of {len(payload)} bytes at {offset} exceeds "
+                f"{self.label} (size {len(self.data)})"
+            )
+        self.data[offset : offset + len(payload)] = payload
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``offset`` (must be in range)."""
+        if offset < 0 or length < 0 or offset + length > len(self.data):
+            raise BufferError_(
+                f"read of {length} bytes at {offset} exceeds "
+                f"{self.label} (size {len(self.data)})"
+            )
+        return bytes(self.data[offset : offset + length])
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.label!r}, size={len(self.data)})"
+
+
+class BufferView:
+    """A zero-copy window onto a :class:`Buffer`.
+
+    Views are how the stack passes data around without implying a copy;
+    the ILP executors decide when a real materializing pass happens and
+    charge for it.
+    """
+
+    def __init__(self, buffer: Buffer, offset: int = 0, length: int | None = None):
+        if length is None:
+            length = len(buffer) - offset
+        if offset < 0 or length < 0 or offset + length > len(buffer):
+            raise BufferError_(
+                f"view [{offset}, {offset + length}) exceeds {buffer.label} "
+                f"(size {len(buffer)})"
+            )
+        self.buffer = buffer
+        self.offset = offset
+        self.length = length
+
+    @property
+    def address(self) -> int:
+        """Modelled start address of the viewed bytes."""
+        return self.buffer.base_address + self.offset
+
+    def __len__(self) -> int:
+        return self.length
+
+    def tobytes(self) -> bytes:
+        """Materialize the viewed bytes (a real read of the data)."""
+        return self.buffer.read(self.offset, self.length)
+
+    def memoryview(self) -> memoryview:
+        """A writable memoryview over the window (no copy)."""
+        return memoryview(self.buffer.data)[self.offset : self.offset + self.length]
+
+    def subview(self, offset: int, length: int | None = None) -> "BufferView":
+        """A narrower window within this one (zero-copy)."""
+        if length is None:
+            length = self.length - offset
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise BufferError_(
+                f"subview [{offset}, {offset + length}) exceeds view of "
+                f"length {self.length}"
+            )
+        return BufferView(self.buffer, self.offset + offset, length)
+
+    def store(self, payload: bytes) -> None:
+        """Write ``payload`` at the start of the window (must fit)."""
+        if len(payload) > self.length:
+            raise BufferError_(
+                f"store of {len(payload)} bytes exceeds view of length {self.length}"
+            )
+        self.buffer.write(self.offset, payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferView({self.buffer.label!r}, offset={self.offset}, "
+            f"length={self.length})"
+        )

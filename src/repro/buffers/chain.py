@@ -1,0 +1,112 @@
+"""mbuf-style scatter/gather buffer chains.
+
+Protocol implementations avoid copying by keeping a packet as a chain of
+segments: headers are *prepended* as new segments, payloads are *split*
+without touching the data.  A :class:`BufferChain` models exactly that.
+Only :meth:`linearize` performs a real data pass (and says so, so the
+caller can charge for it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.buffers.buffer import Buffer, BufferView
+from repro.errors import BufferError_
+
+
+class BufferChain:
+    """An ordered chain of :class:`BufferView` segments.
+
+    The chain's logical content is the concatenation of its segments.
+    All structural operations (prepend, append, split, trim) are
+    zero-copy.
+    """
+
+    def __init__(self, segments: Iterable[BufferView] = ()):
+        self._segments: list[BufferView] = [s for s in segments if len(s) > 0]
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, label: str = "") -> "BufferChain":
+        """Chain holding a fresh buffer initialized with ``payload``."""
+        if not payload:
+            return cls()
+        return cls([Buffer.from_bytes(payload, label=label).view()])
+
+    @property
+    def segments(self) -> tuple[BufferView, ...]:
+        """The chain's segments, in order."""
+        return tuple(self._segments)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._segments)
+
+    def __iter__(self) -> Iterator[BufferView]:
+        return iter(self._segments)
+
+    def prepend(self, view: BufferView) -> None:
+        """Push a segment (typically a header) onto the front."""
+        if len(view) > 0:
+            self._segments.insert(0, view)
+
+    def append(self, view: BufferView) -> None:
+        """Add a segment at the end."""
+        if len(view) > 0:
+            self._segments.append(view)
+
+    def extend(self, other: "BufferChain") -> None:
+        """Append all of ``other``'s segments (zero-copy)."""
+        self._segments.extend(other._segments)
+
+    def split(self, at: int) -> tuple["BufferChain", "BufferChain"]:
+        """Split into (first ``at`` bytes, rest) without copying."""
+        if at < 0 or at > len(self):
+            raise BufferError_(f"split point {at} outside chain of length {len(self)}")
+        head: list[BufferView] = []
+        tail: list[BufferView] = []
+        remaining = at
+        for segment in self._segments:
+            if remaining >= len(segment):
+                head.append(segment)
+                remaining -= len(segment)
+            elif remaining > 0:
+                head.append(segment.subview(0, remaining))
+                tail.append(segment.subview(remaining))
+                remaining = 0
+            else:
+                tail.append(segment)
+        return BufferChain(head), BufferChain(tail)
+
+    def trim_front(self, n: int) -> "BufferChain":
+        """Chain with the first ``n`` bytes removed (zero-copy)."""
+        _, rest = self.split(n)
+        return rest
+
+    def chunks(self, size: int) -> Iterator["BufferChain"]:
+        """Yield consecutive sub-chains of at most ``size`` bytes."""
+        if size <= 0:
+            raise BufferError_(f"chunk size must be positive, got {size}")
+        rest = self
+        while len(rest) > 0:
+            head, rest = rest.split(min(size, len(rest)))
+            yield head
+
+    def linearize(self) -> bytes:
+        """Materialize the chain as contiguous bytes.
+
+        This is a real data pass (one read of every byte, one write into
+        the fresh region); callers that account cycles must charge a copy
+        for it.
+        """
+        return b"".join(segment.tobytes() for segment in self._segments)
+
+    def tobytes(self) -> bytes:
+        """Alias of :meth:`linearize` for symmetry with BufferView."""
+        return self.linearize()
+
+    def is_contiguous(self) -> bool:
+        """True when the chain is a single segment (no gather needed)."""
+        return len(self._segments) <= 1
+
+    def __repr__(self) -> str:
+        return f"BufferChain(segments={len(self._segments)}, length={len(self)})"

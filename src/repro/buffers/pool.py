@@ -1,0 +1,84 @@
+"""Fixed-size buffer pools.
+
+Network interfaces and kernels hold finite buffer memory; flow control
+exists precisely because the receiver's pool can be exhausted.  The pool
+hands out fixed-size :class:`Buffer` objects and recycles them, so the
+transport simulations get realistic backpressure.
+"""
+
+from __future__ import annotations
+
+from repro.buffers.buffer import Buffer
+from repro.errors import BufferError_
+
+
+class BufferPool:
+    """Allocator of fixed-size buffers with a hard capacity.
+
+    Args:
+        n_buffers: number of buffers in the pool.
+        buffer_size: size of each buffer in bytes.
+        label: name used in errors and traces.
+    """
+
+    def __init__(self, n_buffers: int, buffer_size: int, label: str = "pool"):
+        if n_buffers <= 0:
+            raise BufferError_(f"n_buffers must be positive, got {n_buffers}")
+        if buffer_size <= 0:
+            raise BufferError_(f"buffer_size must be positive, got {buffer_size}")
+        self.label = label
+        self.buffer_size = buffer_size
+        self.capacity = n_buffers
+        self._free: list[Buffer] = [
+            Buffer(buffer_size, label=f"{label}[{i}]") for i in range(n_buffers)
+        ]
+        self._outstanding: set[int] = set()
+        self.allocation_failures = 0
+
+    @property
+    def available(self) -> int:
+        """Buffers currently free."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Buffers currently allocated."""
+        return self.capacity - len(self._free)
+
+    def try_allocate(self) -> Buffer | None:
+        """Take a buffer, or return None (and count the failure) if empty."""
+        if not self._free:
+            self.allocation_failures += 1
+            return None
+        buffer = self._free.pop()
+        self._outstanding.add(id(buffer))
+        return buffer
+
+    def allocate(self) -> Buffer:
+        """Take a buffer; raises :class:`BufferError_` when exhausted."""
+        buffer = self.try_allocate()
+        if buffer is None:
+            raise BufferError_(f"{self.label} exhausted ({self.capacity} buffers)")
+        return buffer
+
+    def release(self, buffer: Buffer) -> None:
+        """Return a buffer to the pool.
+
+        Rejects buffers that did not come from this pool or are already
+        free (double release), since both indicate accounting bugs in the
+        caller.
+        """
+        if id(buffer) not in self._outstanding:
+            raise BufferError_(
+                f"buffer {buffer.label} was not allocated from {self.label} "
+                "or was already released"
+            )
+        self._outstanding.remove(id(buffer))
+        buffer.data[:] = bytes(self.buffer_size)
+        self._free.append(buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool({self.label!r}, {self.available}/{self.capacity} free, "
+            f"buffer_size={self.buffer_size})"
+        )

@@ -1,0 +1,132 @@
+"""Acknowledgement generation.
+
+"A common control function is positive acknowledgement of data receipt...
+it is but one of many methods for dealing with network errors" (§3).
+Two flavours are provided, matching the two transports:
+
+* :class:`AckGenerator` — cumulative byte-stream ACKs with a delayed-ack
+  policy (the TCP-style transport);
+* :class:`SelectiveAckTracker` — per-ADU receipt tracking whose ACKs name
+  *application data units*, not byte numbers (the ALF transport).  Naming
+  ADUs is what lets the sending application choose its recovery method.
+"""
+
+from __future__ import annotations
+
+from repro.control.instructions import InstructionCounter
+from repro.errors import TransportError
+
+
+class AckGenerator:
+    """Cumulative acknowledgements over a byte stream.
+
+    Tracks the highest in-order byte received; out-of-order arrivals are
+    remembered so the cumulative point jumps when a gap fills.
+    """
+
+    def __init__(
+        self,
+        counter: InstructionCounter | None = None,
+        delayed_ack_every: int = 2,
+    ):
+        if delayed_ack_every <= 0:
+            raise TransportError("delayed_ack_every must be positive")
+        self.counter = counter or InstructionCounter()
+        self.delayed_ack_every = delayed_ack_every
+        self.cumulative = 0
+        self._out_of_order: dict[int, int] = {}  # start -> end
+        self._since_last_ack = 0
+
+    def on_segment(self, start: int, length: int) -> bool:
+        """Record an arriving segment [start, start+length).
+
+        Returns True when an ACK should be sent now: immediately for
+        out-of-order segments (fast-retransmit support), otherwise per
+        the delayed-ack policy.
+        """
+        if start < 0 or length < 0:
+            raise TransportError("segment start/length must be >= 0")
+        self.counter.record("sequence_check")
+        self.counter.record("ack_compute")
+        end = start + length
+
+        if start > self.cumulative:
+            # A gap: remember the island, ack immediately (duplicate ACK).
+            current = self._out_of_order.get(start, start)
+            self._out_of_order[start] = max(current, end)
+            self._since_last_ack = 0
+            return True
+
+        # In-order (or overlapping) data advances the cumulative point,
+        # then any contiguous islands are absorbed.
+        self.cumulative = max(self.cumulative, end)
+        absorbed = True
+        while absorbed:
+            absorbed = False
+            for island_start in sorted(self._out_of_order):
+                if island_start <= self.cumulative:
+                    self.cumulative = max(
+                        self.cumulative, self._out_of_order.pop(island_start)
+                    )
+                    absorbed = True
+                    break
+
+        self._since_last_ack += 1
+        if self._since_last_ack >= self.delayed_ack_every:
+            self._since_last_ack = 0
+            return True
+        return False
+
+    @property
+    def pending_islands(self) -> int:
+        """Out-of-order islands currently held."""
+        return len(self._out_of_order)
+
+
+class SelectiveAckTracker:
+    """Per-ADU receipt tracking: ACKs name ADUs, not bytes.
+
+    The receiver records complete ADUs by name; :meth:`ack_payload`
+    returns the set of names to acknowledge and the names known missing
+    (for sender-side recovery decisions).
+    """
+
+    def __init__(self, counter: InstructionCounter | None = None):
+        self.counter = counter or InstructionCounter()
+        self._received: set[int] = set()
+        self._highest = -1
+
+    def on_adu(self, adu_sequence: int) -> bool:
+        """Record a complete ADU; returns True if it was new."""
+        if adu_sequence < 0:
+            raise TransportError("adu_sequence must be >= 0")
+        self.counter.record("sequence_check")
+        self.counter.record("ack_compute")
+        if adu_sequence in self._received:
+            return False
+        self._received.add(adu_sequence)
+        self._highest = max(self._highest, adu_sequence)
+        return True
+
+    def received_names(self) -> set[int]:
+        """All ADU sequences received so far."""
+        return set(self._received)
+
+    def missing_below_highest(self) -> list[int]:
+        """ADU sequences with a received successor but not yet received.
+
+        These are the holes a sender (or its application) must decide
+        about: retransmit, recompute, or ignore.
+        """
+        return [
+            sequence
+            for sequence in range(self._highest + 1)
+            if sequence not in self._received
+        ]
+
+    def ack_payload(self) -> dict[str, list[int] | int]:
+        """The control information an ALF ACK carries."""
+        return {
+            "highest": self._highest,
+            "missing": self.missing_below_highest(),
+        }

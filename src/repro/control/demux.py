@@ -1,0 +1,56 @@
+"""Demultiplexing: locating the association state for a packet.
+
+"First, the packet must be properly demultiplexed or dispatched.  This
+requires that one or more fields in the packet be examined, and a local
+state structure retrieved" (§4).  The table charges a header parse plus a
+hash lookup per dispatch.
+
+Demultiplexing is also the canonical *ordering constraint*: it must
+precede almost every manipulation, because manipulations need the local
+state the lookup retrieves — which is why the ILP engine treats
+``DEMUXED`` as a fact most stages require.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.control.instructions import InstructionCounter
+from repro.errors import TransportError
+
+
+class DemuxTable:
+    """Flow-id → connection-state dispatch table with accounting."""
+
+    def __init__(self, counter: InstructionCounter | None = None):
+        self.counter = counter or InstructionCounter()
+        self._table: dict[int, Any] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def bind(self, flow_id: int, state: Any) -> None:
+        """Register state for a flow."""
+        if flow_id in self._table:
+            raise TransportError(f"flow {flow_id} already bound")
+        self._table[flow_id] = state
+
+    def unbind(self, flow_id: int) -> None:
+        """Remove a flow's state."""
+        self._table.pop(flow_id, None)
+
+    def lookup(self, flow_id: int) -> Any:
+        """Retrieve a flow's state, charging the control path for it."""
+        self.counter.record("header_parse")
+        self.counter.record("demux_lookup")
+        self.lookups += 1
+        state = self._table.get(flow_id)
+        if state is None:
+            self.misses += 1
+            raise TransportError(f"no state bound for flow {flow_id}")
+        return state
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)

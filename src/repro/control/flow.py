@@ -1,0 +1,171 @@
+"""Flow and congestion control.
+
+"To protect both the network and the receiver, the sender must be
+regulated to send no faster than the data can be accommodated.  The
+minimal in-band control function involves the pacing of the data at the
+transmitter and the monitoring of arrivals at the receiver.  The actual
+computation and negotiation of the transfer rate can be performed on an
+out-of-band basis" (§3).
+
+Accordingly this module separates the two: :class:`SlidingWindow` and
+:class:`AimdCongestionControl` are the in-band mechanisms (cheap,
+per-packet), while :class:`RatePacer` is the out-of-band rate computed in
+the background and merely *enforced* in-band.
+"""
+
+from __future__ import annotations
+
+from repro.control.instructions import InstructionCounter
+from repro.errors import TransportError
+
+
+class SlidingWindow:
+    """Byte-granularity sender window.
+
+    Tracks the classic three pointers: acknowledged, sent, and the
+    receiver-granted limit.
+    """
+
+    def __init__(self, window_bytes: int, counter: InstructionCounter | None = None):
+        if window_bytes <= 0:
+            raise TransportError("window_bytes must be positive")
+        self.counter = counter or InstructionCounter()
+        self.window_bytes = window_bytes
+        self.acked = 0
+        self.sent = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return self.sent - self.acked
+
+    def available(self) -> int:
+        """Bytes the window currently permits sending."""
+        return max(self.window_bytes - self.in_flight, 0)
+
+    def can_send(self, n_bytes: int) -> bool:
+        """Whether ``n_bytes`` fit in the window right now."""
+        return n_bytes <= self.available()
+
+    def on_send(self, n_bytes: int) -> None:
+        """Record a transmission."""
+        if n_bytes < 0:
+            raise TransportError("n_bytes must be >= 0")
+        if not self.can_send(n_bytes):
+            raise TransportError(
+                f"window overrun: {n_bytes} > available {self.available()}"
+            )
+        self.sent += n_bytes
+        self.counter.record("flow_window_update")
+
+    def on_ack(self, acked_through: int) -> None:
+        """Advance the acknowledged pointer (cumulative, idempotent)."""
+        self.counter.record("flow_window_update")
+        if acked_through > self.sent:
+            raise TransportError(
+                f"ack of {acked_through} beyond sent {self.sent}"
+            )
+        self.acked = max(self.acked, acked_through)
+
+    def on_retransmit(self, n_bytes: int) -> None:
+        """Retransmission does not change window occupancy; note the event."""
+        self.counter.record("flow_window_update")
+
+    def update_window(self, window_bytes: int) -> None:
+        """Receiver granted a new window size (out-of-band computation)."""
+        if window_bytes <= 0:
+            raise TransportError("window_bytes must be positive")
+        self.window_bytes = window_bytes
+
+
+class AimdCongestionControl:
+    """Additive-increase / multiplicative-decrease congestion window."""
+
+    def __init__(
+        self,
+        mss: int,
+        initial_cwnd: int | None = None,
+        counter: InstructionCounter | None = None,
+    ):
+        if mss <= 0:
+            raise TransportError("mss must be positive")
+        self.counter = counter or InstructionCounter()
+        self.mss = mss
+        self.cwnd = initial_cwnd if initial_cwnd is not None else mss
+        self.ssthresh = 64 * mss
+        self.losses = 0
+
+    def on_ack(self, acked_bytes: int) -> None:
+        """Grow the window: slow start below ssthresh, else linear."""
+        self.counter.record("congestion_update")
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, self.mss)
+        else:
+            self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
+
+    def on_loss(self) -> None:
+        """Halve on loss (multiplicative decrease)."""
+        self.counter.record("congestion_update")
+        self.losses += 1
+        self.ssthresh = max(self.cwnd // 2, self.mss)
+        self.cwnd = self.ssthresh
+
+    def window_bytes(self) -> int:
+        """The current congestion window."""
+        return self.cwnd
+
+
+class RatePacer:
+    """Token-bucket pacing: the out-of-band rate, enforced in-band.
+
+    The rate itself is set by :meth:`set_rate` from outside the data
+    path; the in-band check is two or three instructions of arithmetic.
+    """
+
+    def __init__(
+        self,
+        rate_bps: float,
+        burst_bytes: int,
+        counter: InstructionCounter | None = None,
+    ):
+        if rate_bps <= 0:
+            raise TransportError("rate_bps must be positive")
+        if burst_bytes <= 0:
+            raise TransportError("burst_bytes must be positive")
+        self.counter = counter or InstructionCounter()
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_time = 0.0
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Out-of-band rate adjustment."""
+        if rate_bps <= 0:
+            raise TransportError("rate_bps must be positive")
+        self.rate_bps = rate_bps
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_time:
+            raise TransportError("time went backwards in pacer")
+        self._tokens = min(
+            self._tokens + (now - self._last_time) * self.rate_bps / 8.0,
+            float(self.burst_bytes),
+        )
+        self._last_time = now
+
+    def try_send(self, now: float, n_bytes: int) -> bool:
+        """Consume tokens for ``n_bytes`` if available."""
+        self.counter.record("flow_window_update")
+        self._refill(now)
+        if n_bytes <= self._tokens:
+            self._tokens -= n_bytes
+            return True
+        return False
+
+    def delay_until_ready(self, now: float, n_bytes: int) -> float:
+        """Seconds until ``n_bytes`` worth of tokens will exist."""
+        self._refill(now)
+        deficit = n_bytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps

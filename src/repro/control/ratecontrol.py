@@ -1,0 +1,151 @@
+"""Out-of-band rate control (paper §3).
+
+"The minimal in-band control function involves the pacing of the data at
+the transmitter and the monitoring of arrivals at the receiver.  The
+actual computation and negotiation of the transfer rate can be performed
+on an out-of-band basis."
+
+This module implements exactly that split:
+
+* :class:`ReceiverRateController` runs *out of band* — on a timer, not
+  per packet — watching the receiving application's backlog and
+  computing a rate the sender should hold;
+* :class:`PacedAduSource` is the in-band half at the sender: it emits
+  ADUs at the currently granted rate (a division and a timer per ADU —
+  a few instructions, per the paper's budget).
+
+The rate law is multiplicative around a backlog setpoint: above the
+target backlog the grant shrinks, below it the grant grows toward the
+probe ceiling, giving a stable bounded queue at the bottleneck app.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.adu import Adu
+from repro.core.app import ApplicationProcess
+from repro.errors import TransportError
+from repro.sim.eventloop import EventLoop
+
+
+class ReceiverRateController:
+    """Out-of-band rate computation at the receiver.
+
+    Args:
+        loop: event loop.
+        app: the (bottleneck) application process being protected.
+        send_update: out-of-band channel to the sender (called with the
+            new rate in bits/second).
+        interval: how often the rate is recomputed.
+        target_backlog: desired queued work items at the app.
+        min_rate_bps / max_rate_bps: grant bounds.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: ApplicationProcess,
+        send_update: Callable[[float], None],
+        interval: float = 0.05,
+        target_backlog: int = 4,
+        min_rate_bps: float = 1e5,
+        max_rate_bps: float = 1e9,
+    ):
+        if interval <= 0:
+            raise TransportError("interval must be positive")
+        if target_backlog < 1:
+            raise TransportError("target_backlog must be >= 1")
+        self.loop = loop
+        self.app = app
+        self.send_update = send_update
+        self.interval = interval
+        self.target_backlog = target_backlog
+        self.min_rate_bps = min_rate_bps
+        self.max_rate_bps = max_rate_bps
+        self.current_rate_bps = app.processing_rate_bps
+        self.updates_sent = 0
+        self.max_backlog_seen = 0
+        self._running = True
+        loop.schedule(interval, self._tick)
+
+    def stop(self) -> None:
+        """Cease recomputation (the session ended)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        backlog = self.app.backlog
+        self.max_backlog_seen = max(self.max_backlog_seen, backlog)
+        if backlog > self.target_backlog:
+            # Overloaded: shrink multiplicatively, harder the deeper the
+            # queue.
+            factor = self.target_backlog / backlog
+            self.current_rate_bps = max(
+                self.current_rate_bps * max(factor, 0.5), self.min_rate_bps
+            )
+        else:
+            # Underloaded: probe upward gently.
+            self.current_rate_bps = min(
+                self.current_rate_bps * 1.1, self.max_rate_bps
+            )
+        self.updates_sent += 1
+        self.send_update(self.current_rate_bps)
+        self.loop.schedule(self.interval, self._tick)
+
+
+class PacedAduSource:
+    """In-band pacing at the sender: emit ADUs at the granted rate.
+
+    Args:
+        loop: event loop.
+        send_adu: the transport's send function.
+        adus: the queue of ADUs to emit, in order.
+        initial_rate_bps: rate before any grant arrives.
+        on_drained: called once every ADU has been emitted.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        send_adu: Callable[[Adu], None],
+        adus: list[Adu],
+        initial_rate_bps: float = 1e6,
+        on_drained: Callable[[], None] | None = None,
+    ):
+        if initial_rate_bps <= 0:
+            raise TransportError("initial_rate_bps must be positive")
+        self.loop = loop
+        self.send_adu = send_adu
+        self._queue = list(adus)
+        self.rate_bps = initial_rate_bps
+        self.on_drained = on_drained
+        self.emitted = 0
+        self._scheduled = False
+        self._emit_next()
+
+    def on_rate_update(self, rate_bps: float) -> None:
+        """Receive an out-of-band grant (takes effect next emission)."""
+        if rate_bps > 0:
+            self.rate_bps = rate_bps
+
+    @property
+    def pending(self) -> int:
+        """ADUs not yet emitted."""
+        return len(self._queue)
+
+    def _emit_next(self) -> None:
+        self._scheduled = False
+        if not self._queue:
+            if self.on_drained is not None:
+                self.on_drained()
+            return
+        adu = self._queue.pop(0)
+        self.send_adu(adu)
+        self.emitted += 1
+        # The in-band work: one division, one timer — "tens, not
+        # hundreds" of instructions.
+        delay = len(adu.payload) * 8 / self.rate_bps
+        self._scheduled = True
+        self.loop.schedule(delay, self._emit_next)

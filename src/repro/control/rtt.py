@@ -1,0 +1,70 @@
+"""Round-trip-time estimation (Jacobson's algorithm, RFC 6298 form).
+
+The paper's reference [3] is Clark/Jacobson/Romkey/Salwen's TCP analysis;
+Jacobson's SRTT/RTTVAR estimator is the canonical out-of-band control
+computation feeding the in-band retransmission timer.  Karn's rule is
+honoured by the caller: samples from retransmitted data are never fed in
+(:meth:`TcpStyleSender` tags segments and skips ambiguous ones).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+
+_ALPHA = 1.0 / 8.0   # SRTT gain
+_BETA = 1.0 / 4.0    # RTTVAR gain
+_K = 4.0             # RTO variance multiplier
+
+
+class RttEstimator:
+    """SRTT/RTTVAR/RTO state per RFC 6298.
+
+    Args:
+        initial_rto: timer value before the first sample.
+        min_rto: lower clamp (the RFC's 1 s is far too coarse for a
+            millisecond-scale simulation; default 10 ms).
+        max_rto: upper clamp.
+    """
+
+    def __init__(
+        self,
+        initial_rto: float = 0.2,
+        min_rto: float = 0.01,
+        max_rto: float = 60.0,
+    ):
+        if not 0 < min_rto <= max_rto:
+            raise TransportError("need 0 < min_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._rto = min(max(initial_rto, min_rto), max_rto)
+        self.samples = 0
+
+    @property
+    def rto(self) -> float:
+        """The current retransmission timeout."""
+        return self._rto
+
+    def sample(self, rtt: float) -> float:
+        """Fold one (non-retransmitted!) RTT measurement; returns RTO."""
+        if rtt < 0:
+            raise TransportError(f"negative RTT sample {rtt}")
+        self.samples += 1
+        if self.srtt is None or self.rttvar is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - _BETA) * self.rttvar + _BETA * abs(
+                self.srtt - rtt
+            )
+            self.srtt = (1 - _ALPHA) * self.srtt + _ALPHA * rtt
+        self._rto = min(
+            max(self.srtt + _K * self.rttvar, self.min_rto), self.max_rto
+        )
+        return self._rto
+
+    def back_off(self) -> float:
+        """Exponential backoff on timer expiry; returns the new RTO."""
+        self._rto = min(self._rto * 2.0, self.max_rto)
+        return self._rto

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: Application Level Framing.
+
+This package holds the ADU abstraction (:mod:`~repro.core.adu`), the
+application-process model whose bottleneck behaviour motivates the whole
+design (:mod:`~repro.core.app`), the ALF stack builder that composes
+control and manipulation into layered or integrated end systems
+(:mod:`~repro.core.stack`), and the two-stage receive architecture of §6
+(:mod:`~repro.core.receiver`).
+"""
+
+from repro.core.adu import Adu, AduFragment, fragment_adu, reassemble_fragments
+from repro.core.app import ApplicationProcess
+from repro.core.stack import ProtocolStack, StackConfig, SendResult, ReceiveResult
+from repro.core.receiver import TwoStageReceiver
+
+__all__ = [
+    "Adu",
+    "AduFragment",
+    "fragment_adu",
+    "reassemble_fragments",
+    "ApplicationProcess",
+    "ProtocolStack",
+    "StackConfig",
+    "SendResult",
+    "ReceiveResult",
+    "TwoStageReceiver",
+]

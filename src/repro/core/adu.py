@@ -1,0 +1,141 @@
+"""Application Data Units.
+
+The ADU is the paper's central abstraction: the aggregate the application
+chooses such that (1) the sender can compute a *name* for it that tells
+the receiver its place in the sequence, and (2) the transfer syntax lets
+it be processed out of order (§5, final characterization).  The ADU —
+not the packet, not the cell — is the unit of manipulation and of error
+recovery.
+
+ADUs larger than a transmission unit are fragmented; the fragments exist
+only for transmission, and loss of any fragment condemns the whole ADU
+("the application will, in general, be unable to deal with it... assume
+the whole ADU is lost, even if parts exist").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import FramingError
+from repro.stages.checksum import internet_checksum
+
+
+@dataclass(frozen=True)
+class Adu:
+    """One Application Data Unit.
+
+    Attributes:
+        sequence: position in the sender's ADU sequence (transport-level
+            ordering handle).
+        payload: the ADU's bytes in transfer syntax.
+        name: application-level naming fields — "a higher-level
+            name-space in which ADUs are named" (§5).  For file transfer
+            this carries sender/receiver offsets; for video, frame and
+            slot coordinates; for RPC, call and argument ids.
+    """
+
+    sequence: int
+    payload: bytes
+    name: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise FramingError("ADU sequence must be >= 0")
+
+    @property
+    def checksum(self) -> int:
+        """The ADU-level error-detection code (synchronized per ADU)."""
+        return internet_checksum(self.payload)
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class AduFragment:
+    """A transmission-unit-sized slice of an ADU.
+
+    Fragments carry enough context (sequence, index, total, ADU length
+    and checksum, and the ADU's full name) for the receiver to rebuild
+    and verify the ADU with no other state — each ADU "contain[s] enough
+    information to control its own delivery" (§7).
+    """
+
+    adu_sequence: int
+    index: int
+    total: int
+    adu_length: int
+    adu_checksum: int
+    name: dict[str, Any]
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.total:
+            raise FramingError(
+                f"fragment index {self.index} outside total {self.total}"
+            )
+
+
+def fragment_adu(adu: Adu, mtu: int) -> list[AduFragment]:
+    """Slice an ADU into fragments of at most ``mtu`` payload bytes."""
+    if mtu <= 0:
+        raise FramingError("mtu must be positive")
+    checksum = adu.checksum
+    if not adu.payload:
+        return [
+            AduFragment(adu.sequence, 0, 1, 0, checksum, dict(adu.name), b"")
+        ]
+    total = -(-len(adu.payload) // mtu)
+    return [
+        AduFragment(
+            adu_sequence=adu.sequence,
+            index=index,
+            total=total,
+            adu_length=len(adu.payload),
+            adu_checksum=checksum,
+            name=dict(adu.name),
+            payload=adu.payload[index * mtu : (index + 1) * mtu],
+        )
+        for index in range(total)
+    ]
+
+
+def reassemble_fragments(fragments: list[AduFragment]) -> Adu:
+    """Rebuild an ADU from all of its fragments (any order).
+
+    Raises :class:`FramingError` on missing/inconsistent fragments or a
+    checksum mismatch — the caller treats any of those as loss of the
+    whole ADU.
+    """
+    if not fragments:
+        raise FramingError("no fragments to reassemble")
+    first = fragments[0]
+    if len(fragments) != first.total:
+        raise FramingError(
+            f"ADU {first.adu_sequence}: have {len(fragments)} of "
+            f"{first.total} fragments"
+        )
+    by_index: dict[int, AduFragment] = {}
+    for fragment in fragments:
+        if (
+            fragment.adu_sequence != first.adu_sequence
+            or fragment.total != first.total
+            or fragment.adu_checksum != first.adu_checksum
+        ):
+            raise FramingError("inconsistent fragments for one ADU")
+        if fragment.index in by_index:
+            raise FramingError(f"duplicate fragment index {fragment.index}")
+        by_index[fragment.index] = fragment
+    payload = b"".join(by_index[i].payload for i in range(first.total))
+    if len(payload) != first.adu_length:
+        raise FramingError(
+            f"reassembled {len(payload)} bytes, expected {first.adu_length}"
+        )
+    adu = Adu(first.adu_sequence, payload, dict(first.name))
+    if adu.checksum != first.adu_checksum:
+        raise FramingError(
+            f"ADU {first.adu_sequence}: checksum mismatch after reassembly"
+        )
+    return adu

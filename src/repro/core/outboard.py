@@ -1,0 +1,116 @@
+"""The outboard-processor analysis (paper §6).
+
+"One proposal for speeding up protocols is to perform processing on a
+specialized outboard processor.  We assert that it will prove too complex
+to provide a specialized processor with all the information necessary for
+it to copy the data properly into the application address space...  in
+general it would require giving to the outboard processor information of
+the same bulk and complexity as the incoming data itself."
+
+This module makes that argument measurable.  For a stream of delivered
+ADUs with their scatter maps it computes the *steering information* an
+outboard processor would need (a descriptor per scatter entry), compares
+it with the data volume, and partitions a receive pipeline's modelled
+cycles into offloadable (transport-level) and host-bound
+(presentation/delivery) shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buffers.appspace import ScatterMap
+from repro.machine.costs import CHECKSUM_COST, COPY_COST
+from repro.machine.profile import MachineProfile
+from repro.presentation.costs import CodecCostProfile
+
+#: Bytes to describe one scatter entry to an outboard engine:
+#: source offset (4), region id (4), region offset (4), length (4).
+DESCRIPTOR_BYTES = 16
+
+
+def steering_bytes(scatter: ScatterMap) -> int:
+    """Wire/DMA descriptor bytes needed to execute one scatter map."""
+    return DESCRIPTOR_BYTES * len(scatter)
+
+
+@dataclass(frozen=True)
+class OutboardFeasibility:
+    """How an outboard design fares on one delivery workload.
+
+    Attributes:
+        data_bytes: payload delivered.
+        steering_bytes: descriptor bytes the outboard engine needs.
+        steering_ratio: steering / data — the paper's "same bulk"
+            metric; near zero for linear file transfer, climbing toward
+            (and past) 1 as elements shrink.
+    """
+
+    data_bytes: int
+    steering_bytes: int
+
+    @property
+    def steering_ratio(self) -> float:
+        """Steering bytes per data byte."""
+        if self.data_bytes == 0:
+            return float("inf") if self.steering_bytes else 0.0
+        return self.steering_bytes / self.data_bytes
+
+
+def feasibility(deliveries: list[tuple[int, ScatterMap]]) -> OutboardFeasibility:
+    """Aggregate the steering ratio over (payload bytes, scatter) pairs."""
+    data = sum(payload for payload, _ in deliveries)
+    steering = sum(steering_bytes(scatter) for _, scatter in deliveries)
+    return OutboardFeasibility(data_bytes=data, steering_bytes=steering)
+
+
+@dataclass(frozen=True)
+class OffloadPartition:
+    """A receive path's cycles split between outboard and host.
+
+    The outboard engine can host the transport-level manipulations (the
+    extraction copy and the checksum); presentation conversion and the
+    scatter into application variables stay on the host — "most
+    proposals for outboard processors do not include the presentation
+    layer in the tasks to be performed outboard."
+    """
+
+    offloaded_cycles: float
+    host_cycles: float
+
+    @property
+    def host_share(self) -> float:
+        """Fraction of work the outboard design does NOT remove."""
+        total = self.offloaded_cycles + self.host_cycles
+        if total == 0:
+            return 0.0
+        return self.host_cycles / total
+
+    @property
+    def speedup_bound(self) -> float:
+        """Amdahl bound of the outboard design (total / host)."""
+        if self.host_cycles == 0:
+            return float("inf")
+        return (self.offloaded_cycles + self.host_cycles) / self.host_cycles
+
+
+def partition_receive_path(
+    profile: MachineProfile,
+    codec_costs: CodecCostProfile,
+    payload_bytes: int,
+    raw_octets: bool = False,
+) -> OffloadPartition:
+    """Split a standard receive path between outboard and host.
+
+    Outboard: NIC copy + checksum.  Host: presentation decode + the move
+    into application space.  With a conversion-heavy codec the bound
+    collapses toward 1 — outboarding the cheap part buys almost nothing,
+    which is the paper's point.
+    """
+    offloaded = profile.cycles(COPY_COST, payload_bytes) + profile.cycles(
+        CHECKSUM_COST, payload_bytes
+    )
+    host = profile.cycles(
+        codec_costs.pass_cost("decode", raw_octets=raw_octets), payload_bytes
+    ) + profile.cycles(COPY_COST, payload_bytes)
+    return OffloadPartition(offloaded_cycles=offloaded, host_cycles=host)

@@ -1,0 +1,148 @@
+"""The two-stage receive architecture of §6.
+
+"First, the transmission data units are received from the network.  They
+are then examined to determine which ADU they belong to (the
+demultiplexing control operation) and where in the ADU they go (the
+re-ordering control operation)...  Once a complete ADU is received, even
+if it is out of order with respect to other ADUs in the same application
+association, it can be passed to the application for the second stage of
+processing."
+
+:class:`TwoStageReceiver` implements exactly that, independent of the
+network simulator: feed it fragments in any order (stage one: control
+only — cheap bookkeeping, no data pass), and each completed ADU runs the
+stage-two manipulation pipeline (checksum verification, optional
+decryption/decode, the move into application space) under a layered or
+integrated executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.control.instructions import InstructionCounter
+from repro.core.adu import Adu, AduFragment, reassemble_fragments
+from repro.errors import FramingError
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.ilp.report import ExecutionReport
+from repro.machine.profile import MachineProfile
+from repro.stages.base import Facts, Stage
+
+
+@dataclass
+class _Partial:
+    total: int
+    fragments: dict[int, AduFragment] = field(default_factory=dict)
+
+
+@dataclass
+class ProcessedAdu:
+    """Stage-two output for one ADU."""
+
+    adu: Adu
+    in_order: bool
+    report: ExecutionReport
+
+
+class TwoStageReceiver:
+    """Assembles fragments (stage 1), processes complete ADUs (stage 2).
+
+    Args:
+        machine: profile stage-two passes are priced on.
+        stage_two: factory producing the manipulation stages for one ADU
+            (fresh stages per ADU so their per-run state is clean).
+        integrated: run stage two as integrated loops.
+        speculative: permit optimistic in-loop fact use.
+        on_adu: callback per processed ADU.
+    """
+
+    def __init__(
+        self,
+        machine: MachineProfile,
+        stage_two: Callable[[Adu], list[Stage]],
+        integrated: bool = True,
+        speculative: bool = False,
+        counter: InstructionCounter | None = None,
+        on_adu: Callable[[ProcessedAdu], None] | None = None,
+    ):
+        self.machine = machine
+        self.stage_two = stage_two
+        self.counter = counter or InstructionCounter()
+        self.on_adu = on_adu
+        if integrated:
+            self._executor: LayeredExecutor | IntegratedExecutor = IntegratedExecutor(
+                machine, speculative=speculative
+            )
+        else:
+            self._executor = LayeredExecutor(machine)
+
+        self._partial: dict[int, _Partial] = {}
+        self._done: set[int] = set()
+        self._next_in_order = 0
+        self.processed: list[ProcessedAdu] = []
+        self.failed_adus: list[int] = []
+
+    def feed(self, fragment: AduFragment) -> ProcessedAdu | None:
+        """Stage one: file a fragment; runs stage two on completion.
+
+        Returns the processed ADU when this fragment completed one,
+        else None.
+        """
+        # Stage-one control: which ADU, and where in it (no data pass).
+        self.counter.record("sequence_check")
+        self.counter.record("reassembly_bookkeeping")
+        self.counter.note_packet()
+
+        if fragment.adu_sequence in self._done:
+            return None
+        partial = self._partial.setdefault(
+            fragment.adu_sequence, _Partial(total=fragment.total)
+        )
+        if fragment.index in partial.fragments:
+            return None
+        partial.fragments[fragment.index] = fragment
+        if len(partial.fragments) < partial.total:
+            return None
+
+        del self._partial[fragment.adu_sequence]
+        try:
+            adu = reassemble_fragments(list(partial.fragments.values()))
+        except FramingError:
+            self.failed_adus.append(fragment.adu_sequence)
+            return None
+        return self._process(adu)
+
+    def _process(self, adu: Adu) -> ProcessedAdu:
+        """Stage two: the integrated manipulation pass over one ADU."""
+        self._done.add(adu.sequence)
+        in_order = adu.sequence == self._next_in_order
+        while self._next_in_order in self._done:
+            self._next_in_order += 1
+
+        pipeline = Pipeline(
+            self.stage_two(adu),
+            name=f"adu-{adu.sequence}",
+            initial_facts={Facts.EXTRACTED, Facts.DEMUXED, Facts.ADU_COMPLETE},
+        )
+        _, report = self._executor.execute(pipeline, adu.payload)
+        processed = ProcessedAdu(adu=adu, in_order=in_order, report=report)
+        self.processed.append(processed)
+        if self.on_adu is not None:
+            self.on_adu(processed)
+        return processed
+
+    @property
+    def pending_adus(self) -> int:
+        """ADUs with some but not all fragments."""
+        return len(self._partial)
+
+    @property
+    def out_of_order_count(self) -> int:
+        """Processed ADUs that completed ahead of an earlier one."""
+        return sum(1 for processed in self.processed if not processed.in_order)
+
+    def total_stage_two_cycles(self) -> float:
+        """Cycles across all stage-two executions."""
+        return sum(processed.report.total_cycles for processed in self.processed)

@@ -1,0 +1,210 @@
+"""End-system protocol stacks: composed, priced, swappable engineering.
+
+A :class:`ProtocolStack` assembles the paper's full manipulation path —
+presentation conversion, encryption, retransmission buffering, checksum,
+the kernel/user copies, network I/O — into send and receive pipelines,
+then runs them under either the layered or the integrated executor.
+This is the object the stack-overhead experiment (E3), the ILP scaling
+figure (F3) and the examples all build on.
+
+The functional data path is real: values are really encoded, encrypted,
+checksummed and decoded.  The *cost* of the presentation step follows the
+configured :class:`CodecCostProfile`, so the same stack can be priced as
+a hand-tuned implementation or as an interpretive toolkit (ISODE-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PipelineError
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.ilp.report import ExecutionReport
+from repro.machine.profile import MachineProfile, MIPS_R2000
+from repro.presentation.abstract import ASType
+from repro.presentation.base import TransferCodec
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import CodecCostProfile, TUNED_BER
+from repro.stages.base import Facts, Stage
+from repro.stages.checksum import ChecksumComputeStage, ChecksumVerifyStage
+from repro.stages.copy import BufferForRetransmitStage, CopyStage
+from repro.stages.encrypt import DecryptStage, EncryptStage, XorStreamCipher
+from repro.stages.netio import NetworkExtractStage, NetworkInjectStage
+from repro.stages.presentation import (
+    PresentationDecodeStage,
+    PresentationEncodeStage,
+)
+
+
+@dataclass
+class StackConfig:
+    """What to build into a stack.
+
+    Attributes:
+        machine: profile the run is priced on.
+        integrated: use the ILP executor (else layered).
+        speculative: allow in-loop fact consumption (optimistic
+            delivery, integrated mode only).
+        codec: transfer codec; None sends raw bytes ("image mode").
+        schema: abstract syntax of the ADUs (required with a codec).
+        codec_costs: cost profile for the presentation step.
+        encrypt_key: enable XOR-stream encryption with this key.
+        retransmit_buffering: sender keeps a retransmission copy (turn
+            off for ALF app-recompute / no-retransmit policies).
+        checksum: checksum algorithm name.
+        hardware_nic: NIC does the serial/parallel move without CPU cost.
+    """
+
+    machine: MachineProfile = MIPS_R2000
+    integrated: bool = False
+    speculative: bool = False
+    codec: TransferCodec | None = field(default_factory=BerCodec)
+    schema: ASType | None = None
+    codec_costs: CodecCostProfile = TUNED_BER
+    encrypt_key: int | None = None
+    retransmit_buffering: bool = True
+    checksum: str = "internet"
+    hardware_nic: bool = True
+
+
+@dataclass
+class SendResult:
+    """Outcome of pushing one ADU down the stack."""
+
+    wire_bytes: bytes
+    checksum: int
+    report: ExecutionReport
+
+
+@dataclass
+class ReceiveResult:
+    """Outcome of pushing one ADU up the stack."""
+
+    value: Any
+    report: ExecutionReport
+
+
+class ProtocolStack:
+    """A complete end-system stack for one association."""
+
+    def __init__(self, config: StackConfig):
+        if config.codec is not None and config.schema is None:
+            raise PipelineError("a codec requires a schema")
+        self.config = config
+        if config.integrated:
+            self._executor: LayeredExecutor | IntegratedExecutor = IntegratedExecutor(
+                config.machine, speculative=config.speculative
+            )
+        else:
+            self._executor = LayeredExecutor(config.machine)
+        self.send_reports: list[ExecutionReport] = []
+        self.receive_reports: list[ExecutionReport] = []
+
+    # ------------------------------------------------------------------
+    # Send path
+
+    def _send_stages(self, value: Any) -> tuple[list[Stage], ChecksumComputeStage]:
+        config = self.config
+        stages: list[Stage] = []
+        if config.codec is not None:
+            assert config.schema is not None
+            encode = PresentationEncodeStage(
+                config.codec, config.schema, config.codec_costs
+            )
+            encode.set_value(value)
+            stages.append(encode)
+        else:
+            # Image mode still moves the data out of application space.
+            stages.append(CopyStage(name="app-to-kernel", category="application"))
+        if config.encrypt_key is not None:
+            stages.append(EncryptStage(XorStreamCipher(config.encrypt_key)))
+        if config.retransmit_buffering:
+            stages.append(BufferForRetransmitStage())
+        checksum = ChecksumComputeStage(config.checksum)
+        stages.append(checksum)
+        stages.append(CopyStage(name="kernel-to-nic", category="transport"))
+        stages.append(NetworkInjectStage(hardware_offload=config.hardware_nic))
+        return stages, checksum
+
+    def send(self, value: Any) -> SendResult:
+        """Run one ADU down the stack.
+
+        ``value`` is an abstract-syntax value when a codec is configured,
+        else raw bytes.
+        """
+        stages, checksum_stage = self._send_stages(value)
+        pipeline = Pipeline(stages, name="send-path")
+        seed = value if isinstance(value, bytes) and self.config.codec is None else b""
+        wire, report = self._executor.execute(pipeline, seed)
+        self.send_reports.append(report)
+        assert checksum_stage.last_checksum is not None
+        return SendResult(wire, checksum_stage.last_checksum, report)
+
+    # ------------------------------------------------------------------
+    # Receive path
+
+    def _receive_stages(self, expected_checksum: int) -> list[Stage]:
+        config = self.config
+        stages: list[Stage] = [
+            NetworkExtractStage(hardware_offload=config.hardware_nic)
+        ]
+        verify = ChecksumVerifyStage(config.checksum)
+        verify.expect(expected_checksum)
+        stages.append(verify)
+        if config.encrypt_key is not None:
+            stages.append(DecryptStage(XorStreamCipher(config.encrypt_key)))
+        stages.append(CopyStage(name="nic-to-user", category="transport"))
+        if config.codec is not None:
+            assert config.schema is not None
+            stages.append(
+                PresentationDecodeStage(
+                    config.codec, config.schema, config.codec_costs
+                )
+            )
+        else:
+            stages.append(CopyStage(name="kernel-to-app", category="application"))
+        return stages
+
+    def receive(self, wire_bytes: bytes, checksum: int) -> ReceiveResult:
+        """Run one ADU up the stack (a complete, demultiplexed ADU)."""
+        stages = self._receive_stages(checksum)
+        pipeline = Pipeline(
+            stages,
+            name="receive-path",
+            initial_facts={Facts.DEMUXED, Facts.TU_IN_ORDER, Facts.ADU_COMPLETE},
+        )
+        data, report = self._executor.execute(pipeline, wire_bytes)
+        self.receive_reports.append(report)
+        value: Any = data
+        for stage in stages:
+            if isinstance(stage, PresentationDecodeStage):
+                value = stage.last_value
+        return ReceiveResult(value, report)
+
+    # ------------------------------------------------------------------
+    # Round trip convenience
+
+    def transfer(self, value: Any) -> tuple[Any, ExecutionReport, ExecutionReport]:
+        """Send then receive one ADU; returns (value, send rpt, recv rpt)."""
+        sent = self.send(value)
+        received = self.receive(sent.wire_bytes, sent.checksum)
+        return received.value, sent.report, received.report
+
+    def total_cycles(self) -> float:
+        """All cycles across every send and receive so far."""
+        return sum(r.total_cycles for r in self.send_reports) + sum(
+            r.total_cycles for r in self.receive_reports
+        )
+
+    def presentation_share(self) -> float:
+        """Fraction of all cycles spent in presentation conversion."""
+        total = self.total_cycles()
+        if total == 0:
+            return 0.0
+        presentation = sum(
+            report.cycles_by_category().get("presentation", 0.0)
+            for report in (*self.send_reports, *self.receive_reports)
+        )
+        return presentation / total

@@ -1,0 +1,75 @@
+"""Pipelines: ordered stage compositions with control-fact checking.
+
+A pipeline is the *architecture*-level description of the manipulation
+steps an end system performs; the executors are alternative *engineering*
+of the same pipeline (layered vs integrated), which is exactly the
+architecture/engineering distinction the paper draws in §2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import PipelineError
+from repro.stages.base import Stage
+
+
+class Pipeline:
+    """An ordered sequence of data-manipulation stages.
+
+    Args:
+        stages: the stages, upstream first.
+        name: label used in reports.
+        initial_facts: control facts already established before the
+            pipeline runs (e.g. ``EXTRACTED`` and ``DEMUXED`` when the
+            pipeline models post-demux processing).
+    """
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        name: str = "pipeline",
+        initial_facts: Iterable[str] = (),
+    ):
+        self.stages: list[Stage] = list(stages)
+        if not self.stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        self.name = name
+        self.initial_facts = frozenset(initial_facts)
+        self.check_order()
+
+    def check_order(self) -> None:
+        """Verify every stage's required facts are established in order.
+
+        Facts accumulate as stages provide them; a stage whose
+        requirements are not met at its position makes the pipeline
+        ill-formed regardless of execution strategy.
+        """
+        established = set(self.initial_facts)
+        for stage in self.stages:
+            stage.validate_facts(frozenset(established))
+            established |= stage.provides
+
+    def reset(self) -> None:
+        """Reset the per-run state of every stage."""
+        for stage in self.stages:
+            stage.reset()
+
+    def apply(self, data: bytes) -> bytes:
+        """Run the pipeline functionally (no cost accounting)."""
+        for stage in self.stages:
+            data = stage.apply(data)
+        return data
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def stage_names(self) -> list[str]:
+        """The stage names, in order."""
+        return [stage.name for stage in self.stages]
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}, stages={self.stage_names()})"

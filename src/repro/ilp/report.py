@@ -1,0 +1,96 @@
+"""Execution reports: what a pipeline run cost.
+
+Reports are the common currency of the benchmark harness: every
+experiment reduces to one or more reports compared against the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.machine.profile import MachineProfile
+from repro.units import MEGA, bits_of_bytes
+
+
+@dataclass(frozen=True)
+class StageExecution:
+    """One stage's (or one fused group's) contribution to a run.
+
+    Attributes:
+        label: stage name, or ``"{a}+{b}+..."`` for a fused group.
+        category: ledger category of the (first) stage.
+        n_bytes: bytes the pass covered.
+        cycles: modelled cycles charged.
+        memory_pass: True when the pass touched memory (reads or writes
+            > 0) — the count the paper says ILP should minimize.
+    """
+
+    label: str
+    category: str
+    n_bytes: int
+    cycles: float
+    memory_pass: bool
+
+
+@dataclass
+class ExecutionReport:
+    """The priced outcome of running one pipeline over one payload."""
+
+    pipeline_name: str
+    mode: str
+    profile: MachineProfile
+    payload_bytes: int
+    executions: list[StageExecution] = field(default_factory=list)
+    speculative_facts: set[str] = field(default_factory=set)
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles charged during the run."""
+        return sum(execution.cycles for execution in self.executions)
+
+    @property
+    def memory_passes(self) -> int:
+        """Number of passes that touched memory."""
+        return sum(1 for execution in self.executions if execution.memory_pass)
+
+    def mbps(self) -> float:
+        """Effective throughput for the payload, in Mb/s."""
+        if self.total_cycles <= 0:
+            raise PipelineError("no cycles recorded; throughput undefined")
+        seconds = self.profile.seconds_for_cycles(self.total_cycles)
+        return bits_of_bytes(self.payload_bytes) / seconds / MEGA
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Cycles grouped by stage category."""
+        totals: dict[str, float] = {}
+        for execution in self.executions:
+            totals[execution.category] = (
+                totals.get(execution.category, 0.0) + execution.cycles
+            )
+        return totals
+
+    def share(self, category: str) -> float:
+        """Fraction of cycles in ``category`` (0 when nothing ran)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.cycles_by_category().get(category, 0.0) / total
+
+    def summary(self) -> str:
+        """Multi-line human-readable account of the run."""
+        lines = [
+            f"{self.pipeline_name} [{self.mode}] on {self.profile.name}: "
+            f"{self.payload_bytes} bytes, {self.total_cycles:.0f} cycles, "
+            f"{self.memory_passes} memory passes, {self.mbps():.1f} Mb/s"
+        ]
+        for execution in self.executions:
+            passes = "mem" if execution.memory_pass else "reg"
+            lines.append(
+                f"  {execution.label:<40} {execution.category:<14} "
+                f"{execution.cycles:>12.0f} cycles [{passes}]"
+            )
+        if self.speculative_facts:
+            lines.append(f"  (speculative facts: {sorted(self.speculative_facts)})")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Cycle ledger: accumulates the modelled cost of a run.
+
+Stages and executors record every data pass they make into a ledger;
+benchmarks then ask the ledger for totals, per-category breakdowns and
+effective throughput.  This is what lets the reproduction report, e.g.,
+"97% of the stack overhead is presentation conversion" — the ledger keeps
+each pass attributed to the stage and layer that performed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineModelError
+from repro.machine.costs import CostVector
+from repro.machine.profile import MachineProfile
+from repro.units import MEGA, bits_of_bytes
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded data pass.
+
+    Attributes:
+        label: what ran (usually the stage name).
+        category: grouping key for breakdowns (e.g. ``"presentation"``,
+            ``"transport"``, ``"control"``).
+        n_bytes: payload bytes the pass covered.
+        cycles: modelled cycles the pass cost.
+    """
+
+    label: str
+    category: str
+    n_bytes: int
+    cycles: float
+
+
+@dataclass
+class CycleLedger:
+    """Accumulator of modelled cycles for one machine profile."""
+
+    profile: MachineProfile
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def charge(
+        self,
+        label: str,
+        cost: CostVector,
+        n_bytes: int,
+        category: str = "manipulation",
+        invocations: int = 1,
+    ) -> float:
+        """Price a pass on this ledger's profile and record it.
+
+        Returns the cycles charged, so callers can aggregate locally too.
+        """
+        cycles = self.profile.cycles(cost, n_bytes, invocations=invocations)
+        self.entries.append(LedgerEntry(label, category, n_bytes, cycles))
+        return cycles
+
+    def charge_cycles(
+        self, label: str, cycles: float, n_bytes: int = 0, category: str = "control"
+    ) -> float:
+        """Record pre-computed cycles (used for control instruction counts)."""
+        if cycles < 0:
+            raise MachineModelError("cycles must be >= 0")
+        self.entries.append(LedgerEntry(label, category, n_bytes, cycles))
+        return cycles
+
+    def charge_instructions(
+        self, label: str, n_instructions: float, category: str = "control"
+    ) -> float:
+        """Record a straight-line control path of ``n_instructions``."""
+        cycles = self.profile.instruction_cycles(n_instructions)
+        self.entries.append(LedgerEntry(label, category, 0, cycles))
+        return cycles
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all recorded cycles."""
+        return sum(entry.cycles for entry in self.entries)
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Total cycles grouped by entry category."""
+        totals: dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.category] = totals.get(entry.category, 0.0) + entry.cycles
+        return totals
+
+    def cycles_by_label(self) -> dict[str, float]:
+        """Total cycles grouped by entry label."""
+        totals: dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.label] = totals.get(entry.label, 0.0) + entry.cycles
+        return totals
+
+    def share(self, category: str) -> float:
+        """Fraction of total cycles attributed to ``category`` (0..1)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.cycles_by_category().get(category, 0.0) / total
+
+    def throughput_mbps(self, payload_bytes: int) -> float:
+        """Effective end-to-end throughput for moving ``payload_bytes``.
+
+        This divides the payload by the *total* recorded cycles, which is
+        how the paper rates a whole stack: the serial composition of all
+        recorded passes.
+        """
+        total = self.total_cycles
+        if total <= 0:
+            raise MachineModelError("no cycles recorded; throughput undefined")
+        seconds = self.profile.seconds_for_cycles(total)
+        return bits_of_bytes(payload_bytes) / seconds / MEGA
+
+    def reset(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()
+
+    def merged(self, other: "CycleLedger") -> "CycleLedger":
+        """New ledger with this ledger's entries followed by ``other``'s."""
+        if other.profile is not self.profile:
+            raise MachineModelError(
+                "cannot merge ledgers for different machine profiles"
+            )
+        merged = CycleLedger(self.profile)
+        merged.entries = [*self.entries, *other.entries]
+        return merged

@@ -1,0 +1,199 @@
+"""Machine profiles, calibrated against the paper's Table 1.
+
+A profile prices the abstract operations of a :class:`CostVector` in
+cycles.  The two historical profiles are calibrated from the paper's own
+measurements; the derivation is reproduced here because it is itself a
+result: the paper's three R2000 numbers (copy 130 Mb/s, checksum 115 Mb/s,
+integrated copy+checksum 90 Mb/s) are *mutually consistent* under a linear
+read/write/ALU cost model, which is what makes the model predictive.
+
+MIPS R2000 at 16.67 MHz, 32-bit words; cycles/word for X Mb/s is
+``clock * 32 / (X * 1e6)``::
+
+    copy       = R + W      = 4.1034   (130 Mb/s)
+    checksum   = R + 2a     = 4.6387   (115 Mb/s)
+    integrated = R + W + 2a = 5.9271   ( 90 Mb/s)
+
+Three equations, three unknowns, and they are consistent
+(copy + checksum - integrated = R)::
+
+    R = 2.8150   W = 1.2884   a = 0.9118
+
+µVax III (CVAX at 11.11 MHz; copy 42 Mb/s, checksum 60 Mb/s — note the
+checksum is *faster* than the copy because a CVAX store is expensive)::
+
+    copy     = R + W  = 8.4648
+    checksum = R + 2a = 5.9253
+
+Two equations, three unknowns; we document the assumption a = 1.0 cycle
+(a simple CVAX register op), giving R = 3.9253, W = 4.5395.
+
+The SUPERSCALAR profile is the paper's §4 extrapolation ("super-scaler
+processors that perform a number of operations during each memory cycle"):
+memory costs like the R2000's, ALU work nearly free — which is exactly the
+regime where Integrated Layer Processing pays off most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.machine.costs import CostVector
+from repro.units import MEGA, WORD_BITS, bytes_to_words
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Cycle costs of abstract operations on one machine.
+
+    Attributes:
+        name: short identifier used in reports.
+        clock_hz: CPU clock rate.
+        read_cycles: cycles for a 32-bit memory load (amortized; cache
+            effects for sequential data are folded in, as in the paper's
+            unrolled-loop measurements).
+        write_cycles: cycles for a 32-bit store.
+        alu_cycles: cycles for a register-to-register operation.
+        call_cycles: cycles for a procedure call + return.
+        cycles_per_instruction: average CPI for straight-line control
+            code, used to price transfer-control instruction counts.
+    """
+
+    name: str
+    clock_hz: float
+    read_cycles: float
+    write_cycles: float
+    alu_cycles: float
+    call_cycles: float
+    cycles_per_instruction: float
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise MachineModelError("clock_hz must be positive")
+        for field in (
+            "read_cycles",
+            "write_cycles",
+            "alu_cycles",
+            "call_cycles",
+            "cycles_per_instruction",
+        ):
+            if getattr(self, field) < 0:
+                raise MachineModelError(f"{field} must be >= 0")
+
+    def cycles_per_word(self, cost: CostVector) -> float:
+        """Cycles one word of a pass with this cost vector takes."""
+        return (
+            cost.reads_per_word * self.read_cycles
+            + cost.writes_per_word * self.write_cycles
+            + cost.alu_per_word * self.alu_cycles
+            + cost.calls_per_word * self.call_cycles
+        )
+
+    def cycles(self, cost: CostVector, n_bytes: int, invocations: int = 1) -> float:
+        """Total cycles to run a pass over ``n_bytes`` of data.
+
+        ``invocations`` is the number of times the pass was entered (e.g.
+        once per packet); each entry pays the vector's fixed setup work.
+        """
+        if n_bytes < 0:
+            raise MachineModelError("n_bytes must be >= 0")
+        if invocations < 0:
+            raise MachineModelError("invocations must be >= 0")
+        words = bytes_to_words(n_bytes)
+        return (
+            words * self.cycles_per_word(cost)
+            + invocations * cost.per_call_ops * self.alu_cycles
+        )
+
+    def mbps_for_cost(self, cost: CostVector) -> float:
+        """Steady-state throughput of a pass, in Mb/s (per-call work ignored)."""
+        per_word = self.cycles_per_word(cost)
+        if per_word <= 0:
+            raise MachineModelError(
+                f"cost vector {cost} is free on {self.name}; throughput undefined"
+            )
+        return self.clock_hz * WORD_BITS / per_word / MEGA
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Wall time of a cycle count at this machine's clock."""
+        return cycles / self.clock_hz
+
+    def instruction_cycles(self, n_instructions: float) -> float:
+        """Cycles for a straight-line control path of ``n_instructions``."""
+        if n_instructions < 0:
+            raise MachineModelError("n_instructions must be >= 0")
+        return n_instructions * self.cycles_per_instruction
+
+
+def _r2000() -> MachineProfile:
+    clock = 16.67e6
+    copy = clock * WORD_BITS / (130.0 * MEGA)        # 4.1034 cycles/word
+    checksum = clock * WORD_BITS / (115.0 * MEGA)    # 4.6387
+    integrated = clock * WORD_BITS / (90.0 * MEGA)   # 5.9271
+    read = copy + checksum - integrated              # 2.8150
+    write = copy - read                              # 1.2884
+    alu = (checksum - read) / 2.0                    # 0.9118
+    return MachineProfile(
+        name="MIPS R2000",
+        clock_hz=clock,
+        read_cycles=read,
+        write_cycles=write,
+        alu_cycles=alu,
+        call_cycles=10.0,
+        cycles_per_instruction=1.2,
+    )
+
+
+def _microvax_iii() -> MachineProfile:
+    clock = 11.11e6
+    copy = clock * WORD_BITS / (42.0 * MEGA)         # 8.4648 cycles/word
+    checksum = clock * WORD_BITS / (60.0 * MEGA)     # 5.9253
+    alu = 1.0                                        # documented assumption
+    read = checksum - 2.0 * alu                      # 3.9253
+    write = copy - read                              # 4.5395
+    return MachineProfile(
+        name="uVax III",
+        clock_hz=clock,
+        read_cycles=read,
+        write_cycles=write,
+        alu_cycles=alu,
+        call_cycles=20.0,
+        cycles_per_instruction=5.0,
+    )
+
+
+def _superscalar() -> MachineProfile:
+    return MachineProfile(
+        name="Superscalar (extrapolated)",
+        clock_hz=50.0e6,
+        read_cycles=2.8,
+        write_cycles=1.3,
+        alu_cycles=0.25,
+        call_cycles=8.0,
+        cycles_per_instruction=0.6,
+    )
+
+
+MIPS_R2000 = _r2000()
+MICROVAX_III = _microvax_iii()
+SUPERSCALAR = _superscalar()
+
+PROFILES: dict[str, MachineProfile] = {
+    "r2000": MIPS_R2000,
+    "uvax3": MICROVAX_III,
+    "superscalar": SUPERSCALAR,
+}
+
+
+def profile_by_name(name: str) -> MachineProfile:
+    """Look up a built-in profile by its short key.
+
+    Accepts the keys of :data:`PROFILES` (``r2000``, ``uvax3``,
+    ``superscalar``) case-insensitively.
+    """
+    key = name.lower()
+    if key not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        raise MachineModelError(f"unknown machine profile {name!r}; known: {known}")
+    return PROFILES[key]

@@ -1,0 +1,173 @@
+"""ATM cell layer: segmentation and reassembly with loss detection.
+
+Broadband ISDN's Asynchronous Transfer Mode "segments data into small
+units called cells, with a data payload of 48 bytes.  This is probably
+too small a unit of data to permit manipulation operations to be
+synchronized on each cell" (§5) — which is the paper's argument that the
+*ADU*, not the transmission unit, must be the unit of synchronization.
+
+Following the paper's footnote 9: the draft CCITT recommendations
+proscribe cell reordering but provide for cell *loss detection* in the
+Adaptation Layer, and the net payload after adaptation is 44–46 bytes.
+We model a 4-byte adaptation header over the 48-byte cell payload,
+leaving 44 data bytes per cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+
+#: Raw ATM cell payload (after the 5-byte cell header, which we do not model
+#: separately; cell-header bandwidth is folded into CELL_TOTAL_BYTES).
+CELL_RAW_PAYLOAD_BYTES = 48
+#: Adaptation-layer header modelled inside the cell payload.
+ADAPTATION_HEADER_BYTES = 4
+#: Net data bytes per cell after adaptation (the paper's 44–46 range).
+CELL_PAYLOAD_BYTES = CELL_RAW_PAYLOAD_BYTES - ADAPTATION_HEADER_BYTES
+#: Wire size of one cell including the 5-byte ATM header.
+CELL_TOTAL_BYTES = 53
+
+_sdu_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AtmCell:
+    """One ATM cell carrying a slice of a service data unit (SDU).
+
+    Attributes:
+        vci: virtual channel identifier (the multiplexing key).
+        sdu_id: identifies which SDU this cell belongs to.
+        index: this cell's position within the SDU's segmentation.
+        total: number of cells in the SDU's segmentation.
+        payload: up to :data:`CELL_PAYLOAD_BYTES` data bytes.
+    """
+
+    vci: int
+    sdu_id: int
+    index: int
+    total: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > CELL_PAYLOAD_BYTES:
+            raise NetworkError(
+                f"cell payload {len(self.payload)} exceeds {CELL_PAYLOAD_BYTES}"
+            )
+        if not 0 <= self.index < self.total:
+            raise NetworkError(f"cell index {self.index} outside total {self.total}")
+
+
+def segment(payload: bytes, vci: int, sdu_id: int | None = None) -> list[AtmCell]:
+    """Split an SDU into cells (the adaptation layer's sender half)."""
+    if sdu_id is None:
+        sdu_id = next(_sdu_ids)
+    if not payload:
+        return [AtmCell(vci, sdu_id, 0, 1, b"")]
+    total = -(-len(payload) // CELL_PAYLOAD_BYTES)
+    return [
+        AtmCell(
+            vci,
+            sdu_id,
+            index,
+            total,
+            payload[index * CELL_PAYLOAD_BYTES : (index + 1) * CELL_PAYLOAD_BYTES],
+        )
+        for index in range(total)
+    ]
+
+
+def cells_for(length: int) -> int:
+    """Number of cells a payload of ``length`` bytes occupies."""
+    if length <= 0:
+        return 1
+    return -(-length // CELL_PAYLOAD_BYTES)
+
+
+@dataclass
+class _PartialSdu:
+    total: int
+    pieces: dict[int, bytes] = field(default_factory=dict)
+    loss_detected: bool = False
+
+
+class AtmAdaptationLayer:
+    """Reassembly with cell-loss detection (the receiver half).
+
+    Cells arrive in order (CCITT proscribes reordering) but may be
+    missing.  A gap in the index sequence, or a new SDU starting before
+    the previous one completed, marks the affected SDU as lost — which is
+    exactly the loss-detection provision the paper's footnote 9 cites.
+
+    Args:
+        on_sdu: called with (vci, sdu_id, payload) for each complete SDU.
+        on_loss: called with (vci, sdu_id, received, total) when an SDU is
+            abandoned due to cell loss.
+    """
+
+    def __init__(
+        self,
+        on_sdu: Callable[[int, int, bytes], None],
+        on_loss: Callable[[int, int, int, int], None] | None = None,
+    ):
+        self._on_sdu = on_sdu
+        self._on_loss = on_loss
+        self._partial: dict[tuple[int, int], _PartialSdu] = {}
+        self._last_seen: dict[int, tuple[int, int]] = {}
+        self.sdus_delivered = 0
+        self.sdus_lost = 0
+        self.cells_received = 0
+
+    def receive(self, cell: AtmCell) -> None:
+        """Accept one cell; fires the callbacks as SDUs complete or fail."""
+        self.cells_received += 1
+        key = (cell.vci, cell.sdu_id)
+
+        # A new SDU on this VC abandons any unfinished predecessor:
+        # in-order delivery means the missing cells can never arrive.
+        last = self._last_seen.get(cell.vci)
+        if last is not None and last != key and last in self._partial:
+            self._abandon(cell.vci, last)
+        self._last_seen[cell.vci] = key
+
+        partial = self._partial.get(key)
+        if partial is None:
+            partial = _PartialSdu(total=cell.total)
+            self._partial[key] = partial
+        if cell.total != partial.total:
+            raise NetworkError(
+                f"inconsistent segmentation for SDU {cell.sdu_id}: "
+                f"{cell.total} != {partial.total}"
+            )
+
+        # In-order arrival: a skipped index is a detected loss.  We keep
+        # collecting (to drain the SDU's remaining cells) but the SDU is
+        # already condemned.
+        expected_next = max(partial.pieces, default=-1) + 1
+        if cell.index > expected_next:
+            partial.loss_detected = True
+        partial.pieces[cell.index] = cell.payload
+
+        if len(partial.pieces) == partial.total and not partial.loss_detected:
+            payload = b"".join(partial.pieces[i] for i in range(partial.total))
+            del self._partial[key]
+            self.sdus_delivered += 1
+            self._on_sdu(cell.vci, cell.sdu_id, payload)
+        elif cell.index == partial.total - 1 and partial.loss_detected:
+            self._abandon(cell.vci, key)
+
+    def flush(self) -> None:
+        """Abandon every unfinished SDU (end of stream)."""
+        for vci, sdu_id in list(self._partial):
+            self._abandon(vci, (vci, sdu_id))
+
+    def _abandon(self, vci: int, key: tuple[int, int]) -> None:
+        partial = self._partial.pop(key, None)
+        if partial is None:
+            return
+        self.sdus_lost += 1
+        if self._on_loss is not None:
+            self._on_loss(vci, key[1], len(partial.pieces), partial.total)

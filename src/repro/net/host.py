@@ -1,0 +1,84 @@
+"""Hosts: endpoints with protocol demultiplexing.
+
+A host owns an outgoing link per destination and dispatches arriving
+packets to bound protocol handlers.  The dispatch is the first transfer-
+control operation of the paper's receive path: "the packet must be
+properly demultiplexed or dispatched" — its instruction cost is accounted
+by :mod:`repro.control.demux` when a transport binds one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+
+Handler = Callable[[Packet], None]
+
+
+class Host:
+    """A network endpoint.
+
+    Args:
+        loop: simulation event loop.
+        name: the host's address (packets are routed by this).
+    """
+
+    def __init__(self, loop: EventLoop, name: str, tracer: Tracer | None = None):
+        self.loop = loop
+        self.name = name
+        self.tracer = tracer or Tracer(enabled=False)
+        self._links: dict[str, Link] = {}
+        self._handlers: dict[tuple[str, int], Handler] = {}
+        self._default_handlers: dict[str, Handler] = {}
+        self.received = 0
+        self.undeliverable = 0
+
+    def add_link(self, destination: str, link: Link) -> None:
+        """Use ``link`` for packets addressed to ``destination``."""
+        if destination in self._links:
+            raise NetworkError(f"{self.name}: link to {destination!r} already set")
+        self._links[destination] = link
+
+    def bind(self, protocol: str, flow_id: int, handler: Handler) -> None:
+        """Dispatch packets for (protocol, flow) to ``handler``."""
+        key = (protocol, flow_id)
+        if key in self._handlers:
+            raise NetworkError(f"{self.name}: {key} already bound")
+        self._handlers[key] = handler
+
+    def bind_protocol(self, protocol: str, handler: Handler) -> None:
+        """Fallback handler for a protocol (any flow), e.g. listeners."""
+        if protocol in self._default_handlers:
+            raise NetworkError(f"{self.name}: protocol {protocol!r} already bound")
+        self._default_handlers[protocol] = handler
+
+    def unbind(self, protocol: str, flow_id: int) -> None:
+        """Remove a (protocol, flow) binding."""
+        self._handlers.pop((protocol, flow_id), None)
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a packet toward its destination."""
+        link = self._links.get(packet.dst)
+        if link is None:
+            raise NetworkError(f"{self.name}: no link toward {packet.dst!r}")
+        packet.src = self.name
+        link.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver an arriving packet to its bound handler."""
+        self.received += 1
+        handler = self._handlers.get((packet.protocol, packet.flow_id))
+        if handler is None:
+            handler = self._default_handlers.get(packet.protocol)
+        if handler is None:
+            self.undeliverable += 1
+            self.tracer.emit(self.loop.now, "host", "undeliverable",
+                             host=self.name, protocol=packet.protocol,
+                             flow_id=packet.flow_id)
+            return
+        handler(packet)

@@ -1,0 +1,167 @@
+"""Point-to-point links with the classic packet-network failure modes.
+
+"Networks, especially packet switched networks, have specific failure
+modes.  Data may be lost due to congestion overflow, and it may be
+reordered or duplicated as a part of processing" (§3).  A :class:`Link`
+models all three, plus bandwidth serialization and propagation delay.
+
+A link is unidirectional; build two for a full-duplex path (the topology
+helpers do).  Delivery is a callback, so links compose with hosts,
+switches and the ATM layer alike.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class LinkStats:
+    """Counters a link maintains."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+class Link:
+    """A unidirectional link with bandwidth, delay and failure processes.
+
+    Args:
+        loop: the event loop driving the simulation.
+        rng: random stream for the failure processes.
+        bandwidth_bps: serialization rate in bits per second.
+        propagation_delay: seconds of flight time.
+        loss_rate: per-packet independent loss probability.
+        reorder_rate: probability a packet is held back long enough to
+            arrive after its successors (extra jitter delay).
+        duplicate_rate: probability a packet is delivered twice.
+        corrupt_rate: probability one payload byte is bit-flipped in
+            flight — delivered, not dropped, so end-to-end error
+            detection (not the network) must catch it.
+        reorder_extra_delay: how long a reordered packet is held, as a
+            multiple of the propagation delay.
+        mtu: maximum payload a packet may carry on this link.
+        name: label for traces.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        bandwidth_bps: float = 10e6,
+        propagation_delay: float = 0.01,
+        loss_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        reorder_extra_delay: float = 2.0,
+        mtu: int | None = None,
+        name: str = "link",
+        tracer: Tracer | None = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth_bps must be positive")
+        if propagation_delay < 0:
+            raise NetworkError("propagation_delay must be >= 0")
+        for rate_name, rate in (
+            ("loss_rate", loss_rate),
+            ("reorder_rate", reorder_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise NetworkError(f"{rate_name} must be in [0, 1], got {rate}")
+        self.loop = loop
+        self.rng = rng
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.loss_rate = loss_rate
+        self.reorder_rate = reorder_rate
+        self.duplicate_rate = duplicate_rate
+        self.corrupt_rate = corrupt_rate
+        self.reorder_extra_delay = reorder_extra_delay
+        self.mtu = mtu
+        self.name = name
+        self.tracer = tracer or Tracer(enabled=False)
+        self.stats = LinkStats()
+        self._receiver: Callable[[Packet], None] | None = None
+        self._busy_until = 0.0
+
+    def connect(self, receiver: Callable[[Packet], None]) -> None:
+        """Attach the delivery callback (a host, switch or AAL)."""
+        self._receiver = receiver
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a packet, applying serialization, delay and failures."""
+        if self._receiver is None:
+            raise NetworkError(f"{self.name}: no receiver connected")
+        if self.mtu is not None and len(packet.payload) > self.mtu:
+            raise NetworkError(
+                f"{self.name}: payload {len(packet.payload)} exceeds MTU {self.mtu}"
+            )
+        self.stats.sent += 1
+        self.stats.bytes_sent += packet.wire_size
+
+        # Serialization: the link is busy until the last bit is out.
+        serialization = packet.wire_size * 8 / self.bandwidth_bps
+        start = max(self.loop.now, self._busy_until)
+        self._busy_until = start + serialization
+        arrival_delay = (start - self.loop.now) + serialization + self.propagation_delay
+
+        if self.rng.random() < self.loss_rate:
+            self.stats.lost += 1
+            self.tracer.emit(self.loop.now, "link", "lost", link=self.name,
+                             packet_id=packet.packet_id)
+            return
+
+        # The corruption draw happens only when the process is enabled,
+        # so enabling other failure modes never perturbs the seeded
+        # sequences of existing experiments.
+        if (
+            self.corrupt_rate > 0.0
+            and packet.payload
+            and self.rng.random() < self.corrupt_rate
+        ):
+            self.stats.corrupted += 1
+            mutated = bytearray(packet.payload)
+            position = self.rng.randrange(len(mutated))
+            mutated[position] ^= 1 << self.rng.randrange(8)
+            packet.payload = bytes(mutated)
+            self.tracer.emit(self.loop.now, "link", "corrupted",
+                             link=self.name, packet_id=packet.packet_id)
+
+        if self.rng.random() < self.reorder_rate:
+            self.stats.reordered += 1
+            arrival_delay += self.propagation_delay * self.reorder_extra_delay
+            self.tracer.emit(self.loop.now, "link", "reordered", link=self.name,
+                             packet_id=packet.packet_id)
+
+        self.loop.schedule(arrival_delay, self._deliver, packet)
+
+        if self.rng.random() < self.duplicate_rate:
+            self.stats.duplicated += 1
+            duplicate = packet.copy()
+            self.tracer.emit(self.loop.now, "link", "duplicated", link=self.name,
+                             packet_id=packet.packet_id)
+            self.loop.schedule(
+                arrival_delay + self.propagation_delay, self._deliver, duplicate
+            )
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.wire_size
+        assert self._receiver is not None  # checked in send()
+        self._receiver(packet)

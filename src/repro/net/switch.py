@@ -1,0 +1,109 @@
+"""A store-and-forward switch with finite drop-tail queues.
+
+Provides the congestion-loss failure mode: when an output queue is full,
+arriving packets are dropped ("data may be lost due to congestion
+overflow", §3).  The switch is also the place where the paper's layered-
+isolation argument shows up concretely: it forwards on addresses alone,
+never inspecting transport or presentation content — intermediate
+entities "operate at one or more layers without regard to the semantic
+content of the symbols being exchanged at the upper layers" (§8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class _Port:
+    link: Link
+    queue: deque[Packet] = field(default_factory=deque)
+    transmitting: bool = False
+
+
+class StoreAndForwardSwitch:
+    """A switch forwarding packets by destination host name.
+
+    Args:
+        loop: simulation event loop.
+        name: label for traces.
+        queue_capacity: packets each output queue holds before dropping.
+        forwarding_delay: per-packet processing latency (header lookup).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str = "switch",
+        queue_capacity: int = 64,
+        forwarding_delay: float = 10e-6,
+        tracer: Tracer | None = None,
+    ):
+        if queue_capacity <= 0:
+            raise NetworkError("queue_capacity must be positive")
+        self.loop = loop
+        self.name = name
+        self.queue_capacity = queue_capacity
+        self.forwarding_delay = forwarding_delay
+        self.tracer = tracer or Tracer(enabled=False)
+        self._ports: dict[str, _Port] = {}
+        self._routes: dict[str, str] = {}
+        self.drops = 0
+        self.forwarded = 0
+
+    def attach(self, port_name: str, link: Link) -> None:
+        """Attach an output link as ``port_name``."""
+        if port_name in self._ports:
+            raise NetworkError(f"{self.name}: port {port_name!r} already attached")
+        self._ports[port_name] = _Port(link)
+
+    def add_route(self, destination: str, port_name: str) -> None:
+        """Forward packets for ``destination`` out of ``port_name``."""
+        if port_name not in self._ports:
+            raise NetworkError(f"{self.name}: no port {port_name!r}")
+        self._routes[destination] = port_name
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving packet: look up the route and enqueue."""
+        port_name = self._routes.get(packet.dst)
+        if port_name is None:
+            self.drops += 1
+            self.tracer.emit(self.loop.now, "switch", "no-route",
+                             switch=self.name, dst=packet.dst)
+            return
+        port = self._ports[port_name]
+        if len(port.queue) >= self.queue_capacity:
+            self.drops += 1
+            self.tracer.emit(self.loop.now, "switch", "queue-drop",
+                             switch=self.name, port=port_name,
+                             packet_id=packet.packet_id)
+            return
+        port.queue.append(packet)
+        if not port.transmitting:
+            port.transmitting = True
+            self.loop.schedule(self.forwarding_delay, self._transmit, port_name)
+
+    def _transmit(self, port_name: str) -> None:
+        port = self._ports[port_name]
+        if not port.queue:
+            port.transmitting = False
+            return
+        packet = port.queue.popleft()
+        port.link.send(packet)
+        self.forwarded += 1
+        # Pace the queue drain at the link's serialization rate.
+        serialization = packet.wire_size * 8 / port.link.bandwidth_bps
+        self.loop.schedule(serialization, self._transmit, port_name)
+
+    def queue_depth(self, port_name: str) -> int:
+        """Packets currently queued for ``port_name``."""
+        if port_name not in self._ports:
+            raise NetworkError(f"{self.name}: no port {port_name!r}")
+        return len(self._ports[port_name].queue)

@@ -1,0 +1,65 @@
+"""Common interface for transfer-syntax codecs.
+
+A codec converts between abstract-syntax values and one concrete transfer
+syntax.  All codecs are *real* — they produce and parse actual bytes —
+and additionally report the element layout of what they produced, which
+feeds the name-space machinery.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import DecodeError
+from repro.presentation.abstract import ASType, validate
+from repro.presentation.namespace import ElementExtent, SyntaxMap
+
+
+class TransferCodec(ABC):
+    """Encoder/decoder for one transfer syntax."""
+
+    #: Short name used in traces, negotiation and syntax maps.
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode_with_layout(
+        self, value: Any, astype: ASType
+    ) -> tuple[bytes, list[ElementExtent]]:
+        """Encode ``value`` and report each leaf element's byte extent.
+
+        Extents are in encoding order and cover leaf elements only
+        (container headers are attributed to no leaf).
+        """
+
+    @abstractmethod
+    def decode(self, data: bytes, astype: ASType) -> Any:
+        """Decode a complete encoding of ``astype``.
+
+        Raises :class:`DecodeError` on malformed input or trailing bytes.
+        """
+
+    def encode(self, value: Any, astype: ASType) -> bytes:
+        """Encode ``value`` according to ``astype`` (validates first)."""
+        validate(value, astype)
+        data, _ = self.encode_with_layout(value, astype)
+        return data
+
+    def syntax_map(self, value: Any, astype: ASType) -> SyntaxMap:
+        """Encode and return the layout as a :class:`SyntaxMap`."""
+        validate(value, astype)
+        data, extents = self.encode_with_layout(value, astype)
+        return SyntaxMap(self.name, len(data), extents)
+
+    def roundtrip(self, value: Any, astype: ASType) -> Any:
+        """Encode then decode (used heavily by property tests)."""
+        return self.decode(self.encode(value, astype), astype)
+
+
+def need(data: bytes, offset: int, count: int, what: str) -> None:
+    """Raise :class:`DecodeError` unless ``count`` bytes remain."""
+    if offset + count > len(data):
+        raise DecodeError(
+            f"truncated {what}: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )

@@ -1,0 +1,308 @@
+"""ASN.1 Basic Encoding Rules (the subset the schema language needs).
+
+This is a real BER implementation: definite-length TLVs, minimal-length
+two's-complement integers, long-form lengths, constructed SEQUENCEs for
+structs and arrays.  It corresponds to the paper's "array of integers
+into ASN.1" experiment — the conversion whose tuned form ran 4–5× slower
+than a copy, and whose toolkit (ISODE) form dominated an entire stack.
+
+Tag assignments (universal class):
+
+====================  =====
+Boolean               0x01
+Integer               0x02
+OctetString           0x04
+Utf8String            0x0C
+Sequence (constructed) 0x30
+====================  =====
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import DecodeError, PresentationError
+from repro.presentation.abstract import (
+    ASType,
+    ArrayOf,
+    Boolean,
+    Float64,
+    Int32,
+    Int64,
+    OctetString,
+    Path,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.base import TransferCodec, need
+from repro.presentation.namespace import ElementExtent
+
+TAG_BOOLEAN = 0x01
+TAG_INTEGER = 0x02
+TAG_OCTET_STRING = 0x04
+TAG_REAL = 0x09
+TAG_UTF8_STRING = 0x0C
+TAG_SEQUENCE = 0x30
+
+
+def encode_length(length: int) -> bytes:
+    """Definite-length encoding: short form below 128, long form above."""
+    if length < 0:
+        raise PresentationError(f"negative length {length}")
+    if length < 0x80:
+        return bytes([length])
+    octets = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(octets)]) + octets
+
+
+def decode_length(data: bytes, offset: int) -> tuple[int, int]:
+    """Parse a definite length; returns (length, bytes consumed)."""
+    need(data, offset, 1, "BER length")
+    first = data[offset]
+    if first < 0x80:
+        return first, 1
+    n_octets = first & 0x7F
+    if n_octets == 0:
+        raise DecodeError("indefinite BER lengths are not supported")
+    need(data, offset + 1, n_octets, "BER long-form length")
+    length = int.from_bytes(data[offset + 1 : offset + 1 + n_octets], "big")
+    return length, 1 + n_octets
+
+
+def encode_integer_content(value: int) -> bytes:
+    """Minimal two's-complement content octets for an INTEGER."""
+    if value == 0:
+        return b"\x00"
+    n_bytes = (value.bit_length() + 8) // 8  # +8 keeps the sign bit right
+    encoded = value.to_bytes(n_bytes, "big", signed=True)
+    # Strip redundant leading octets while preserving the sign.
+    while (
+        len(encoded) > 1
+        and (
+            (encoded[0] == 0x00 and not encoded[1] & 0x80)
+            or (encoded[0] == 0xFF and encoded[1] & 0x80)
+        )
+    ):
+        encoded = encoded[1:]
+    return encoded
+
+
+def decode_integer_content(content: bytes) -> int:
+    """Parse INTEGER content octets."""
+    if not content:
+        raise DecodeError("empty INTEGER content")
+    return int.from_bytes(content, "big", signed=True)
+
+
+def encode_real_content(value: float) -> bytes:
+    """REAL content octets: binary (base 2) encoding per X.690 §8.5.
+
+    Zero is the empty content; the infinities and NaN use the special
+    values 0x40/0x41/0x42.  Finite numbers carry sign, a two's-complement
+    exponent (1-3 octets) and a trailing-zero-stripped mantissa —
+    sufficient for every IEEE 754 double.
+    """
+    if value == 0.0:
+        return b""
+    if math.isinf(value):
+        return b"\x40" if value > 0 else b"\x41"
+    if math.isnan(value):
+        return b"\x42"
+    mantissa_float, exponent = math.frexp(abs(value))
+    mantissa = int(mantissa_float * (1 << 53))
+    exponent -= 53
+    while mantissa and not mantissa & 1:
+        mantissa >>= 1
+        exponent += 1
+    exponent_length = max((exponent.bit_length() + 8) // 8, 1)
+    exponent_bytes = exponent.to_bytes(exponent_length, "big", signed=True)
+    if len(exponent_bytes) > 3:
+        raise PresentationError(f"REAL exponent too wide for {value!r}")
+    first = 0x80 | (0x40 if value < 0 else 0x00) | (len(exponent_bytes) - 1)
+    mantissa_bytes = mantissa.to_bytes((mantissa.bit_length() + 7) // 8, "big")
+    return bytes([first]) + exponent_bytes + mantissa_bytes
+
+
+def decode_real_content(content: bytes) -> float:
+    """Parse REAL content octets (binary base-2 subset + specials)."""
+    if not content:
+        return 0.0
+    first = content[0]
+    if first == 0x40:
+        return math.inf
+    if first == 0x41:
+        return -math.inf
+    if first == 0x42:
+        return math.nan
+    if not first & 0x80:
+        raise DecodeError("only binary-encoded REAL values are supported")
+    base_bits = (first >> 4) & 0x03
+    scale = (first >> 2) & 0x03
+    if base_bits or scale:
+        raise DecodeError("only base-2, unscaled REAL values are supported")
+    exponent_length = (first & 0x03) + 1
+    if len(content) < 1 + exponent_length + 1:
+        raise DecodeError("truncated REAL content")
+    exponent = int.from_bytes(
+        content[1 : 1 + exponent_length], "big", signed=True
+    )
+    mantissa = int.from_bytes(content[1 + exponent_length :], "big")
+    if mantissa == 0:
+        raise DecodeError("REAL mantissa must be non-zero")
+    sign = -1.0 if first & 0x40 else 1.0
+    return sign * math.ldexp(mantissa, exponent)
+
+
+class BerCodec(TransferCodec):
+    """ASN.1 BER encoder/decoder over the abstract-syntax types."""
+
+    name = "ber"
+
+    def encode_with_layout(
+        self, value: Any, astype: ASType
+    ) -> tuple[bytes, list[ElementExtent]]:
+        extents: list[ElementExtent] = []
+        data = self._encode(value, astype, (), 0, extents)
+        return data, extents
+
+    def _encode(
+        self,
+        value: Any,
+        astype: ASType,
+        path: Path,
+        base: int,
+        extents: list[ElementExtent],
+    ) -> bytes:
+        if isinstance(astype, Boolean):
+            tlv = bytes([TAG_BOOLEAN, 1, 0xFF if value else 0x00])
+            extents.append(ElementExtent(path, base, base + len(tlv)))
+            return tlv
+        if isinstance(astype, (Int32, UInt32, Int64)):
+            content = encode_integer_content(int(value))
+            tlv = bytes([TAG_INTEGER]) + encode_length(len(content)) + content
+            extents.append(ElementExtent(path, base, base + len(tlv)))
+            return tlv
+        if isinstance(astype, Float64):
+            content = encode_real_content(float(value))
+            tlv = bytes([TAG_REAL]) + encode_length(len(content)) + content
+            extents.append(ElementExtent(path, base, base + len(tlv)))
+            return tlv
+        if isinstance(astype, OctetString):
+            content = bytes(value)
+            tlv = bytes([TAG_OCTET_STRING]) + encode_length(len(content)) + content
+            extents.append(ElementExtent(path, base, base + len(tlv)))
+            return tlv
+        if isinstance(astype, Utf8String):
+            content = value.encode("utf-8")
+            tlv = bytes([TAG_UTF8_STRING]) + encode_length(len(content)) + content
+            extents.append(ElementExtent(path, base, base + len(tlv)))
+            return tlv
+        if isinstance(astype, ArrayOf):
+            return self._encode_constructed(
+                list(enumerate(value)),
+                lambda step: astype.element,
+                path,
+                base,
+                extents,
+            )
+        if isinstance(astype, Struct):
+            items = [(field.name, value[field.name]) for field in astype.fields]
+            return self._encode_constructed(
+                items, astype.field_type, path, base, extents
+            )
+        raise PresentationError(f"BER cannot encode {astype!r}")
+
+    def _encode_constructed(self, items, type_of, path, base, extents):
+        # Children must be encoded before the header length is known, so
+        # encode into a scratch list first, then shift child extents by
+        # the header size.
+        scratch: list[ElementExtent] = []
+        body = bytearray()
+        for step, child_value in items:
+            child = self._encode(
+                child_value, type_of(step), path + (step,), len(body), scratch
+            )
+            body.extend(child)
+        header = bytes([TAG_SEQUENCE]) + encode_length(len(body))
+        shift = base + len(header)
+        extents.extend(
+            ElementExtent(e.path, e.start + shift, e.end + shift) for e in scratch
+        )
+        return header + bytes(body)
+
+    def decode(self, data: bytes, astype: ASType) -> Any:
+        value, consumed = self._decode(data, 0, astype)
+        if consumed != len(data):
+            raise DecodeError(
+                f"{len(data) - consumed} trailing bytes after BER value"
+            )
+        return value
+
+    def _decode(self, data: bytes, offset: int, astype: ASType) -> tuple[Any, int]:
+        need(data, offset, 1, "BER tag")
+        tag = data[offset]
+        length, length_size = decode_length(data, offset + 1)
+        content_start = offset + 1 + length_size
+        need(data, content_start, length, "BER content")
+        content = data[content_start : content_start + length]
+        end = content_start + length
+
+        if isinstance(astype, Boolean):
+            self._expect_tag(tag, TAG_BOOLEAN, "BOOLEAN")
+            if length != 1:
+                raise DecodeError(f"BOOLEAN content must be 1 byte, got {length}")
+            return content[0] != 0x00, end
+        if isinstance(astype, (Int32, UInt32, Int64)):
+            self._expect_tag(tag, TAG_INTEGER, "INTEGER")
+            value = decode_integer_content(content)
+            if isinstance(astype, UInt32) and value < 0:
+                value += 2**32  # canonical BER of large unsigned is signed form
+            return value, end
+        if isinstance(astype, Float64):
+            self._expect_tag(tag, TAG_REAL, "REAL")
+            return decode_real_content(content), end
+        if isinstance(astype, OctetString):
+            self._expect_tag(tag, TAG_OCTET_STRING, "OCTET STRING")
+            return bytes(content), end
+        if isinstance(astype, Utf8String):
+            self._expect_tag(tag, TAG_UTF8_STRING, "UTF8String")
+            try:
+                return content.decode("utf-8"), end
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid UTF-8 in string: {exc}") from exc
+        if isinstance(astype, ArrayOf):
+            self._expect_tag(tag, TAG_SEQUENCE, "SEQUENCE OF")
+            elements: list[Any] = []
+            cursor = content_start
+            while cursor < end:
+                element, cursor = self._decode(data, cursor, astype.element)
+                elements.append(element)
+            if cursor != end:
+                raise DecodeError("SEQUENCE OF content length mismatch")
+            if (
+                astype.fixed_count is not None
+                and len(elements) != astype.fixed_count
+            ):
+                raise DecodeError(
+                    f"expected {astype.fixed_count} elements, got {len(elements)}"
+                )
+            return elements, end
+        if isinstance(astype, Struct):
+            self._expect_tag(tag, TAG_SEQUENCE, "SEQUENCE")
+            result: dict[str, Any] = {}
+            cursor = content_start
+            for field in astype.fields:
+                if cursor >= end:
+                    raise DecodeError(f"SEQUENCE ended before field {field.name!r}")
+                result[field.name], cursor = self._decode(data, cursor, field.type)
+            if cursor != end:
+                raise DecodeError("SEQUENCE content length mismatch")
+            return result, end
+        raise PresentationError(f"BER cannot decode {astype!r}")
+
+    @staticmethod
+    def _expect_tag(tag: int, expected: int, what: str) -> None:
+        if tag != expected:
+            raise DecodeError(f"expected {what} tag 0x{expected:02X}, got 0x{tag:02X}")

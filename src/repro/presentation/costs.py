@@ -1,0 +1,146 @@
+"""Cost profiles for presentation codecs.
+
+The codecs in this package are functionally real, but their *modelled*
+cost is declared here as :class:`CostVector` op counts per 32-bit word,
+priced by a machine profile.  Two BER profiles exist because the paper
+measures both:
+
+* **TUNED_BER** — the hand-coded unrolled conversion loop of §4.  Its ALU
+  count is derived from the paper's measurement: integer-array → ASN.1 ran
+  at 28 Mb/s on the R2000, i.e. ``16.67e6 * 32 / 28e6 = 19.051``
+  cycles/word; with the calibrated R = 2.8150 and W = 1.2884 that leaves
+  ``(19.051 - 4.1034) / 0.9118 = 16.39`` ALU ops per word — a plausible
+  budget for tag/length generation, sign handling and byte shuffling.
+
+* **TOOLKIT_BER** — the ISODE-style interpretive prototype of the stack
+  experiment.  Per word it pays table-driven dispatch (procedure calls),
+  per-TLV allocation and byte-at-a-time interpretation.  The op counts
+  below yield ≈ 305 cycles/word on the R2000 (≈ 65× a copy — plausible
+  for an untuned prototype toolkit); run through the *whole* stack of
+  experiment E3, including the ~1.5× BER encoding expansion that all
+  downstream passes must carry, this reproduces the paper's "about 30
+  times slower / about 97 % of overhead in presentation" result.  The
+  counts are fixed here once; the E3 stack ratio is then measured, not
+  fitted per-experiment.
+
+The encode/decode vectors are symmetric; the paper does not separate the
+directions and nothing in the reproduction depends on an asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.costs import CostVector
+
+# Derivation of the tuned-BER ALU count (see module docstring).
+_TUNED_BER_ALU = 16.39
+
+_TUNED_BER_PASS = CostVector(
+    reads_per_word=1.0, writes_per_word=1.0, alu_per_word=_TUNED_BER_ALU
+)
+
+_TOOLKIT_BER_PASS = CostVector(
+    reads_per_word=13.0,
+    writes_per_word=8.0,
+    alu_per_word=64.0,
+    calls_per_word=20.0,
+    per_call_ops=200.0,
+)
+
+# Toolkit handling of an OCTET STRING: essentially a copy plus a little
+# interpretive overhead (the baseline case of the stack experiment).
+_TOOLKIT_OCTETS_PASS = CostVector(
+    reads_per_word=1.0,
+    writes_per_word=1.0,
+    alu_per_word=0.5,
+    calls_per_word=0.02,
+    per_call_ops=200.0,
+)
+
+_TUNED_XDR_PASS = CostVector(
+    reads_per_word=1.0, writes_per_word=1.0, alu_per_word=4.0
+)
+
+_TUNED_LWTS_PASS = CostVector(
+    reads_per_word=1.0, writes_per_word=1.0, alu_per_word=1.0
+)
+
+_RAW_PASS = CostVector(reads_per_word=1.0, writes_per_word=1.0)
+
+
+@dataclass(frozen=True)
+class CodecCostProfile:
+    """Declared cost of one codec implementation style.
+
+    Attributes:
+        name: identifier used in reports.
+        encode: per-word cost of converting structured data *to* the
+            transfer syntax.
+        decode: per-word cost of the reverse conversion.
+        octet_passthrough: per-word cost when the payload is a raw
+            OCTET STRING (no element conversion, just framing).
+    """
+
+    name: str
+    encode: CostVector
+    decode: CostVector
+    octet_passthrough: CostVector
+
+    def pass_cost(self, direction: str, raw_octets: bool = False) -> CostVector:
+        """The cost vector for one conversion pass.
+
+        Args:
+            direction: ``"encode"`` or ``"decode"``.
+            raw_octets: True when the payload is an uninterpreted byte
+                string (the stack experiment's baseline case).
+        """
+        if raw_octets:
+            return self.octet_passthrough
+        if direction == "encode":
+            return self.encode
+        if direction == "decode":
+            return self.decode
+        raise ValueError(f"direction must be encode or decode, got {direction!r}")
+
+
+TUNED_BER = CodecCostProfile(
+    name="ber-tuned",
+    encode=_TUNED_BER_PASS,
+    decode=_TUNED_BER_PASS,
+    octet_passthrough=_RAW_PASS,
+)
+
+TOOLKIT_BER = CodecCostProfile(
+    name="ber-toolkit",
+    encode=_TOOLKIT_BER_PASS,
+    decode=_TOOLKIT_BER_PASS,
+    octet_passthrough=_TOOLKIT_OCTETS_PASS,
+)
+
+TUNED_XDR = CodecCostProfile(
+    name="xdr-tuned",
+    encode=_TUNED_XDR_PASS,
+    decode=_TUNED_XDR_PASS,
+    octet_passthrough=_RAW_PASS,
+)
+
+TUNED_LWTS = CodecCostProfile(
+    name="lwts-tuned",
+    encode=_TUNED_LWTS_PASS,
+    decode=_TUNED_LWTS_PASS,
+    octet_passthrough=_RAW_PASS,
+)
+
+# "Image"/"raw" mode: no presentation layer at all, data moves once.
+RAW_IMAGE = CodecCostProfile(
+    name="raw-image",
+    encode=_RAW_PASS,
+    decode=_RAW_PASS,
+    octet_passthrough=_RAW_PASS,
+)
+
+PROFILES_BY_NAME = {
+    profile.name: profile
+    for profile in (TUNED_BER, TOOLKIT_BER, TUNED_XDR, TUNED_LWTS, RAW_IMAGE)
+}

@@ -1,0 +1,206 @@
+"""A Light-Weight Transfer Syntax (LWTS).
+
+The paper points to Huitema & Doghri's "light weight transfer syntax"
+(reference [8]) as the kind of alternative that makes presentation
+conversion affordable.  This module provides one in that spirit:
+
+* fixed-width little-endian scalars (matching the common receiver, so
+  conversion on a little-endian host is nearly a copy);
+* no per-element tags — structure comes entirely from the shared schema;
+* 4-byte length prefixes only where the schema leaves sizes open;
+* no padding.
+
+Byte order is a constructor parameter, so the negotiation machinery can
+instantiate "sender-native" or "receiver-native" variants and realize the
+paper's single-step sender-side conversion.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Literal
+
+from repro.errors import DecodeError, PresentationError
+from repro.presentation.abstract import (
+    ASType,
+    ArrayOf,
+    Boolean,
+    Float64,
+    Int32,
+    Int64,
+    OctetString,
+    Path,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.base import TransferCodec, need
+from repro.presentation.namespace import ElementExtent
+
+ByteOrder = Literal["little", "big"]
+
+
+class LwtsCodec(TransferCodec):
+    """Flat, schema-driven transfer syntax with selectable byte order."""
+
+    def __init__(self, byte_order: ByteOrder = "little"):
+        if byte_order not in ("little", "big"):
+            raise PresentationError(f"byte_order must be little or big, got {byte_order!r}")
+        self.byte_order: ByteOrder = byte_order
+        self.name = f"lwts-{byte_order[0]}e"
+        self._i32 = "<i" if byte_order == "little" else ">i"
+        self._u32 = "<I" if byte_order == "little" else ">I"
+        self._i64 = "<q" if byte_order == "little" else ">q"
+        self._f64 = "<d" if byte_order == "little" else ">d"
+
+    def fixed_size(self, astype: ASType) -> int | None:
+        """Encoded size of ``astype`` when it is data-independent.
+
+        Fixed sizes are what let a sender compute *receiver placement*
+        for out-of-order delivery without converting the data first
+        (paper §5): if every ADU's encoded size is known from the schema,
+        the receiver offset of ADU *k* is just ``k * size``.
+        Returns None when the size depends on the value.
+        """
+        if isinstance(astype, (Boolean, Int32, UInt32)):
+            return 4
+        if isinstance(astype, (Int64, Float64)):
+            return 8
+        if isinstance(astype, OctetString):
+            return astype.fixed_length  # None when variable
+        if isinstance(astype, Utf8String):
+            return None
+        if isinstance(astype, ArrayOf):
+            if astype.fixed_count is None:
+                return None
+            element_size = self.fixed_size(astype.element)
+            if element_size is None:
+                return None
+            return astype.fixed_count * element_size
+        if isinstance(astype, Struct):
+            total = 0
+            for field in astype.fields:
+                field_size = self.fixed_size(field.type)
+                if field_size is None:
+                    return None
+                total += field_size
+            return total
+        raise PresentationError(f"LWTS cannot size {astype!r}")
+
+    def encode_with_layout(
+        self, value: Any, astype: ASType
+    ) -> tuple[bytes, list[ElementExtent]]:
+        extents: list[ElementExtent] = []
+        out = bytearray()
+        self._encode(value, astype, (), out, extents)
+        return bytes(out), extents
+
+    def _encode(
+        self,
+        value: Any,
+        astype: ASType,
+        path: Path,
+        out: bytearray,
+        extents: list[ElementExtent],
+    ) -> None:
+        start = len(out)
+        if isinstance(astype, Boolean):
+            out += struct.pack(self._u32, 1 if value else 0)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Int32):
+            out += struct.pack(self._i32, value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, UInt32):
+            out += struct.pack(self._u32, value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Int64):
+            out += struct.pack(self._i64, value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Float64):
+            out += struct.pack(self._f64, value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, OctetString):
+            content = bytes(value)
+            if astype.fixed_length is None:
+                out += struct.pack(self._u32, len(content))
+            out += content
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Utf8String):
+            content = value.encode("utf-8")
+            out += struct.pack(self._u32, len(content))
+            out += content
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, ArrayOf):
+            if astype.fixed_count is None:
+                out += struct.pack(self._u32, len(value))
+            for index, element in enumerate(value):
+                self._encode(element, astype.element, path + (index,), out, extents)
+        elif isinstance(astype, Struct):
+            for field in astype.fields:
+                self._encode(
+                    value[field.name], field.type, path + (field.name,), out, extents
+                )
+        else:
+            raise PresentationError(f"LWTS cannot encode {astype!r}")
+
+    def decode(self, data: bytes, astype: ASType) -> Any:
+        value, consumed = self._decode(data, 0, astype)
+        if consumed != len(data):
+            raise DecodeError(f"{len(data) - consumed} trailing bytes after LWTS value")
+        return value
+
+    def _decode(self, data: bytes, offset: int, astype: ASType) -> tuple[Any, int]:
+        if isinstance(astype, Boolean):
+            need(data, offset, 4, "LWTS bool")
+            raw = struct.unpack_from(self._u32, data, offset)[0]
+            if raw not in (0, 1):
+                raise DecodeError(f"LWTS bool must be 0 or 1, got {raw}")
+            return bool(raw), offset + 4
+        if isinstance(astype, Int32):
+            need(data, offset, 4, "LWTS int")
+            return struct.unpack_from(self._i32, data, offset)[0], offset + 4
+        if isinstance(astype, UInt32):
+            need(data, offset, 4, "LWTS unsigned")
+            return struct.unpack_from(self._u32, data, offset)[0], offset + 4
+        if isinstance(astype, Int64):
+            need(data, offset, 8, "LWTS hyper")
+            return struct.unpack_from(self._i64, data, offset)[0], offset + 8
+        if isinstance(astype, Float64):
+            need(data, offset, 8, "LWTS double")
+            return struct.unpack_from(self._f64, data, offset)[0], offset + 8
+        if isinstance(astype, OctetString):
+            if astype.fixed_length is not None:
+                length = astype.fixed_length
+            else:
+                need(data, offset, 4, "LWTS length")
+                length = struct.unpack_from(self._u32, data, offset)[0]
+                offset += 4
+            need(data, offset, length, "LWTS octets")
+            return bytes(data[offset : offset + length]), offset + length
+        if isinstance(astype, Utf8String):
+            need(data, offset, 4, "LWTS string length")
+            length = struct.unpack_from(self._u32, data, offset)[0]
+            offset += 4
+            need(data, offset, length, "LWTS string")
+            try:
+                return bytes(data[offset : offset + length]).decode("utf-8"), offset + length
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid UTF-8 in string: {exc}") from exc
+        if isinstance(astype, ArrayOf):
+            if astype.fixed_count is not None:
+                count = astype.fixed_count
+            else:
+                need(data, offset, 4, "LWTS array count")
+                count = struct.unpack_from(self._u32, data, offset)[0]
+                offset += 4
+            elements: list[Any] = []
+            for _ in range(count):
+                element, offset = self._decode(data, offset, astype.element)
+                elements.append(element)
+            return elements, offset
+        if isinstance(astype, Struct):
+            result: dict[str, Any] = {}
+            for field in astype.fields:
+                result[field.name], offset = self._decode(data, offset, field.type)
+            return result, offset
+        raise PresentationError(f"LWTS cannot decode {astype!r}")

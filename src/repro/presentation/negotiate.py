@@ -1,0 +1,162 @@
+"""Syntax negotiation, including single-step sender-side conversion.
+
+Section 5 of the paper observes that with a traditional intermediate
+("transfer") representation, the sender cannot tell the receiver where an
+out-of-order ADU will land, because neither end knows the other's local
+representation.  The alternative the paper proposes: "the sender and
+receiver can negotiate to translate in one step from the sender to the
+receiver's format", after which the sender can label every ADU with its
+receiver-side location.
+
+This module implements that negotiation.  A host's local syntax is
+modelled by its byte order (flat, LWTS-shaped layout); negotiation picks
+one of three strategies:
+
+``identity``
+    Peers share a representation; data moves in image mode.
+``sender-converts``
+    The sender encodes directly into the receiver's representation.  The
+    receiver's conversion degenerates to a move, and — crucially —
+    *receiver placement is always computable at the sender*, because the
+    sender produces receiver-format bytes.
+``canonical``
+    Both ends convert through a canonical transfer syntax (BER or XDR).
+    Placement is computable only when the schema fixes every element
+    size; otherwise out-of-order ADUs must be buffered at the receiver
+    (the pipeline-clogging case the paper warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import NegotiationError
+from repro.machine.costs import CostVector
+from repro.presentation.abstract import ASType
+from repro.presentation.base import TransferCodec
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import (
+    CodecCostProfile,
+    RAW_IMAGE,
+    TUNED_BER,
+    TUNED_LWTS,
+    TUNED_XDR,
+)
+from repro.presentation.lwts import LwtsCodec
+from repro.presentation.xdr import XdrCodec
+
+Strategy = Literal["identity", "sender-converts", "canonical"]
+
+
+@dataclass(frozen=True)
+class LocalSyntax:
+    """A host's local data representation.
+
+    Attributes:
+        name: label used in traces ("sparc", "vax", ...).
+        byte_order: the host's integer byte order.
+    """
+
+    name: str
+    byte_order: Literal["little", "big"]
+
+    def compatible_with(self, other: "LocalSyntax") -> bool:
+        """True when data can move between the hosts without conversion."""
+        return self.byte_order == other.byte_order
+
+
+NATIVE_BIG = LocalSyntax("native-be", "big")
+NATIVE_LITTLE = LocalSyntax("native-le", "little")
+
+_CANONICAL_CODECS: dict[str, tuple[type[TransferCodec], CodecCostProfile]] = {
+    "ber": (BerCodec, TUNED_BER),
+    "xdr": (XdrCodec, TUNED_XDR),
+}
+
+
+@dataclass(frozen=True)
+class ConversionPlan:
+    """The outcome of presentation negotiation for one association.
+
+    Attributes:
+        strategy: which of the three strategies was chosen.
+        codec: the concrete transfer codec both ends will use.
+        sender_pass: modelled per-word cost of the sender's conversion.
+        receiver_pass: modelled per-word cost of the receiver's side.
+        placement_computable: True when the sender can compute, for every
+            ADU, its receiver-side location *before* transmission — the
+            precondition for fully out-of-order processing at the
+            receiver (paper §5).
+    """
+
+    strategy: Strategy
+    codec: TransferCodec
+    sender_pass: CostVector
+    receiver_pass: CostVector
+    placement_computable: bool
+
+    def describe(self) -> str:
+        """One-line summary for traces and experiment reports."""
+        placement = "placement@sender" if self.placement_computable else "buffer@receiver"
+        return f"{self.strategy} via {self.codec.name} ({placement})"
+
+
+def negotiate(
+    sender: LocalSyntax,
+    receiver: LocalSyntax,
+    schema: ASType,
+    allow_direct: bool = True,
+    canonical: str = "ber",
+) -> ConversionPlan:
+    """Choose a conversion strategy for one sender/receiver pair.
+
+    Args:
+        sender: the sending host's local syntax.
+        receiver: the receiving host's local syntax.
+        schema: the abstract syntax of the ADUs to be exchanged.
+        allow_direct: whether the pair supports single-step sender-side
+            conversion (the paper's proposal).  When False, negotiation
+            falls back to a canonical transfer syntax.
+        canonical: which canonical syntax to fall back to (``"ber"`` or
+            ``"xdr"``).
+    """
+    if sender.compatible_with(receiver):
+        codec = LwtsCodec(byte_order=sender.byte_order)
+        return ConversionPlan(
+            strategy="identity",
+            codec=codec,
+            sender_pass=RAW_IMAGE.pass_cost("encode"),
+            receiver_pass=RAW_IMAGE.pass_cost("decode"),
+            placement_computable=True,
+        )
+
+    if allow_direct:
+        codec = LwtsCodec(byte_order=receiver.byte_order)
+        return ConversionPlan(
+            strategy="sender-converts",
+            codec=codec,
+            sender_pass=TUNED_LWTS.pass_cost("encode"),
+            # The receiver's data is already in its local representation;
+            # only the move into application space remains.
+            receiver_pass=RAW_IMAGE.pass_cost("decode"),
+            placement_computable=True,
+        )
+
+    if canonical not in _CANONICAL_CODECS:
+        known = ", ".join(sorted(_CANONICAL_CODECS))
+        raise NegotiationError(
+            f"unknown canonical syntax {canonical!r}; known: {known}"
+        )
+    codec_cls, profile = _CANONICAL_CODECS[canonical]
+    codec = codec_cls()
+    # With an intermediate representation, the sender can pre-compute
+    # receiver placement only if the schema pins every element size.
+    sizes_fixed = LwtsCodec().fixed_size(schema) is not None
+    return ConversionPlan(
+        strategy="canonical",
+        codec=codec,
+        sender_pass=profile.pass_cost("encode"),
+        receiver_pass=profile.pass_cost("decode"),
+        placement_computable=sizes_fixed,
+    )

@@ -1,0 +1,175 @@
+"""Sun XDR (RFC 1014) transfer syntax for the abstract-syntax types.
+
+XDR is the paper's second example of an external data representation
+(reference [16]).  All items occupy a multiple of 4 bytes, integers are
+big-endian, variable-length data carries a 4-byte count and is padded to
+a word boundary — which is what makes XDR considerably cheaper to encode
+than BER (a byte-swap per word instead of TLV interpretation).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import DecodeError, PresentationError
+from repro.presentation.abstract import (
+    ASType,
+    ArrayOf,
+    Boolean,
+    Float64,
+    Int32,
+    Int64,
+    OctetString,
+    Path,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.base import TransferCodec, need
+from repro.presentation.namespace import ElementExtent
+
+_WORD = 4
+
+
+def _padding(length: int) -> int:
+    """Bytes of zero padding XDR requires after ``length`` content bytes."""
+    return (-length) % _WORD
+
+
+class XdrCodec(TransferCodec):
+    """XDR encoder/decoder over the abstract-syntax types."""
+
+    name = "xdr"
+
+    def encode_with_layout(
+        self, value: Any, astype: ASType
+    ) -> tuple[bytes, list[ElementExtent]]:
+        extents: list[ElementExtent] = []
+        out = bytearray()
+        self._encode(value, astype, (), out, extents)
+        return bytes(out), extents
+
+    def _encode(
+        self,
+        value: Any,
+        astype: ASType,
+        path: Path,
+        out: bytearray,
+        extents: list[ElementExtent],
+    ) -> None:
+        start = len(out)
+        if isinstance(astype, Boolean):
+            out += struct.pack(">I", 1 if value else 0)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Int32):
+            out += struct.pack(">i", value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, UInt32):
+            out += struct.pack(">I", value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Int64):
+            out += struct.pack(">q", value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Float64):
+            out += struct.pack(">d", value)
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, OctetString):
+            content = bytes(value)
+            if astype.fixed_length is None:
+                out += struct.pack(">I", len(content))
+            out += content
+            out += bytes(_padding(len(content)))
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, Utf8String):
+            content = value.encode("utf-8")
+            out += struct.pack(">I", len(content))
+            out += content
+            out += bytes(_padding(len(content)))
+            extents.append(ElementExtent(path, start, len(out)))
+        elif isinstance(astype, ArrayOf):
+            if astype.fixed_count is None:
+                out += struct.pack(">I", len(value))
+            for index, element in enumerate(value):
+                self._encode(element, astype.element, path + (index,), out, extents)
+        elif isinstance(astype, Struct):
+            for field in astype.fields:
+                self._encode(
+                    value[field.name], field.type, path + (field.name,), out, extents
+                )
+        else:
+            raise PresentationError(f"XDR cannot encode {astype!r}")
+
+    def decode(self, data: bytes, astype: ASType) -> Any:
+        value, consumed = self._decode(data, 0, astype)
+        if consumed != len(data):
+            raise DecodeError(f"{len(data) - consumed} trailing bytes after XDR value")
+        return value
+
+    def _decode(self, data: bytes, offset: int, astype: ASType) -> tuple[Any, int]:
+        if isinstance(astype, Boolean):
+            need(data, offset, _WORD, "XDR bool")
+            raw = struct.unpack_from(">I", data, offset)[0]
+            if raw not in (0, 1):
+                raise DecodeError(f"XDR bool must be 0 or 1, got {raw}")
+            return bool(raw), offset + _WORD
+        if isinstance(astype, Int32):
+            need(data, offset, _WORD, "XDR int")
+            return struct.unpack_from(">i", data, offset)[0], offset + _WORD
+        if isinstance(astype, UInt32):
+            need(data, offset, _WORD, "XDR unsigned")
+            return struct.unpack_from(">I", data, offset)[0], offset + _WORD
+        if isinstance(astype, Int64):
+            need(data, offset, 8, "XDR hyper")
+            return struct.unpack_from(">q", data, offset)[0], offset + 8
+        if isinstance(astype, Float64):
+            need(data, offset, 8, "XDR double")
+            return struct.unpack_from(">d", data, offset)[0], offset + 8
+        if isinstance(astype, OctetString):
+            if astype.fixed_length is not None:
+                length = astype.fixed_length
+            else:
+                need(data, offset, _WORD, "XDR opaque length")
+                length = struct.unpack_from(">I", data, offset)[0]
+                offset += _WORD
+            need(data, offset, length, "XDR opaque")
+            content = bytes(data[offset : offset + length])
+            offset += length
+            pad = _padding(length)
+            need(data, offset, pad, "XDR padding")
+            if any(data[offset : offset + pad]):
+                raise DecodeError("XDR padding must be zero")
+            return content, offset + pad
+        if isinstance(astype, Utf8String):
+            need(data, offset, _WORD, "XDR string length")
+            length = struct.unpack_from(">I", data, offset)[0]
+            offset += _WORD
+            need(data, offset, length, "XDR string")
+            raw = bytes(data[offset : offset + length])
+            offset += length
+            pad = _padding(length)
+            need(data, offset, pad, "XDR padding")
+            if any(data[offset : offset + pad]):
+                raise DecodeError("XDR padding must be zero")
+            try:
+                return raw.decode("utf-8"), offset + pad
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid UTF-8 in string: {exc}") from exc
+        if isinstance(astype, ArrayOf):
+            if astype.fixed_count is not None:
+                count = astype.fixed_count
+            else:
+                need(data, offset, _WORD, "XDR array count")
+                count = struct.unpack_from(">I", data, offset)[0]
+                offset += _WORD
+            elements: list[Any] = []
+            for _ in range(count):
+                element, offset = self._decode(data, offset, astype.element)
+                elements.append(element)
+            return elements, offset
+        if isinstance(astype, Struct):
+            result: dict[str, Any] = {}
+            for field in astype.fields:
+                result[field.name], offset = self._decode(data, offset, field.type)
+            return result, offset
+        raise PresentationError(f"XDR cannot decode {astype!r}")

@@ -1,0 +1,14 @@
+"""Discrete-event simulation core.
+
+The §5–§7 claims of the paper are about dynamics — pipelines stalling on
+loss, ADUs arriving out of order — so they are reproduced on a small
+deterministic discrete-event simulator: an event loop
+(:mod:`~repro.sim.eventloop`), seeded random streams
+(:mod:`~repro.sim.rng`) and structured tracing (:mod:`~repro.sim.trace`).
+"""
+
+from repro.sim.eventloop import EventLoop, Event
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = ["EventLoop", "Event", "RngStreams", "Tracer", "TraceRecord"]

@@ -1,0 +1,85 @@
+"""A minimal, deterministic discrete-event loop.
+
+Events are callbacks scheduled at absolute times; ties are broken by a
+monotonically increasing sequence number, so runs are exactly
+reproducible.  Time is a float in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback (ordering fields first for the heap)."""
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self.events_run = 0
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay {delay})")
+        event = Event(self.now + delay, next(self._sequence), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in time order.
+
+        Args:
+            until: stop once the next event would be later than this
+                time (the clock advances to ``until``).  None runs to
+                quiescence.
+            max_events: safety valve against runaway simulations.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = event.time
+            event.callback(*event.args)
+            self.events_run += 1
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones)."""
+        return len(self._heap)

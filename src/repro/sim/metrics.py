@@ -1,0 +1,116 @@
+"""Time-series sampling for simulations.
+
+Experiments frequently need "how deep did the queue get, and when" —
+a :class:`MetricSampler` polls named probes on a fixed period and stores
+the series; :class:`Series` offers the summary statistics the experiment
+tables report.  Probes are plain callables, so any component attribute
+can be watched without instrumenting the component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.eventloop import EventLoop
+
+
+@dataclass
+class Series:
+    """One sampled metric: parallel time and value arrays."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0 when empty)."""
+        return max(self.values, default=0.0)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return float(np.mean(self.values))
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def time_above(self, threshold: float) -> float:
+        """Seconds (by sample spacing) the series spent above a level."""
+        if len(self.times) < 2:
+            return 0.0
+        total = 0.0
+        for index in range(1, len(self.times)):
+            if self.values[index - 1] > threshold:
+                total += self.times[index] - self.times[index - 1]
+        return total
+
+
+class MetricSampler:
+    """Polls named probes on a fixed period.
+
+    Args:
+        loop: event loop.
+        period: sampling period in seconds.
+
+    Probes added with :meth:`watch` are polled together, so all series
+    share timestamps.  The sampler stops when :meth:`stop` is called (or
+    runs for the life of the simulation otherwise).
+    """
+
+    def __init__(self, loop: EventLoop, period: float = 0.01):
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        self.loop = loop
+        self.period = period
+        self._probes: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, Series] = {}
+        self._running = False
+
+    def watch(self, name: str, probe: Callable[[], float]) -> Series:
+        """Register a probe; returns its (live) series."""
+        if name in self._probes:
+            raise SimulationError(f"metric {name!r} already watched")
+        self._probes[name] = probe
+        self.series[name] = Series(name)
+        return self.series[name]
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if not self._running:
+            self._running = True
+            self.loop.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        """Cease sampling after the current tick."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.loop.now
+        for name, probe in self._probes.items():
+            self.series[name].append(now, float(probe()))
+        self.loop.schedule(self.period, self._tick)
+
+    def __getitem__(self, name: str) -> Series:
+        if name not in self.series:
+            raise SimulationError(f"no metric {name!r}")
+        return self.series[name]

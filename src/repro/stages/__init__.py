@@ -1,0 +1,60 @@
+"""Data-manipulation stages.
+
+The paper catalogues six data manipulations: moving to/from the net,
+error detection, buffering for retransmission, encryption, moving to/from
+application address space, and presentation formatting.  Each is a
+:class:`~repro.stages.base.Stage` here, with
+
+* a **real** byte-level implementation (``apply``), so functional tests
+  and the transports exercise actual transformations, and
+* a declared :class:`~repro.machine.costs.CostVector`, so the machine
+  model can price a layered or integrated execution of the same stages,
+  and
+* ``requires``/``provides`` control facts, so the ILP engine can check
+  which orderings and fusions are legal (paper §6, "Ordering
+  Constraints").
+"""
+
+from repro.stages.base import (
+    Stage,
+    Facts,
+    PassthroughStage,
+)
+from repro.stages.copy import CopyStage, MoveToAppStage, BufferForRetransmitStage
+from repro.stages.checksum import (
+    internet_checksum,
+    fletcher32,
+    crc32,
+    ChecksumComputeStage,
+    ChecksumVerifyStage,
+)
+from repro.stages.encrypt import (
+    XorStreamCipher,
+    ChainedBlockCipher,
+    EncryptStage,
+    DecryptStage,
+)
+from repro.stages.presentation import PresentationEncodeStage, PresentationDecodeStage
+from repro.stages.netio import NetworkExtractStage, NetworkInjectStage
+
+__all__ = [
+    "Stage",
+    "Facts",
+    "PassthroughStage",
+    "CopyStage",
+    "MoveToAppStage",
+    "BufferForRetransmitStage",
+    "internet_checksum",
+    "fletcher32",
+    "crc32",
+    "ChecksumComputeStage",
+    "ChecksumVerifyStage",
+    "XorStreamCipher",
+    "ChainedBlockCipher",
+    "EncryptStage",
+    "DecryptStage",
+    "PresentationEncodeStage",
+    "PresentationDecodeStage",
+    "NetworkExtractStage",
+    "NetworkInjectStage",
+]

@@ -1,0 +1,121 @@
+"""Stage framework: the unit the ILP engine composes.
+
+A stage is one data-manipulation pass.  It really transforms bytes
+(``apply``), declares what the pass costs per word (``cost``), and states
+the control facts it needs before it may run (``requires``) and the facts
+it establishes (``provides``).  The facts are how the reproduction models
+the paper's ordering constraints: e.g. nothing except error detection can
+be fused with network extraction, because "most manipulations require the
+local state information, which is only identified through demultiplexing."
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import StageError
+from repro.machine.costs import CostVector
+
+
+class Facts:
+    """Control facts used in stage ``requires``/``provides`` sets.
+
+    These name the progress of the receive (or send) path:
+
+    * ``EXTRACTED`` — the data has been moved out of the network device.
+    * ``DEMUXED`` — the owning association's state has been located.
+    * ``TU_IN_ORDER`` — the transmission unit is in sequence within its
+      ADU (established by the re-ordering control step).
+    * ``ADU_COMPLETE`` — a whole ADU has been assembled (stage-two
+      processing may begin even if *other* ADUs are missing).
+    * ``VERIFIED`` — the error-detection check has passed.
+    * ``DECRYPTED`` — confidentiality processing is done.
+    * ``CONVERTED`` — presentation conversion is done.
+    * ``DELIVERED`` — the data is in application address space.
+    """
+
+    EXTRACTED = "extracted"
+    DEMUXED = "demuxed"
+    TU_IN_ORDER = "tu_in_order"
+    ADU_COMPLETE = "adu_complete"
+    VERIFIED = "verified"
+    DECRYPTED = "decrypted"
+    CONVERTED = "converted"
+    DELIVERED = "delivered"
+
+    ALL = frozenset(
+        {
+            EXTRACTED,
+            DEMUXED,
+            TU_IN_ORDER,
+            ADU_COMPLETE,
+            VERIFIED,
+            DECRYPTED,
+            CONVERTED,
+            DELIVERED,
+        }
+    )
+
+
+class Stage(ABC):
+    """One data-manipulation pass.
+
+    Subclasses set the class attributes (or override the properties) and
+    implement :meth:`apply`.
+
+    Attributes:
+        name: identifier used in ledgers and reports.
+        category: ledger category (``"transport"``, ``"presentation"``,
+            ``"application"``, ``"netio"``, ...).
+        cost: declared per-word cost of one pass.
+        requires: control facts that must hold before this stage runs.
+        provides: control facts this stage establishes.
+        fusable: False for stages that cannot join an integrated loop at
+            all (e.g. a hardware DMA engine).
+    """
+
+    name: str = "stage"
+    category: str = "manipulation"
+    cost: CostVector = CostVector()
+    requires: frozenset[str] = frozenset()
+    provides: frozenset[str] = frozenset()
+    fusable: bool = True
+
+    @abstractmethod
+    def apply(self, data: bytes) -> bytes:
+        """Run the pass over ``data`` and return the transformed bytes.
+
+        Observer stages (checksums) return the input unchanged and expose
+        their result as stage state.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run state (chaining IVs, accumulated sums)."""
+
+    def validate_facts(self, established: frozenset[str]) -> None:
+        """Raise unless all required facts are established."""
+        missing = self.requires - established
+        if missing:
+            raise StageError(
+                f"stage {self.name!r} requires facts {sorted(missing)} "
+                f"but only {sorted(established)} are established"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PassthroughStage(Stage):
+    """A stage that observes but does not change the data.
+
+    Base class for checksums and other read-only passes; also usable
+    directly as a labelled no-op in tests.
+    """
+
+    def __init__(self, name: str = "passthrough", cost: CostVector | None = None):
+        self.name = name
+        if cost is not None:
+            self.cost = cost
+
+    def apply(self, data: bytes) -> bytes:
+        return data

@@ -1,0 +1,130 @@
+"""Copy-family stages: plain copies, retransmission buffering, and the
+move into application address space.
+
+The copy is the paper's reference manipulation ("almost an absolute upper
+limit on the throughput that can possibly be achieved for any CPU") and
+the unit everything else is compared to.
+"""
+
+from __future__ import annotations
+
+from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.errors import StageError
+from repro.machine.costs import COPY_COST
+from repro.stages.base import Facts, Stage
+
+
+class CopyStage(Stage):
+    """A word-aligned copy from one memory region to another."""
+
+    category = "transport"
+    cost = COPY_COST
+
+    def __init__(self, name: str = "copy", category: str | None = None):
+        self.name = name
+        if category is not None:
+            self.category = category
+
+    def apply(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+class BufferForRetransmitStage(Stage):
+    """Sender-side retransmission buffering (one of the six manipulations).
+
+    Keeps a reference copy of everything that passes through, retrievable
+    by offset for retransmission.  An ALF sender whose application
+    recomputes lost data omits this stage entirely — that is one of the
+    recovery options §5 requires the architecture to permit, and skipping
+    the stage is exactly how its cost disappears.
+    """
+
+    name = "retransmit-buffer"
+    category = "transport"
+    cost = COPY_COST
+
+    def __init__(self, capacity_bytes: int | None = None):
+        self._saved: list[bytes] = []
+        self._total = 0
+        self.capacity_bytes = capacity_bytes
+
+    def apply(self, data: bytes) -> bytes:
+        if (
+            self.capacity_bytes is not None
+            and self._total + len(data) > self.capacity_bytes
+        ):
+            raise StageError(
+                f"retransmit buffer full ({self._total}/{self.capacity_bytes} bytes)"
+            )
+        self._saved.append(bytes(data))
+        self._total += len(data)
+        return data
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently retained."""
+        return self._total
+
+    def retrieve(self, index: int) -> bytes:
+        """The ``index``-th buffered unit (for retransmission)."""
+        if not 0 <= index < len(self._saved):
+            raise StageError(f"no buffered unit {index} (have {len(self._saved)})")
+        return self._saved[index]
+
+    def release_through(self, index: int) -> None:
+        """Drop units up to and including ``index`` (acked data)."""
+        if index >= len(self._saved):
+            raise StageError(f"cannot release through {index}; have {len(self._saved)}")
+        dropped = self._saved[: index + 1]
+        self._saved = self._saved[index + 1 :]
+        self._total -= sum(len(unit) for unit in dropped)
+
+    def reset(self) -> None:
+        self._saved.clear()
+        self._total = 0
+
+
+class MoveToAppStage(Stage):
+    """The final move into (possibly scattered) application memory.
+
+    Requires a complete, verified ADU — this is a stage-two manipulation
+    in the paper's two-stage receive structure.  The scatter map is set
+    per-ADU via :meth:`set_destination`; a linear map models file
+    transfer, a many-entry map models RPC argument delivery.
+    """
+
+    name = "move-to-app"
+    category = "application"
+    cost = COPY_COST
+    requires = frozenset({Facts.ADU_COMPLETE, Facts.VERIFIED})
+    provides = frozenset({Facts.DELIVERED})
+
+    def __init__(self, app_space: ApplicationAddressSpace):
+        self.app_space = app_space
+        self._scatter: ScatterMap | None = None
+
+    def set_destination(self, scatter: ScatterMap) -> None:
+        """Arm the stage with the current ADU's scatter map."""
+        self._scatter = scatter
+
+    def apply(self, data: bytes) -> bytes:
+        if self._scatter is None:
+            raise StageError(
+                f"{self.name}: no scatter map set; the sender must specify "
+                "the ADU's disposition in terms meaningful to the receiver"
+            )
+        self.app_space.deliver(data, self._scatter)
+        return data
+
+    def reset(self) -> None:
+        self._scatter = None
+
+    @property
+    def scatter_complexity(self) -> int:
+        """Entries in the current map — the outboard-processor metric.
+
+        The paper argues an outboard processor would need "information of
+        the same bulk and complexity as the incoming data itself" to do
+        this move; this property is that bulk, measurable.
+        """
+        return 0 if self._scatter is None else len(self._scatter)

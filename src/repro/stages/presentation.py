@@ -1,0 +1,102 @@
+"""Presentation conversion as pipeline stages.
+
+These wrap a transfer codec (:mod:`repro.presentation`) so presentation
+conversion can sit in the same pipeline as copies and checksums — which
+is the point of the paper's E4 experiment (ASN.1 conversion fused with
+the TCP checksum).
+
+The *functional* behaviour uses the real codec; the *modelled* cost comes
+from a :class:`CodecCostProfile` (tuned vs toolkit), so the same working
+code can be priced as either implementation style.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StageError
+from repro.presentation.abstract import ASType, OctetString
+from repro.presentation.base import TransferCodec
+from repro.presentation.costs import CodecCostProfile
+from repro.stages.base import Facts, Stage
+
+
+def _is_raw_octets(astype: ASType) -> bool:
+    return isinstance(astype, OctetString)
+
+
+class PresentationEncodeStage(Stage):
+    """Sender-side conversion: local value → transfer syntax.
+
+    The stage is armed with a value via :meth:`set_value`; ``apply``
+    ignores its byte input (the value, not prior bytes, is the source)
+    and emits the encoding.  This mirrors the paper's observation that
+    conversion "must be driven by application knowledge".
+    """
+
+    category = "presentation"
+    provides = frozenset({Facts.CONVERTED})
+
+    def __init__(
+        self,
+        codec: TransferCodec,
+        schema: ASType,
+        cost_profile: CodecCostProfile,
+        name: str | None = None,
+    ):
+        self.name = name or f"encode-{codec.name}"
+        self.codec = codec
+        self.schema = schema
+        self.cost_profile = cost_profile
+        self.cost = cost_profile.pass_cost("encode", raw_octets=_is_raw_octets(schema))
+        self._value: Any = None
+        self._armed = False
+
+    def set_value(self, value: Any) -> None:
+        """Provide the application value to encode."""
+        self._value = value
+        self._armed = True
+
+    def apply(self, data: bytes) -> bytes:
+        if not self._armed:
+            raise StageError(f"{self.name}: no value set before encoding")
+        return self.codec.encode(self._value, self.schema)
+
+    def reset(self) -> None:
+        self._value = None
+        self._armed = False
+
+
+class PresentationDecodeStage(Stage):
+    """Receiver-side conversion: transfer syntax → local value.
+
+    Runs only on a complete, verified ADU (stage two of the receive
+    path).  The decoded value is exposed as :attr:`last_value`; the byte
+    stream passes through unchanged so downstream stages (the move into
+    application space) still see the data.
+    """
+
+    category = "presentation"
+    requires = frozenset({Facts.ADU_COMPLETE, Facts.VERIFIED})
+    provides = frozenset({Facts.CONVERTED})
+
+    def __init__(
+        self,
+        codec: TransferCodec,
+        schema: ASType,
+        cost_profile: CodecCostProfile,
+        name: str | None = None,
+    ):
+        self.name = name or f"decode-{codec.name}"
+        self.codec = codec
+        self.schema = schema
+        self.cost_profile = cost_profile
+        self.cost = cost_profile.pass_cost("decode", raw_octets=_is_raw_octets(schema))
+        self.last_value: Any = None
+
+    def apply(self, data: bytes) -> bytes:
+        self.last_value = self.codec.decode(data, self.schema)
+        return data
+
+    def reset(self) -> None:
+        self.last_value = None

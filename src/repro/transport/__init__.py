@@ -1,0 +1,38 @@
+"""Transport protocols.
+
+Two transports over the same network substrate:
+
+* :mod:`repro.transport.tcpstyle` — the baseline the paper critiques: a
+  byte-stream with sequence numbers "that have no meaning to the
+  application", strict in-order delivery, and sender-buffer
+  retransmission.  A lost packet stalls everything behind it.
+* :mod:`repro.transport.alf` — an Application Level Framing transport:
+  the unit of transfer, checksum and recovery is the ADU; complete ADUs
+  are delivered out of order the moment they arrive; and the sending
+  application chooses the recovery policy (transport buffering,
+  recomputation, or no retransmission).
+"""
+
+from repro.transport.base import TransportStats, DeliveredAdu
+from repro.transport.tcpstyle import TcpStyleSender, TcpStyleReceiver
+from repro.transport.alf import AlfSender, AlfReceiver, RecoveryMode
+from repro.transport.session import (
+    Session,
+    SessionConfig,
+    SessionInitiator,
+    SessionListener,
+)
+
+__all__ = [
+    "TransportStats",
+    "DeliveredAdu",
+    "TcpStyleSender",
+    "TcpStyleReceiver",
+    "AlfSender",
+    "AlfReceiver",
+    "RecoveryMode",
+    "Session",
+    "SessionConfig",
+    "SessionInitiator",
+    "SessionListener",
+]

@@ -1,0 +1,13 @@
+"""ALF transport: ADUs as the unit of transfer, checksum and recovery.
+
+Complete ADUs are delivered to the application the moment their last
+fragment arrives, regardless of other ADUs' fates; losses are reported
+in ADU names; and the *sending application* chooses among the three
+recovery options of §5: transport buffering, recomputation, or none.
+"""
+
+from repro.transport.alf.recovery import RecoveryMode
+from repro.transport.alf.sender import AlfSender
+from repro.transport.alf.receiver import AlfReceiver
+
+__all__ = ["RecoveryMode", "AlfSender", "AlfReceiver"]

@@ -1,0 +1,249 @@
+"""ALF receiver: out-of-order ADU delivery with named losses.
+
+Stage one of the paper's two-stage receive structure: fragments are
+examined to determine "which ADU they belong to (the demultiplexing
+control operation) and where in the ADU they go (the re-ordering control
+operation)".  The moment an ADU completes — regardless of other ADUs —
+it is verified and handed up.  ACKs carry ADU names (received set +
+missing set), so the sender's application can reason about losses in its
+own terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.control.ack import SelectiveAckTracker
+from repro.control.instructions import InstructionCounter
+from repro.errors import FramingError
+from repro.core.adu import AduFragment, reassemble_fragments
+from repro.transport.alf.fec import FecDecoder, FecFragment
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+from repro.transport.base import DeliveredAdu, TransportStats
+
+PROTOCOL = "alf"
+
+DeliverFn = Callable[[DeliveredAdu], None]
+
+
+@dataclass
+class _PartialAdu:
+    total: int
+    name: dict[str, Any]
+    fragments: dict[int, AduFragment] = field(default_factory=dict)
+    first_seen: float = 0.0
+    fec: FecDecoder | None = None
+
+
+class AlfReceiver:
+    """Receives fragments, delivers complete ADUs immediately.
+
+    Args:
+        loop: simulation event loop.
+        host: local host (binds flow ``flow_id``).
+        peer: the sender's host name (ACK destination).
+        flow_id: association identifier.
+        deliver: called with a :class:`DeliveredAdu` as soon as the ADU
+            completes — this is the out-of-order delivery ALF exists for.
+        ack_interval: seconds between ACK transmissions (an ACK is also
+            sent on every completed ADU).
+        expected_adus: when known, lets :attr:`complete` report overall
+            transfer completion.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        host: Host,
+        peer: str,
+        flow_id: int,
+        deliver: DeliverFn,
+        ack_interval: float = 0.05,
+        expected_adus: int | None = None,
+        counter: InstructionCounter | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.loop = loop
+        self.host = host
+        self.peer = peer
+        self.flow_id = flow_id
+        self.deliver = deliver
+        self.ack_interval = ack_interval
+        self.expected_adus = expected_adus
+        self.counter = counter or InstructionCounter()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.stats = TransportStats()
+
+        self.acks = SelectiveAckTracker(counter=self.counter)
+        self._partial: dict[int, _PartialAdu] = {}
+        self._delivered: set[int] = set()
+        self._next_in_order = 0
+        self.out_of_order_deliveries = 0
+        self.fec_recoveries = 0
+
+        host.bind(PROTOCOL, flow_id, self._on_fragment)
+        if ack_interval > 0:
+            self.loop.schedule(ack_interval, self._periodic_ack)
+
+    def _on_fragment(self, packet: Packet) -> None:
+        self.counter.note_packet()
+        self.stats.segments_received += 1
+        header = packet.header
+        sequence = int(header["adu_seq"])
+
+        if sequence in self._delivered:
+            self.stats.duplicates_discarded += 1
+            return
+
+        fragment = AduFragment(
+            adu_sequence=sequence,
+            index=int(header["frag"]),
+            total=int(header["nfrags"]),
+            adu_length=int(header["adu_len"]),
+            adu_checksum=int(header["adu_csum"]),
+            name=dict(header["name"]),
+            payload=packet.payload,
+        )
+
+        self.counter.record("sequence_check")  # which ADU, where in it
+        self.counter.record("reassembly_bookkeeping")
+
+        partial = self._partial.get(sequence)
+        if partial is None:
+            partial = _PartialAdu(
+                total=fragment.total, name=fragment.name, first_seen=self.loop.now
+            )
+            self._partial[sequence] = partial
+
+        fec_info = header.get("fec")
+        if fec_info is not None:
+            self._on_fec_unit(sequence, partial, fragment, fec_info)
+            return
+
+        if fragment.index in partial.fragments:
+            self.stats.duplicates_discarded += 1
+            return
+        partial.fragments[fragment.index] = fragment
+
+        if len(partial.fragments) == partial.total:
+            self._complete_adu(sequence, partial)
+
+    def _on_fec_unit(
+        self,
+        sequence: int,
+        partial: _PartialAdu,
+        fragment: AduFragment,
+        fec_info: dict[str, Any],
+    ) -> None:
+        """FEC path: feed the per-ADU decoder; deliver when recoverable."""
+        if partial.fec is None:
+            # The decoder needs the sender's fragmentation width to trim
+            # recovered payloads; the FEC header carries it.
+            partial.fec = FecDecoder(mtu=int(fec_info["mtu"]))
+        partial.fec.add(
+            FecFragment(
+                fragment=fragment,
+                group=int(fec_info["group"]),
+                is_parity=bool(fec_info["is_parity"]),
+                group_size=int(fec_info["group_size"]),
+                group_base=int(fec_info["group_base"]),
+            )
+        )
+        adu = partial.fec.try_reassemble()
+        if adu is not None:
+            self.fec_recoveries += partial.fec.recovered_fragments
+            del self._partial[sequence]
+            self._deliver_adu(adu.sequence, adu)
+
+    def _complete_adu(self, sequence: int, partial: _PartialAdu) -> None:
+        del self._partial[sequence]
+        try:
+            adu = reassemble_fragments(list(partial.fragments.values()))
+        except FramingError:
+            self.stats.checksum_failures += 1
+            self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+            return
+        self._deliver_adu(sequence, adu)
+
+    def _deliver_adu(self, sequence: int, adu) -> None:
+        if sequence in self._delivered:
+            self.stats.duplicates_discarded += 1
+            return
+        self._delivered.add(sequence)
+        self.acks.on_adu(sequence)
+        in_order = sequence == self._next_in_order
+        while self._next_in_order in self._delivered:
+            self._next_in_order += 1
+        if not in_order:
+            self.out_of_order_deliveries += 1
+
+        self.stats.bytes_delivered += len(adu.payload)
+        self.tracer.emit(self.loop.now, "alf", "deliver-adu",
+                         seq=sequence, in_order=in_order)
+        self.deliver(
+            DeliveredAdu(
+                sequence=sequence,
+                name=adu.name,
+                payload=adu.payload,
+                arrival_time=self.loop.now,
+                in_order=in_order,
+            )
+        )
+        self._send_ack()
+
+    # ------------------------------------------------------------------
+    # Acknowledgement
+
+    def _periodic_ack(self) -> None:
+        if self._delivered or self._partial:
+            self._send_ack()
+        self.loop.schedule(self.ack_interval, self._periodic_ack)
+
+    def _send_ack(self) -> None:
+        self.counter.record("ack_compute")
+        self.stats.acks_sent += 1
+        payload = self.acks.ack_payload()
+        # ADUs with fragments present are in flight, not missing yet.
+        missing = [
+            sequence
+            for sequence in payload["missing"]
+            if sequence not in self._partial
+        ]
+        ack = Packet(
+            src=self.host.name,
+            dst=self.peer,
+            protocol=PROTOCOL,
+            flow_id=self.flow_id,
+            header={
+                "sack": {
+                    "received": sorted(self._delivered),
+                    "missing": missing,
+                    "highest": payload["highest"],
+                }
+            },
+            payload=b"",
+        )
+        self.host.send(ack)
+
+    # ------------------------------------------------------------------
+    # Progress reporting
+
+    @property
+    def delivered_count(self) -> int:
+        """Complete ADUs handed to the application."""
+        return len(self._delivered)
+
+    @property
+    def complete(self) -> bool:
+        """True when every expected ADU has been delivered."""
+        if self.expected_adus is None:
+            return False
+        return len(self._delivered) >= self.expected_adus
+
+    def missing_names(self) -> list[dict[str, Any]]:
+        """Names of partially received ADUs (loss in application terms)."""
+        return [dict(partial.name) for partial in self._partial.values()]

@@ -1,0 +1,23 @@
+"""Recovery policies for lost ADUs.
+
+"A general purpose data transfer protocol ought to permit any of these
+options to be selected: buffering by the sender transport, recomputation
+by the sending application, or proceeding without retransmission" (§5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecoveryMode(enum.Enum):
+    """How a sender repairs an ADU the receiver reports missing."""
+
+    #: The transport keeps a copy and retransmits it (the classic model).
+    TRANSPORT_BUFFER = "transport-buffer"
+    #: The transport keeps nothing; the sending *application* regenerates
+    #: the ADU on demand (cheaper in sender memory, possible only because
+    #: losses are named in application terms).
+    APP_RECOMPUTE = "app-recompute"
+    #: Losses are accepted; nothing is resent (real-time media).
+    NO_RETRANSMIT = "no-retransmit"

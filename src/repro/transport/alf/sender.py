@@ -1,0 +1,348 @@
+"""ALF sender: fragments ADUs, repairs per the application's policy.
+
+The sender keeps per-ADU state, not a byte stream.  ACKs from the
+receiver name ADUs (highest seen + missing set); repair of a missing ADU
+follows the :class:`RecoveryMode`: retransmit a buffered copy, ask the
+application to recompute it, or let it go.  A coarse timer covers tail
+loss (an ADU whose every fragment — or whose ACK — vanished).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.control.instructions import InstructionCounter
+from repro.core.adu import Adu, fragment_adu
+from repro.errors import TransportError
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+from repro.transport.alf.recovery import RecoveryMode
+from repro.transport.base import TransportStats
+
+PROTOCOL = "alf"
+
+#: A callback that regenerates a lost ADU from its sequence number.
+RecomputeFn = Callable[[int], Adu]
+
+
+@dataclass
+class _Outstanding:
+    adu: Adu | None          # None in APP_RECOMPUTE / NO_RETRANSMIT modes
+    name: dict[str, Any]
+    length: int
+    last_sent: float
+    attempts: int = 1
+
+
+class AlfSender:
+    """Sends ADUs; repairs losses per the application's recovery policy.
+
+    Args:
+        loop: simulation event loop.
+        host: local host (binds flow ``flow_id`` for ACKs).
+        peer: destination host name.
+        flow_id: association identifier.
+        mtu: maximum fragment payload (the transmission-unit size).
+        recovery: the application's chosen :class:`RecoveryMode`.
+        recompute: required in APP_RECOMPUTE mode — regenerates an ADU.
+        rto: repair timer period for tail loss.
+        pace_interval: seconds between ADU transmissions (simple pacing;
+            the rate computation itself is out-of-band per §3).
+        max_attempts: give up on an ADU after this many transmissions.
+        max_outstanding: flow-control window in ADUs — further ADUs
+            queue at the sender until acknowledgements open slots
+            (ignored in NO_RETRANSMIT mode, which has no
+            acknowledgements to open them).
+        fec_group: enable transmission-unit FEC (footnote 10): one XOR
+            parity unit per this many data fragments, letting the
+            receiver repair a single loss per group with no round trip.
+        on_complete: called when every ADU is acknowledged or abandoned.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        host: Host,
+        peer: str,
+        flow_id: int,
+        mtu: int = 1024,
+        recovery: RecoveryMode = RecoveryMode.TRANSPORT_BUFFER,
+        recompute: RecomputeFn | None = None,
+        rto: float = 0.2,
+        pace_interval: float = 0.0,
+        max_attempts: int = 20,
+        max_outstanding: int | None = None,
+        fec_group: int | None = None,
+        counter: InstructionCounter | None = None,
+        tracer: Tracer | None = None,
+        on_complete: Callable[[], None] | None = None,
+    ):
+        if mtu <= 0:
+            raise TransportError("mtu must be positive")
+        if recovery is RecoveryMode.APP_RECOMPUTE and recompute is None:
+            raise TransportError("APP_RECOMPUTE mode needs a recompute callback")
+        self.loop = loop
+        self.host = host
+        self.peer = peer
+        self.flow_id = flow_id
+        self.mtu = mtu
+        self.recovery = recovery
+        self.recompute = recompute
+        self.rto = rto
+        self.pace_interval = pace_interval
+        self.max_attempts = max_attempts
+        if max_outstanding is not None and max_outstanding <= 0:
+            raise TransportError("max_outstanding must be positive")
+        if recovery is RecoveryMode.NO_RETRANSMIT:
+            max_outstanding = None
+        self.max_outstanding = max_outstanding
+        if fec_group is not None and fec_group <= 0:
+            raise TransportError("fec_group must be positive")
+        self.fec_group = fec_group
+        self._pending: list[Adu] = []
+        self.counter = counter or InstructionCounter()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.on_complete = on_complete
+        self.stats = TransportStats()
+
+        self.adus_sent = 0
+        self.adus_recomputed = 0
+        self.adus_abandoned: set[int] = set()
+        self._outstanding: dict[int, _Outstanding] = {}
+        self._acked: set[int] = set()
+        self._closed = False
+        self._completed = False
+        self._next_send_time = 0.0
+        self._timer_armed = False
+
+        host.bind(PROTOCOL, flow_id, self._on_ack_packet)
+
+    # ------------------------------------------------------------------
+    # Application interface
+
+    def send_adu(self, adu: Adu) -> None:
+        """Transmit one ADU (fragmented as needed).
+
+        With ``max_outstanding`` set, ADUs beyond the window queue here
+        and go out as acknowledgements open slots.
+        """
+        if self._closed:
+            raise TransportError("sender is closed")
+        if adu.sequence in self._outstanding or adu.sequence in self._acked:
+            raise TransportError(f"ADU {adu.sequence} already sent")
+        if (
+            self.max_outstanding is not None
+            and len(self._outstanding) >= self.max_outstanding
+        ):
+            self._pending.append(adu)
+            return
+        self._dispatch(adu)
+
+    def _dispatch(self, adu: Adu) -> None:
+        keep = adu if self.recovery is RecoveryMode.TRANSPORT_BUFFER else None
+        if self.recovery is not RecoveryMode.NO_RETRANSMIT:
+            self._outstanding[adu.sequence] = _Outstanding(
+                adu=keep,
+                name=dict(adu.name),
+                length=len(adu.payload),
+                last_sent=self.loop.now,
+            )
+        self.adus_sent += 1
+        self._transmit(adu)
+        self._arm_timer()
+
+    def _pump_pending(self) -> None:
+        while self._pending and (
+            self.max_outstanding is None
+            or len(self._outstanding) < self.max_outstanding
+        ):
+            self._dispatch(self._pending.pop(0))
+
+    def close(self) -> None:
+        """No more ADUs; completion fires when none remain outstanding."""
+        self._closed = True
+        self._maybe_complete()
+
+    @property
+    def outstanding_count(self) -> int:
+        """ADUs awaiting acknowledgement."""
+        return len(self._outstanding)
+
+    @property
+    def queued_count(self) -> int:
+        """ADUs held back by the flow-control window."""
+        return len(self._pending)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held for retransmission (zero outside buffering mode)."""
+        return sum(
+            len(entry.adu.payload)
+            for entry in self._outstanding.values()
+            if entry.adu is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission
+
+    def _transmit(self, adu: Adu) -> None:
+        delay = max(self._next_send_time - self.loop.now, 0.0)
+        for header, payload in self._wire_units(adu):
+            header["ts"] = self.loop.now
+            packet = Packet(
+                src=self.host.name,
+                dst=self.peer,
+                protocol=PROTOCOL,
+                flow_id=self.flow_id,
+                header=header,
+                payload=payload,
+            )
+            self.stats.segments_sent += 1
+            self.stats.bytes_sent += len(payload)
+            if delay > 0:
+                self.loop.schedule(delay, self.host.send, packet)
+            else:
+                self.host.send(packet)
+            delay += self.pace_interval
+        if self.pace_interval > 0:
+            self._next_send_time = self.loop.now + delay
+        self.tracer.emit(self.loop.now, "alf", "send-adu",
+                         seq=adu.sequence, length=len(adu.payload))
+
+    def _wire_units(self, adu: Adu):
+        """(header, payload) pairs for one ADU, FEC-encoded if enabled."""
+        if self.fec_group is None:
+            for fragment in fragment_adu(adu, self.mtu):
+                yield self._fragment_header(fragment), fragment.payload
+            return
+        from repro.transport.alf.fec import encode_with_parity
+
+        for unit in encode_with_parity(adu, self.mtu, self.fec_group):
+            header = self._fragment_header(unit.fragment)
+            header["fec"] = {
+                "group": unit.group,
+                "is_parity": unit.is_parity,
+                "group_size": unit.group_size,
+                "group_base": unit.group_base,
+                "mtu": self.mtu,
+            }
+            yield header, unit.fragment.payload
+
+    @staticmethod
+    def _fragment_header(fragment) -> dict:
+        return {
+            "adu_seq": fragment.adu_sequence,
+            "frag": fragment.index,
+            "nfrags": fragment.total,
+            "adu_len": fragment.adu_length,
+            "adu_csum": fragment.adu_checksum,
+            "name": fragment.name,
+        }
+
+    # ------------------------------------------------------------------
+    # ACK processing and repair
+
+    def _on_ack_packet(self, packet: Packet) -> None:
+        self.counter.note_packet()
+        self.counter.record("header_parse")
+        self.counter.record("demux_lookup")
+        self.stats.acks_received += 1
+        sack = packet.header["sack"]
+        received: set[int] = set(sack["received"])
+        missing: list[int] = list(sack["missing"])
+
+        for sequence in received:
+            entry = self._outstanding.pop(sequence, None)
+            if entry is not None:
+                self.counter.record("sequence_check")
+                self._acked.add(sequence)
+
+        for sequence in missing:
+            self._repair(sequence)
+
+        self._pump_pending()
+        self._maybe_complete()
+
+    def _repair(self, sequence: int) -> None:
+        entry = self._outstanding.get(sequence)
+        if entry is None:
+            return  # already acked, abandoned, or never buffered
+        # Debounce: a missing report races with an in-flight repair.
+        if self.loop.now - entry.last_sent < self.rto / 2:
+            return
+        if entry.attempts >= self.max_attempts:
+            self._abandon(sequence)
+            return
+        entry.attempts += 1
+        entry.last_sent = self.loop.now
+        if self.recovery is RecoveryMode.TRANSPORT_BUFFER:
+            assert entry.adu is not None
+            self.stats.retransmissions += 1
+            self.tracer.emit(self.loop.now, "alf", "retransmit", seq=sequence)
+            self._transmit(entry.adu)
+        elif self.recovery is RecoveryMode.APP_RECOMPUTE:
+            assert self.recompute is not None
+            adu = self.recompute(sequence)
+            if adu.sequence != sequence:
+                raise TransportError(
+                    f"recompute returned ADU {adu.sequence}, wanted {sequence}"
+                )
+            self.adus_recomputed += 1
+            self.stats.retransmissions += 1
+            self.tracer.emit(self.loop.now, "alf", "recompute", seq=sequence)
+            self._transmit(adu)
+
+    def _abandon(self, sequence: int) -> None:
+        self._outstanding.pop(sequence, None)
+        self.adus_abandoned.add(sequence)
+        self.tracer.emit(self.loop.now, "alf", "abandon", seq=sequence)
+        self._pump_pending()
+
+    def _on_timer(self) -> None:
+        self._timer_armed = False
+        if not self._outstanding:
+            self._maybe_complete()
+            return
+        stale = [
+            sequence
+            for sequence, entry in self._outstanding.items()
+            if self.loop.now - entry.last_sent >= self.rto
+        ]
+        for sequence in stale:
+            self.counter.record("timer_set")
+            self._repair_stale(sequence)
+        self._arm_timer()
+
+    def _repair_stale(self, sequence: int) -> None:
+        """Timer-driven repair skips the debounce (the ADU is stale)."""
+        entry = self._outstanding.get(sequence)
+        if entry is None:
+            return
+        entry.last_sent = -1e9  # defeat the debounce
+        self._repair(sequence)
+
+    def _arm_timer(self) -> None:
+        if not self._timer_armed and self._outstanding:
+            self._timer_armed = True
+            self.loop.schedule(self.rto, self._on_timer)
+
+    def _maybe_complete(self) -> None:
+        if (
+            self._closed
+            and not self._completed
+            and not self._outstanding
+            and self._pending
+        ):
+            self._pump_pending()
+        if (
+            self._closed
+            and not self._completed
+            and not self._outstanding
+            and not self._pending
+        ):
+            self._completed = True
+            if self.on_complete is not None:
+                self.on_complete()

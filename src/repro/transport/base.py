@@ -1,0 +1,43 @@
+"""Shared transport plumbing: stats and delivery records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class TransportStats:
+    """Counters every transport maintains."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    retransmissions: int = 0
+    checksum_failures: int = 0
+    duplicates_discarded: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+
+
+@dataclass(frozen=True)
+class DeliveredAdu:
+    """What an ALF receiver hands the application.
+
+    Attributes:
+        sequence: the ADU's position in the sender's ADU sequence.
+        name: the application-level name fields the sender attached
+            (file offsets, frame/slot coordinates, RPC ids...).
+        payload: the ADU's bytes in transfer syntax.
+        arrival_time: simulation time of completion.
+        in_order: whether every earlier ADU had already been delivered
+            when this one completed (False marks out-of-order progress —
+            the thing a byte-stream transport cannot give you).
+    """
+
+    sequence: int
+    name: dict[str, Any]
+    payload: bytes
+    arrival_time: float
+    in_order: bool

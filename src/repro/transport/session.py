@@ -1,0 +1,309 @@
+"""Association establishment for ALF transports.
+
+The paper deliberately sets aside "session initiation, service location,
+and so on" (§3) to focus on the data-transfer phase — but a usable
+transport needs them, and the *contents* of the handshake are dictated by
+the paper's data-transfer design: the peers must agree on
+
+* the conversion plan (§5 negotiation: identity / sender-converts /
+  canonical), which requires exchanging local syntaxes;
+* the recovery mode (§5's three options), chosen by the sending
+  application;
+* the transmission-unit size (MTU) that ADUs are fragmented into.
+
+The handshake is a loss-tolerant two-way exchange over the ``session``
+protocol: the initiator retransmits INIT until ACCEPT arrives (or gives
+up), then both sides construct their configured ALF endpoints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.presentation.abstract import ASType
+from repro.presentation.negotiate import ConversionPlan, LocalSyntax, negotiate
+from repro.sim.eventloop import EventLoop
+from repro.sim.trace import Tracer
+from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
+from repro.transport.base import DeliveredAdu
+
+PROTOCOL = "session"
+
+_flow_ids = itertools.count(1000)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """What the initiator proposes for an association.
+
+    Attributes:
+        schema_name: key into both sides' schema registries.
+        recovery: the sending application's recovery policy.
+        mtu: transmission-unit payload size.
+        local_syntax: the initiator's data representation.
+        allow_direct: offer single-step sender-side conversion.
+    """
+
+    schema_name: str
+    recovery: RecoveryMode = RecoveryMode.TRANSPORT_BUFFER
+    mtu: int = 1024
+    local_syntax: LocalSyntax = field(
+        default_factory=lambda: LocalSyntax("initiator", "big")
+    )
+    allow_direct: bool = True
+
+
+@dataclass
+class Session:
+    """An established association (either side's view).
+
+    Attributes:
+        flow_id: the data flow's demultiplexing id.
+        config: the agreed parameters.
+        plan: the negotiated conversion plan.
+        sender: the data sender (initiator side only).
+        receiver: the data receiver (listener side only).
+    """
+
+    flow_id: int
+    config: SessionConfig
+    plan: ConversionPlan
+    sender: AlfSender | None = None
+    receiver: AlfReceiver | None = None
+
+
+class SessionListener:
+    """Accepts INITs on a host and builds receiving sessions.
+
+    Args:
+        loop: event loop.
+        host: local host.
+        schemas: registry of abstract syntaxes this side understands.
+        local_syntax: this host's data representation.
+        deliver: called with every :class:`DeliveredAdu` of any accepted
+            session (sessions are distinguished by flow id in the name).
+        on_session: called with each established :class:`Session`.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        host: Host,
+        schemas: dict[str, ASType],
+        local_syntax: LocalSyntax | None = None,
+        deliver: Callable[[int, DeliveredAdu], None] | None = None,
+        on_session: Callable[[Session], None] | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.loop = loop
+        self.host = host
+        self.schemas = dict(schemas)
+        self.local_syntax = local_syntax or LocalSyntax("listener", "little")
+        self.deliver = deliver
+        self.on_session = on_session
+        self.tracer = tracer or Tracer(enabled=False)
+        self.sessions: dict[int, Session] = {}
+        self.rejected = 0
+        host.bind_protocol(PROTOCOL, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.header.get("kind") != "init":
+            return
+        flow_id = int(packet.header["flow_id"])
+        if flow_id in self.sessions:
+            self._send_accept(packet.src, flow_id)  # duplicate INIT
+            return
+        schema_name = packet.header["schema"]
+        if schema_name not in self.schemas:
+            self.rejected += 1
+            self._send_reject(packet.src, flow_id, f"unknown schema {schema_name!r}")
+            return
+        config = SessionConfig(
+            schema_name=schema_name,
+            recovery=RecoveryMode(packet.header["recovery"]),
+            mtu=int(packet.header["mtu"]),
+            local_syntax=LocalSyntax(
+                packet.header["syntax_name"], packet.header["byte_order"]
+            ),
+            allow_direct=bool(packet.header["allow_direct"]),
+        )
+        plan = negotiate(
+            config.local_syntax,
+            self.local_syntax,
+            self.schemas[schema_name],
+            allow_direct=config.allow_direct,
+        )
+        session = Session(flow_id=flow_id, config=config, plan=plan)
+        session.receiver = AlfReceiver(
+            self.loop,
+            self.host,
+            packet.src,
+            flow_id,
+            deliver=lambda adu, fid=flow_id: self._deliver(fid, adu),
+        )
+        self.sessions[flow_id] = session
+        self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
+        self._send_accept(packet.src, flow_id)
+        if self.on_session is not None:
+            self.on_session(session)
+
+    def _deliver(self, flow_id: int, adu: DeliveredAdu) -> None:
+        if self.deliver is not None:
+            self.deliver(flow_id, adu)
+
+    def _send_accept(self, peer: str, flow_id: int) -> None:
+        self.host.send(
+            Packet(
+                src=self.host.name,
+                dst=peer,
+                protocol=PROTOCOL,
+                flow_id=flow_id,
+                header={
+                    "kind": "accept",
+                    "flow_id": flow_id,
+                    "syntax_name": self.local_syntax.name,
+                    "byte_order": self.local_syntax.byte_order,
+                },
+            )
+        )
+
+    def _send_reject(self, peer: str, flow_id: int, reason: str) -> None:
+        self.host.send(
+            Packet(
+                src=self.host.name,
+                dst=peer,
+                protocol=PROTOCOL,
+                flow_id=flow_id,
+                header={"kind": "reject", "flow_id": flow_id, "reason": reason},
+            )
+        )
+
+
+class SessionInitiator:
+    """Opens an association and builds the sending session.
+
+    Args:
+        loop: event loop.
+        host: local host.
+        peer: the listener's host name.
+        config: proposed association parameters.
+        schemas: this side's schema registry (must contain the proposal).
+        on_established: called with the :class:`Session` once ACCEPTed.
+        on_failed: called with a reason string on reject or timeout.
+        handshake_timeout: per-INIT retransmit interval.
+        max_attempts: INIT attempts before giving up.
+        recompute: forwarded to the ALF sender (APP_RECOMPUTE mode).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        host: Host,
+        peer: str,
+        config: SessionConfig,
+        schemas: dict[str, ASType],
+        on_established: Callable[[Session], None] | None = None,
+        on_failed: Callable[[str], None] | None = None,
+        handshake_timeout: float = 0.1,
+        max_attempts: int = 10,
+        recompute: Callable[[int], Any] | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if config.schema_name not in schemas:
+            raise TransportError(
+                f"proposing unknown schema {config.schema_name!r}"
+            )
+        self.loop = loop
+        self.host = host
+        self.peer = peer
+        self.config = config
+        self.schemas = dict(schemas)
+        self.on_established = on_established
+        self.on_failed = on_failed
+        self.handshake_timeout = handshake_timeout
+        self.max_attempts = max_attempts
+        self.recompute = recompute
+        self.tracer = tracer or Tracer(enabled=False)
+
+        self.flow_id = next(_flow_ids)
+        self.session: Session | None = None
+        self.failed_reason: str | None = None
+        self._attempts = 0
+        host.bind(PROTOCOL, self.flow_id, self._on_packet)
+        self._send_init()
+
+    @property
+    def established(self) -> bool:
+        """Whether the handshake has completed."""
+        return self.session is not None
+
+    def _send_init(self) -> None:
+        if self.established or self.failed_reason is not None:
+            return
+        if self._attempts >= self.max_attempts:
+            self._fail("handshake timed out")
+            return
+        self._attempts += 1
+        self.host.send(
+            Packet(
+                src=self.host.name,
+                dst=self.peer,
+                protocol=PROTOCOL,
+                flow_id=self.flow_id,
+                header={
+                    "kind": "init",
+                    "flow_id": self.flow_id,
+                    "schema": self.config.schema_name,
+                    "recovery": self.config.recovery.value,
+                    "mtu": self.config.mtu,
+                    "syntax_name": self.config.local_syntax.name,
+                    "byte_order": self.config.local_syntax.byte_order,
+                    "allow_direct": self.config.allow_direct,
+                },
+            )
+        )
+        self.loop.schedule(self.handshake_timeout, self._send_init)
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.header.get("kind")
+        if kind == "reject":
+            self._fail(str(packet.header.get("reason", "rejected")))
+            return
+        if kind != "accept" or self.established:
+            return
+        receiver_syntax = LocalSyntax(
+            packet.header["syntax_name"], packet.header["byte_order"]
+        )
+        plan = negotiate(
+            self.config.local_syntax,
+            receiver_syntax,
+            self.schemas[self.config.schema_name],
+            allow_direct=self.config.allow_direct,
+        )
+        session = Session(flow_id=self.flow_id, config=self.config, plan=plan)
+        session.sender = AlfSender(
+            self.loop,
+            self.host,
+            self.peer,
+            self.flow_id,
+            mtu=self.config.mtu,
+            recovery=self.config.recovery,
+            recompute=self.recompute,
+        )
+        self.session = session
+        self.tracer.emit(self.loop.now, "session", "established",
+                         flow_id=self.flow_id, attempts=self._attempts)
+        if self.on_established is not None:
+            self.on_established(session)
+
+    def _fail(self, reason: str) -> None:
+        if self.failed_reason is None and not self.established:
+            self.failed_reason = reason
+            self.tracer.emit(self.loop.now, "session", "failed", reason=reason)
+            if self.on_failed is not None:
+                self.on_failed(reason)

@@ -1,0 +1,14 @@
+"""TCP-style byte-stream transport (the paper's baseline).
+
+Sequence numbers count bytes; delivery is strictly in order; loss is
+repaired by sender-buffer retransmission (timeout + fast retransmit on
+triplicate ACKs).  "A lost packet stops the application from performing
+presentation conversion, and to the extent it is the bottleneck, it can
+never catch up" (§5) — the receiver exposes exactly that stall through
+its reassembler's ``blocked_bytes``.
+"""
+
+from repro.transport.tcpstyle.sender import TcpStyleSender
+from repro.transport.tcpstyle.receiver import TcpStyleReceiver
+
+__all__ = ["TcpStyleSender", "TcpStyleReceiver"]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import file_payload, integer_array, octet_payload
+
+
+@pytest.fixture
+def payload_4k() -> bytes:
+    """The paper's canonical 4000-byte packet payload."""
+    return octet_payload(4000, seed=1)
+
+
+@pytest.fixture
+def small_file() -> bytes:
+    """A small deterministic file for transfer tests."""
+    return file_payload(50_000, seed=2)
+
+
+@pytest.fixture
+def int_array() -> list[int]:
+    """A deterministic 32-bit integer array workload."""
+    return integer_array(250, seed=3)

@@ -1,0 +1,72 @@
+"""File transfer application."""
+
+import pytest
+
+from repro.apps.filetransfer import transfer_file
+from repro.bench.workloads import file_payload
+from repro.errors import ApplicationError
+from repro.transport.alf import RecoveryMode
+
+
+def test_clean_transfer(small_file):
+    result = transfer_file(small_file, seed=1)
+    assert result.ok
+    assert result.received == small_file
+    assert result.retransmissions == 0
+    assert result.goodput_bps > 0
+    assert result.adu_count == -(-len(small_file) // 4096)
+
+
+def test_lossy_transfer_completes_exactly(small_file):
+    result = transfer_file(small_file, loss_rate=0.05, seed=2)
+    assert result.ok
+    assert result.received == small_file
+    assert result.retransmissions > 0
+
+
+def test_out_of_order_placement_under_loss(small_file):
+    result = transfer_file(small_file, loss_rate=0.05, seed=3)
+    assert result.out_of_order_deliveries > 0
+    assert result.max_reorder_buffer_bytes == 0  # placed directly
+
+
+def test_no_placement_buffers(small_file):
+    result = transfer_file(
+        small_file, loss_rate=0.05, seed=3, placement_at_sender=False
+    )
+    assert result.ok
+    assert result.max_reorder_buffer_bytes > 0
+
+
+def test_recompute_recovery(small_file):
+    result = transfer_file(
+        small_file, loss_rate=0.05, seed=4,
+        recovery=RecoveryMode.APP_RECOMPUTE,
+    )
+    assert result.ok
+    assert result.recomputations > 0
+
+
+def test_adu_size_validation():
+    with pytest.raises(ApplicationError):
+        transfer_file(b"data", adu_size=0)
+
+
+def test_small_file_one_adu():
+    data = file_payload(100, seed=5)
+    result = transfer_file(data, adu_size=4096, seed=5)
+    assert result.ok
+    assert result.adu_count == 1
+
+
+def test_reordering_path(small_file):
+    result = transfer_file(small_file, reorder_rate=0.2, seed=6)
+    assert result.ok
+    assert result.received == small_file
+
+
+def test_determinism(small_file):
+    a = transfer_file(small_file, loss_rate=0.05, seed=7)
+    b = transfer_file(small_file, loss_rate=0.05, seed=7)
+    assert a.duration == b.duration
+    assert a.retransmissions == b.retransmissions

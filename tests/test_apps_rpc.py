@@ -1,0 +1,118 @@
+"""RPC over ALF: marshalling, scatter, dispatch, replies."""
+
+import pytest
+
+from repro.apps.rpc import RpcClient, RpcServer
+from repro.errors import ApplicationError
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import (
+    ArrayOf,
+    Field,
+    Int32,
+    Struct,
+    Utf8String,
+)
+
+ADD_PARAMS = Struct((Field("x", Int32()), Field("y", Int32())))
+
+
+def make_pair(loss_rate=0.0, seed=1):
+    path = two_hosts(seed=seed, loss_rate=loss_rate)
+    server = RpcServer(path)
+    client = RpcClient(path, server)
+    return path, server, client
+
+
+def test_simple_call():
+    path, server, client = make_pair()
+    server.register("add", ADD_PARAMS, Int32(), lambda x, y: x + y)
+    call = client.call("add", ADD_PARAMS, Int32(), x=1, y=2)
+    path.loop.run(until=5)
+    result = client.result_of(call)
+    assert result.value == 3
+    assert result.procedure == "add"
+    assert result.rtt > 0
+    assert server.calls_served == 1
+
+
+def test_structured_args_and_results():
+    path, server, client = make_pair()
+    params = Struct((Field("samples", ArrayOf(Int32())),))
+    result_type = Struct((Field("total", Int32()), Field("count", Int32())))
+    server.register(
+        "stats", params, result_type,
+        lambda samples: {"total": sum(samples), "count": len(samples)},
+    )
+    call = client.call("stats", params, result_type, samples=[1, 2, 3])
+    path.loop.run(until=5)
+    assert client.result_of(call).value == {"total": 6, "count": 3}
+
+
+def test_string_args():
+    path, server, client = make_pair()
+    params = Struct((Field("name", Utf8String()),))
+    server.register("greet", params, Utf8String(), lambda name: f"hi {name}")
+    call = client.call("greet", params, Utf8String(), name="bob")
+    path.loop.run(until=5)
+    assert client.result_of(call).value == "hi bob"
+
+
+def test_multiple_concurrent_calls():
+    path, server, client = make_pair()
+    server.register("add", ADD_PARAMS, Int32(), lambda x, y: x + y)
+    calls = [
+        client.call("add", ADD_PARAMS, Int32(), x=n, y=n) for n in range(10)
+    ]
+    path.loop.run(until=10)
+    for n, call in enumerate(calls):
+        assert client.result_of(call).value == 2 * n
+
+
+def test_survives_loss():
+    path, server, client = make_pair(loss_rate=0.1, seed=3)
+    server.register("add", ADD_PARAMS, Int32(), lambda x, y: x + y)
+    calls = [
+        client.call("add", ADD_PARAMS, Int32(), x=n, y=1) for n in range(8)
+    ]
+    path.loop.run(until=60)
+    for n, call in enumerate(calls):
+        assert client.result_of(call).value == n + 1
+
+
+def test_arguments_scattered_into_regions():
+    path, server, client = make_pair()
+    server.register("add", ADD_PARAMS, Int32(), lambda x, y: x + y)
+    client.call("add", ADD_PARAMS, Int32(), x=7, y=9)
+    path.loop.run(until=5)
+    regions = server.app_space.region_names()
+    assert "call0:x" in regions and "call0:y" in regions
+    assert server.scatter_entries == 2
+
+
+def test_bad_arguments_rejected_client_side():
+    path, server, client = make_pair()
+    server.register("add", ADD_PARAMS, Int32(), lambda x, y: x + y)
+    from repro.errors import PresentationError
+
+    with pytest.raises(PresentationError):
+        client.call("add", ADD_PARAMS, Int32(), x="not an int", y=2)
+
+
+def test_unknown_procedure():
+    path, server, client = make_pair()
+    client.call("nothere", ADD_PARAMS, Int32(), x=1, y=2)
+    with pytest.raises(ApplicationError, match="no procedure"):
+        path.loop.run(until=5)
+
+
+def test_duplicate_registration():
+    path, server, _ = make_pair()
+    server.register("p", ADD_PARAMS, Int32(), lambda x, y: 0)
+    with pytest.raises(ApplicationError):
+        server.register("p", ADD_PARAMS, Int32(), lambda x, y: 0)
+
+
+def test_pending_result_raises():
+    _, _, client = make_pair()
+    with pytest.raises(ApplicationError, match="not completed"):
+        client.result_of(99)

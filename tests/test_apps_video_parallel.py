@@ -1,0 +1,103 @@
+"""Video streaming and striped parallel delivery."""
+
+import pytest
+
+from repro.apps.parallel import striped_delivery
+from repro.apps.video import stream_video
+from repro.errors import ApplicationError
+
+
+class TestVideo:
+    def test_clean_stream_completes_everything(self):
+        result = stream_video(n_frames=10, loss_rate=0.0, reorder_rate=0.0,
+                              seed=1)
+        assert result.frame_completion_rate == 1.0
+        assert result.tile_loss_rate == 0.0
+        assert result.tiles_delivered == result.tiles_sent
+
+    def test_no_retransmissions_ever(self):
+        result = stream_video(n_frames=10, loss_rate=0.1, seed=2)
+        assert result.retransmissions == 0
+
+    def test_loss_degrades_gracefully(self):
+        clean = stream_video(n_frames=15, loss_rate=0.0, seed=3)
+        lossy = stream_video(n_frames=15, loss_rate=0.1, seed=3)
+        assert lossy.frame_completion_rate < clean.frame_completion_rate
+        assert lossy.tile_loss_rate > 0
+        # But the session survives: most tiles still render.
+        assert lossy.tile_loss_rate < 0.5
+
+    def test_jitter_measured(self):
+        result = stream_video(n_frames=10, loss_rate=0.02,
+                              reorder_rate=0.05, seed=4)
+        assert result.mean_jitter >= 0.0
+
+    def test_playout_offset_tradeoff(self):
+        tight = stream_video(n_frames=10, seed=5, loss_rate=0.02,
+                             reorder_rate=0.1, playout_offset=0.03)
+        loose = stream_video(n_frames=10, seed=5, loss_rate=0.02,
+                             reorder_rate=0.1, playout_offset=0.3)
+        assert loose.tile_loss_rate <= tight.tile_loss_rate
+
+    def test_frame_reports_consistent(self):
+        result = stream_video(n_frames=8, loss_rate=0.05, seed=6)
+        for frame in result.frames:
+            assert (
+                frame.tiles_on_time + frame.concealed == frame.tiles_expected
+            )
+
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            stream_video(n_frames=0)
+
+
+class TestParallel:
+    def test_alf_scales_with_nodes(self):
+        two = striped_delivery(n_nodes=2, mode="alf")
+        eight = striped_delivery(n_nodes=8, mode="alf")
+        assert (
+            eight.aggregate_throughput_bps
+            > 3 * two.aggregate_throughput_bps / 2
+        )
+
+    def test_serial_capped_at_one_node(self):
+        one = striped_delivery(n_nodes=1, mode="serial")
+        eight = striped_delivery(n_nodes=8, mode="serial")
+        ratio = eight.aggregate_throughput_bps / one.aggregate_throughput_bps
+        assert ratio < 1.5  # the hot spot does not scale
+
+    def test_alf_beats_serial_at_scale(self):
+        alf = striped_delivery(n_nodes=4, mode="alf")
+        serial = striped_delivery(n_nodes=4, mode="serial")
+        assert alf.aggregate_throughput_bps > 2 * serial.aggregate_throughput_bps
+
+    def test_work_is_striped_evenly(self):
+        result = striped_delivery(n_nodes=4, n_adus=64, mode="alf")
+        assert len(set(result.per_node_bytes)) == 1  # 64 % 4 == 0
+
+    def test_all_bytes_processed_in_both_modes(self):
+        for mode in ("alf", "serial"):
+            result = striped_delivery(n_nodes=4, n_adus=32, mode=mode)
+            assert sum(result.per_node_bytes) == result.total_bytes
+
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            striped_delivery(mode="quantum")
+        with pytest.raises(ApplicationError):
+            striped_delivery(n_nodes=0)
+
+
+class TestVideoFec:
+    def test_fec_improves_frame_completion_without_retransmission(self):
+        plain = stream_video(n_frames=20, loss_rate=0.05, seed=4)
+        fec = stream_video(n_frames=20, loss_rate=0.05, seed=4, fec_group=4)
+        assert fec.retransmissions == 0
+        assert fec.fec_recoveries > 0
+        assert fec.tile_loss_rate < plain.tile_loss_rate
+        assert fec.frame_completion_rate >= plain.frame_completion_rate
+
+    def test_fec_clean_path_is_transparent(self):
+        result = stream_video(n_frames=10, loss_rate=0.0, reorder_rate=0.0,
+                              seed=5, fec_group=4)
+        assert result.frame_completion_rate == 1.0
+        assert result.fec_recoveries == 0

@@ -1,0 +1,125 @@
+"""Harness containers, table/series rendering, report generation, and
+workload determinism."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, Row, format_table, render_series
+from repro.bench.workloads import (
+    PACKET_BYTES,
+    file_payload,
+    integer_array,
+    octet_payload,
+)
+
+
+@pytest.fixture
+def sample_result():
+    return ExperimentResult(
+        "X1",
+        "A sample experiment",
+        [
+            Row("alpha", measured=10.0, paper=12.0),
+            Row("beta", measured=5.0, unit="x", extra={"k": 1}),
+        ],
+        notes="for testing",
+    )
+
+
+class TestRows:
+    def test_row_lookup(self, sample_result):
+        assert sample_result.row("alpha").paper == 12.0
+        assert sample_result.measured("beta") == 5.0
+
+    def test_missing_row(self, sample_result):
+        with pytest.raises(KeyError):
+            sample_result.row("gamma")
+
+
+class TestTable:
+    def test_format_contains_everything(self, sample_result):
+        text = format_table(sample_result)
+        assert "[X1]" in text
+        assert "A sample experiment" in text
+        assert "alpha" in text and "12.00" in text and "10.00" in text
+        assert "k=1" in text
+        assert "note: for testing" in text
+
+    def test_missing_paper_renders_dash(self, sample_result):
+        lines = format_table(sample_result).splitlines()
+        beta_line = next(line for line in lines if "beta" in line)
+        assert " - " in beta_line or "-" in beta_line.split()
+
+    def test_format_method_delegates(self, sample_result):
+        assert sample_result.format() == format_table(sample_result)
+
+
+class TestSeries:
+    def test_bars_scale_to_peak(self, sample_result):
+        text = render_series(sample_result, width=10)
+        lines = text.splitlines()
+        alpha_bar = lines[1].count("#")
+        beta_bar = lines[2].count("#")
+        assert alpha_bar == 10
+        assert beta_bar == 5
+
+    def test_label_filter(self, sample_result):
+        text = render_series(sample_result, label_filter="alpha")
+        assert "alpha" in text and "beta" not in text
+
+    def test_filter_without_match(self, sample_result):
+        assert "no rows match" in render_series(sample_result, label_filter="zz")
+
+    def test_all_zero_rows(self):
+        result = ExperimentResult("X2", "zeros", [Row("a", measured=0.0)])
+        text = render_series(result)
+        assert "#" not in text
+
+
+class TestWorkloads:
+    def test_packet_constant(self):
+        assert PACKET_BYTES == 4000
+
+    def test_integer_array_deterministic(self):
+        assert integer_array(10, seed=3) == integer_array(10, seed=3)
+        assert integer_array(10, seed=3) != integer_array(10, seed=4)
+
+    def test_integers_in_range(self):
+        for value in integer_array(200):
+            assert -(2**31) <= value <= 2**31 - 1
+
+    def test_payloads_deterministic(self):
+        assert octet_payload(64, seed=1) == octet_payload(64, seed=1)
+        assert file_payload(64, seed=1) == file_payload(64, seed=1)
+        assert octet_payload(64, seed=1) != octet_payload(64, seed=2)
+
+    def test_lengths(self):
+        assert len(octet_payload(123)) == 123
+        assert len(file_payload(0)) == 0
+
+
+class TestReport:
+    def test_render_contains_every_catalog_id(self):
+        # Rendering the full battery is slow; check structure on the
+        # preamble and the figure-set constant instead.
+        from repro.bench import report
+
+        assert "F1" in report._FIGURES
+        assert "paper vs. measured" in report._PREAMBLE
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        # Patch all_experiments to keep the test fast.
+        from repro.bench import report
+        from repro.bench.harness import ExperimentResult, Row
+
+        original = report.all_experiments
+        report.all_experiments = lambda: [
+            ExperimentResult("F1", "tiny", [Row("r", measured=1.0)])
+        ]
+        try:
+            target = tmp_path / "OUT.md"
+            assert report.main([str(target)]) == 0
+            text = target.read_text()
+            assert "[F1] tiny" in text
+            assert "|" in text  # the figure rendering
+        finally:
+            report.all_experiments = original

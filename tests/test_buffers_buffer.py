@@ -1,0 +1,100 @@
+"""Buffers and zero-copy views."""
+
+import pytest
+
+from repro.buffers.buffer import Buffer, BufferView
+from repro.errors import BufferError_
+
+
+def test_buffer_basic_rw():
+    buffer = Buffer(16, label="b")
+    buffer.write(4, b"abcd")
+    assert buffer.read(4, 4) == b"abcd"
+    assert buffer.read(0, 4) == b"\x00" * 4
+
+
+def test_from_bytes_copies():
+    src = bytearray(b"hello")
+    buffer = Buffer.from_bytes(bytes(src))
+    src[0] = 0
+    assert buffer.read(0, 5) == b"hello"
+
+
+def test_negative_size_rejected():
+    with pytest.raises(BufferError_):
+        Buffer(-1)
+
+
+def test_write_out_of_range():
+    buffer = Buffer(8)
+    with pytest.raises(BufferError_):
+        buffer.write(6, b"abc")
+    with pytest.raises(BufferError_):
+        buffer.write(-1, b"a")
+
+
+def test_read_out_of_range():
+    buffer = Buffer(8)
+    with pytest.raises(BufferError_):
+        buffer.read(6, 3)
+    with pytest.raises(BufferError_):
+        buffer.read(0, -1)
+
+
+def test_distinct_buffers_never_alias():
+    a, b = Buffer(16), Buffer(16)
+    assert a.base_address != b.base_address
+
+
+def test_view_tobytes():
+    buffer = Buffer.from_bytes(b"0123456789")
+    view = buffer.view(2, 4)
+    assert view.tobytes() == b"2345"
+    assert len(view) == 4
+    assert view.address == buffer.base_address + 2
+
+
+def test_view_defaults_to_rest():
+    buffer = Buffer.from_bytes(b"0123456789")
+    assert buffer.view(6).tobytes() == b"6789"
+
+
+def test_view_bounds_checked():
+    buffer = Buffer(8)
+    with pytest.raises(BufferError_):
+        BufferView(buffer, 4, 8)
+    with pytest.raises(BufferError_):
+        BufferView(buffer, -1, 2)
+
+
+def test_subview():
+    buffer = Buffer.from_bytes(b"0123456789")
+    view = buffer.view(2, 6)  # "234567"
+    sub = view.subview(1, 3)
+    assert sub.tobytes() == b"345"
+
+
+def test_subview_bounds():
+    view = Buffer.from_bytes(b"0123").view()
+    with pytest.raises(BufferError_):
+        view.subview(2, 5)
+
+
+def test_view_store():
+    buffer = Buffer(8)
+    view = buffer.view(2, 4)
+    view.store(b"xy")
+    assert buffer.read(2, 2) == b"xy"
+
+
+def test_view_store_overflow():
+    view = Buffer(8).view(2, 2)
+    with pytest.raises(BufferError_):
+        view.store(b"abc")
+
+
+def test_memoryview_is_writable_window():
+    buffer = Buffer.from_bytes(b"aaaa")
+    view = buffer.view(1, 2)
+    view.memoryview()[0] = ord("b")
+    assert buffer.read(0, 4) == b"abaa"

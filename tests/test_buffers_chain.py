@@ -1,0 +1,116 @@
+"""Scatter/gather chains: structural ops are zero-copy and lossless."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.buffers.buffer import Buffer
+from repro.buffers.chain import BufferChain
+from repro.errors import BufferError_
+
+
+def chain_of(*parts: bytes) -> BufferChain:
+    chain = BufferChain()
+    for part in parts:
+        chain.append(Buffer.from_bytes(part).view())
+    return chain
+
+
+def test_length_and_linearize():
+    chain = chain_of(b"hello ", b"world")
+    assert len(chain) == 11
+    assert chain.linearize() == b"hello world"
+
+
+def test_empty_chain():
+    chain = BufferChain()
+    assert len(chain) == 0
+    assert chain.linearize() == b""
+    assert chain.is_contiguous()
+
+
+def test_from_bytes():
+    assert BufferChain.from_bytes(b"abc").linearize() == b"abc"
+    assert BufferChain.from_bytes(b"").linearize() == b""
+
+
+def test_prepend_header():
+    chain = chain_of(b"payload")
+    chain.prepend(Buffer.from_bytes(b"HDR:").view())
+    assert chain.linearize() == b"HDR:payload"
+
+
+def test_empty_segments_dropped():
+    chain = chain_of(b"", b"x", b"")
+    assert len(chain.segments) == 1
+
+
+def test_split_mid_segment():
+    chain = chain_of(b"abcdef")
+    head, tail = chain.split(2)
+    assert head.linearize() == b"ab"
+    assert tail.linearize() == b"cdef"
+
+
+def test_split_on_boundary():
+    chain = chain_of(b"abc", b"def")
+    head, tail = chain.split(3)
+    assert head.linearize() == b"abc"
+    assert tail.linearize() == b"def"
+
+
+def test_split_bounds():
+    chain = chain_of(b"ab")
+    with pytest.raises(BufferError_):
+        chain.split(3)
+    with pytest.raises(BufferError_):
+        chain.split(-1)
+
+
+def test_trim_front():
+    chain = chain_of(b"hdr", b"payload")
+    assert chain.trim_front(3).linearize() == b"payload"
+
+
+def test_chunks():
+    chain = chain_of(b"abcdefgh")
+    chunks = [c.linearize() for c in chain.chunks(3)]
+    assert chunks == [b"abc", b"def", b"gh"]
+
+
+def test_chunks_bad_size():
+    with pytest.raises(BufferError_):
+        list(chain_of(b"ab").chunks(0))
+
+
+def test_extend():
+    a = chain_of(b"ab")
+    b = chain_of(b"cd", b"ef")
+    a.extend(b)
+    assert a.linearize() == b"abcdef"
+
+
+def test_is_contiguous():
+    assert chain_of(b"x").is_contiguous()
+    assert not chain_of(b"x", b"y").is_contiguous()
+
+
+@given(
+    st.lists(st.binary(min_size=0, max_size=20), max_size=6),
+    st.integers(min_value=0, max_value=120),
+)
+def test_split_is_lossless(parts, at):
+    """Splitting at any valid point preserves the content exactly."""
+    chain = chain_of(*parts)
+    at = min(at, len(chain))
+    head, tail = chain.split(at)
+    assert head.linearize() + tail.linearize() == chain.linearize()
+    assert len(head) == at
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=20), max_size=6),
+    st.integers(min_value=1, max_value=16),
+)
+def test_chunks_reassemble(parts, size):
+    chain = chain_of(*parts)
+    assert b"".join(c.linearize() for c in chain.chunks(size)) == chain.linearize()

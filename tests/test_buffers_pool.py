@@ -1,0 +1,66 @@
+"""Buffer pools: finite capacity and correct recycling."""
+
+import pytest
+
+from repro.buffers.pool import BufferPool
+from repro.errors import BufferError_
+
+
+def test_construction_validates():
+    with pytest.raises(BufferError_):
+        BufferPool(0, 100)
+    with pytest.raises(BufferError_):
+        BufferPool(4, 0)
+
+
+def test_allocate_release_cycle():
+    pool = BufferPool(2, 64)
+    a = pool.allocate()
+    assert pool.available == 1
+    assert pool.in_use == 1
+    pool.release(a)
+    assert pool.available == 2
+
+
+def test_exhaustion_raises():
+    pool = BufferPool(1, 64)
+    pool.allocate()
+    with pytest.raises(BufferError_, match="exhausted"):
+        pool.allocate()
+
+
+def test_try_allocate_counts_failures():
+    pool = BufferPool(1, 64)
+    assert pool.try_allocate() is not None
+    assert pool.try_allocate() is None
+    assert pool.allocation_failures == 1
+
+
+def test_double_release_rejected():
+    pool = BufferPool(2, 64)
+    buffer = pool.allocate()
+    pool.release(buffer)
+    with pytest.raises(BufferError_):
+        pool.release(buffer)
+
+
+def test_foreign_buffer_rejected():
+    from repro.buffers.buffer import Buffer
+
+    pool = BufferPool(1, 64)
+    with pytest.raises(BufferError_):
+        pool.release(Buffer(64))
+
+
+def test_release_zeroes_contents():
+    pool = BufferPool(1, 8)
+    buffer = pool.allocate()
+    buffer.write(0, b"secret!!")
+    pool.release(buffer)
+    again = pool.allocate()
+    assert again.read(0, 8) == b"\x00" * 8
+
+
+def test_buffers_have_declared_size():
+    pool = BufferPool(3, 128)
+    assert len(pool.allocate()) == 128

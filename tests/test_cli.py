@@ -1,0 +1,95 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.cli import CATALOG, main
+
+
+def test_catalog_covers_design_index():
+    """Every experiment id in DESIGN.md's index is runnable."""
+    for eid in ("T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7",
+                "F1", "F2", "F3", "F4", "F5", "F6",
+                "A1", "A2", "A3", "A4", "A5", "A6"):
+        assert eid in CATALOG
+
+
+def test_catalog_runners_return_results():
+    _, runner = CATALOG["T1"]
+    assert isinstance(runner(), ExperimentResult)
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "T1" in out and "Table 1" in out
+
+
+def test_run_single(capsys):
+    assert main(["run", "T1"]) == 0
+    out = capsys.readouterr().out
+    assert "[T1]" in out
+    assert "130.00" in out
+
+
+def test_run_is_case_insensitive(capsys):
+    assert main(["run", "t1"]) == 0
+    assert "[T1]" in capsys.readouterr().out
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "T1", "E2"]) == 0
+    out = capsys.readouterr().out
+    assert "[T1]" in out and "[E2]" in out
+
+
+def test_run_unknown_id(capsys):
+    assert main(["run", "Z9"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_nothing(capsys):
+    assert main(["run"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_calibration(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "MIPS R2000" in out
+    assert "90.0" in out  # the fused copy+checksum check
+
+
+def test_report_to_path(tmp_path, capsys):
+    target = tmp_path / "EXP.md"
+    assert main(["report", str(target)]) == 0
+    text = target.read_text()
+    assert "[T1]" in text and "[E7]" in text
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_verify_passes(capsys):
+    assert main(["verify"]) == 0
+    assert "guards hold" in capsys.readouterr().out
+
+
+def test_verify_detects_drift(monkeypatch, capsys):
+    from repro.bench import regress
+
+    monkeypatch.setattr(
+        regress, "verify_headlines", lambda: ["T1 / fake: drifted"]
+    )
+    assert main(["verify"]) == 1
+    assert "DRIFT" in capsys.readouterr().err
+
+
+def test_guard_bands_are_sane():
+    from repro.bench.regress import _SUITES
+
+    for _, guards in _SUITES:
+        for guard in guards:
+            assert guard.low <= guard.high

@@ -1,0 +1,133 @@
+"""Framing over streams and byte-stream reassembly."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.framing import LengthPrefixFramer, StreamReassembler
+from repro.errors import FramingError
+
+
+class TestFramer:
+    def test_frame_roundtrip(self):
+        framer = LengthPrefixFramer()
+        wire = framer.frame(b"hello")
+        assert framer.feed(wire) == [b"hello"]
+
+    def test_partial_feed(self):
+        framer = LengthPrefixFramer()
+        wire = framer.frame(b"hello world")
+        assert framer.feed(wire[:3]) == []
+        assert framer.buffered_bytes == 3
+        assert framer.feed(wire[3:]) == [b"hello world"]
+        assert framer.buffered_bytes == 0
+
+    def test_multiple_frames_in_one_feed(self):
+        framer = LengthPrefixFramer()
+        wire = framer.frame(b"a") + framer.frame(b"bb") + framer.frame(b"")
+        assert framer.feed(wire) == [b"a", b"bb", b""]
+
+    def test_corrupt_length_rejected(self):
+        framer = LengthPrefixFramer()
+        with pytest.raises(FramingError, match="corrupt"):
+            framer.feed(struct.pack(">I", 2**31) + b"xx")
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(FramingError):
+            LengthPrefixFramer().frame(b"x" * (2**31))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.binary(max_size=30), max_size=8),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_any_chunking_reassembles(self, frames, chunk):
+        """The framing property: however the stream is sliced, the exact
+        frame sequence comes back."""
+        framer = LengthPrefixFramer()
+        wire = b"".join(framer.frame(f) for f in frames)
+        out = []
+        for start in range(0, len(wire), chunk):
+            out.extend(framer.feed(wire[start : start + chunk]))
+        assert out == frames
+
+
+class TestStreamReassembler:
+    def test_in_order(self):
+        stream = StreamReassembler()
+        stream.insert(0, b"ab")
+        stream.insert(2, b"cd")
+        assert stream.take_ready() == b"abcd"
+        assert stream.next_offset == 4
+
+    def test_hole_blocks(self):
+        stream = StreamReassembler()
+        stream.insert(2, b"cd")
+        assert stream.take_ready() == b""
+        assert stream.blocked_bytes == 2
+        assert stream.has_holes
+
+    def test_fill_releases(self):
+        stream = StreamReassembler()
+        stream.insert(2, b"cd")
+        stream.insert(0, b"ab")
+        assert stream.take_ready() == b"abcd"
+        assert not stream.has_holes
+
+    def test_duplicates_ignored(self):
+        stream = StreamReassembler()
+        stream.insert(0, b"ab")
+        stream.take_ready()
+        stream.insert(0, b"ab")
+        assert stream.take_ready() == b""
+
+    def test_overlap_trimmed(self):
+        stream = StreamReassembler()
+        stream.insert(0, b"abcd")
+        stream.take_ready()
+        stream.insert(2, b"cdEF")  # overlaps already-delivered data
+        assert stream.take_ready() == b"EF"
+
+    def test_empty_insert(self):
+        stream = StreamReassembler()
+        stream.insert(0, b"")
+        assert stream.take_ready() == b""
+
+    def test_negative_offset(self):
+        with pytest.raises(FramingError):
+            StreamReassembler().insert(-1, b"x")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.permutations(list(range(12))))
+    def test_any_order_reassembles_exactly(self, order):
+        data = bytes(range(120))
+        stream = StreamReassembler()
+        out = bytearray()
+        for index in order:
+            stream.insert(index * 10, data[index * 10 : index * 10 + 10])
+            out += stream.take_ready()
+        assert bytes(out) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=1, max_value=20),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_delivery_is_prefix_of_ground_truth(self, segments):
+        """Whatever overlapping mess arrives, delivered bytes are always
+        the correct contiguous prefix of the true stream."""
+        truth = bytes(i % 256 for i in range(100))
+        stream = StreamReassembler()
+        delivered = bytearray()
+        for offset, length in segments:
+            stream.insert(offset, truth[offset : offset + length])
+            delivered += stream.take_ready()
+        assert bytes(delivered) == truth[: len(delivered)]
+        assert stream.next_offset == len(delivered)

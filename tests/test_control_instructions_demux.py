@@ -1,0 +1,95 @@
+"""Instruction accounting and demultiplexing."""
+
+import pytest
+
+from repro.control.demux import DemuxTable
+from repro.control.instructions import InstructionCosts, InstructionCounter
+from repro.errors import ReproError, TransportError
+
+
+class TestCosts:
+    def test_lookup_by_name(self):
+        costs = InstructionCosts()
+        assert costs.of("demux_lookup") == 12
+        assert costs.of("ack_compute") == 15
+
+    def test_unknown_operation(self):
+        with pytest.raises(ReproError, match="unknown control operation"):
+            InstructionCosts().of("quantum_teleport")
+
+    def test_every_budget_is_tens_not_hundreds(self):
+        """The paper's claim, enforced on the budgets themselves."""
+        costs = InstructionCosts()
+        for field_name in costs.__dataclass_fields__:
+            assert 1 <= costs.of(field_name) < 100
+
+
+class TestCounter:
+    def test_record_accumulates(self):
+        counter = InstructionCounter()
+        counter.record("demux_lookup")
+        counter.record("demux_lookup", times=2)
+        assert counter.total == 36
+        assert counter.by_operation == {"demux_lookup": 36}
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ReproError):
+            InstructionCounter().record("demux_lookup", times=-1)
+
+    def test_per_packet(self):
+        counter = InstructionCounter()
+        counter.record("ack_compute", times=4)
+        counter.note_packet()
+        counter.note_packet()
+        assert counter.per_packet() == 30.0
+
+    def test_per_packet_no_packets(self):
+        assert InstructionCounter().per_packet() == 0.0
+
+    def test_merge(self):
+        a, b = InstructionCounter(), InstructionCounter()
+        a.record("timestamp")
+        b.record("timestamp")
+        b.record("timer_set")
+        b.note_packet()
+        a.merge(b)
+        assert a.by_operation["timestamp"] == 8
+        assert a.by_operation["timer_set"] == 8
+        assert a.packets_processed == 1
+
+
+class TestDemux:
+    def test_bind_lookup(self):
+        table = DemuxTable()
+        table.bind(5, "state-5")
+        assert table.lookup(5) == "state-5"
+        assert table.lookups == 1
+        assert 5 in table
+        assert len(table) == 1
+
+    def test_lookup_charges_control_path(self):
+        counter = InstructionCounter()
+        table = DemuxTable(counter)
+        table.bind(1, object())
+        table.lookup(1)
+        assert counter.by_operation["header_parse"] == 10
+        assert counter.by_operation["demux_lookup"] == 12
+
+    def test_miss_raises_and_counts(self):
+        table = DemuxTable()
+        with pytest.raises(TransportError, match="no state"):
+            table.lookup(9)
+        assert table.misses == 1
+
+    def test_double_bind_rejected(self):
+        table = DemuxTable()
+        table.bind(1, "a")
+        with pytest.raises(TransportError):
+            table.bind(1, "b")
+
+    def test_unbind(self):
+        table = DemuxTable()
+        table.bind(1, "a")
+        table.unbind(1)
+        assert 1 not in table
+        table.unbind(1)  # idempotent

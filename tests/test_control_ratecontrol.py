@@ -1,0 +1,142 @@
+"""Out-of-band rate control."""
+
+import pytest
+
+from repro.control.ratecontrol import PacedAduSource, ReceiverRateController
+from repro.core.adu import Adu
+from repro.core.app import ApplicationProcess
+from repro.errors import TransportError
+from repro.sim.eventloop import EventLoop
+
+
+def make_adus(count, size=1000):
+    return [Adu(index, bytes(size)) for index in range(count)]
+
+
+class TestPacedSource:
+    def test_emits_everything_in_order(self):
+        loop = EventLoop()
+        sent = []
+        source = PacedAduSource(loop, sent.append, make_adus(5),
+                                initial_rate_bps=8e6)
+        loop.run()
+        assert [adu.sequence for adu in sent] == [0, 1, 2, 3, 4]
+        assert source.emitted == 5
+        assert source.pending == 0
+
+    def test_paces_at_the_rate(self):
+        loop = EventLoop()
+        times = []
+        PacedAduSource(
+            loop, lambda adu: times.append(loop.now), make_adus(3, size=1000),
+            initial_rate_bps=8000.0,  # 1000 B = 8000 bits = 1 s apart
+        )
+        loop.run()
+        assert times == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_rate_update_takes_effect(self):
+        loop = EventLoop()
+        times = []
+        source = PacedAduSource(
+            loop, lambda adu: times.append(loop.now), make_adus(3, size=1000),
+            initial_rate_bps=8000.0,
+        )
+        loop.schedule(0.5, source.on_rate_update, 16000.0)
+        loop.run()
+        # First gap 1s (old rate), second gap 0.5s (doubled rate).
+        assert times[2] - times[1] == pytest.approx(0.5)
+
+    def test_on_drained_fires(self):
+        loop = EventLoop()
+        drained = []
+        PacedAduSource(
+            loop, lambda adu: None, make_adus(2),
+            initial_rate_bps=1e6, on_drained=lambda: drained.append(loop.now),
+        )
+        loop.run()
+        assert len(drained) == 1
+
+    def test_zero_or_negative_update_ignored(self):
+        loop = EventLoop()
+        source = PacedAduSource(loop, lambda adu: None, [],
+                                initial_rate_bps=100.0)
+        source.on_rate_update(0)
+        source.on_rate_update(-5)
+        assert source.rate_bps == 100.0
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(TransportError):
+            PacedAduSource(loop, lambda adu: None, [], initial_rate_bps=0)
+
+
+class TestController:
+    def test_shrinks_under_backlog(self):
+        loop = EventLoop()
+        app = ApplicationProcess(loop, processing_rate_bps=8e6)
+        grants = []
+        controller = ReceiverRateController(
+            loop, app, grants.append, interval=0.01, target_backlog=2
+        )
+        for index in range(20):  # flood
+            app.submit(index, 10_000)
+        loop.run(until=0.05)
+        controller.stop()
+        assert grants and grants[-1] < controller.max_rate_bps
+        assert grants[0] > grants[-1] or len(grants) == 1
+
+    def test_probes_up_when_idle(self):
+        loop = EventLoop()
+        app = ApplicationProcess(loop, processing_rate_bps=8e6)
+        grants = []
+        controller = ReceiverRateController(
+            loop, app, grants.append, interval=0.01
+        )
+        loop.run(until=0.05)
+        controller.stop()
+        assert grants == sorted(grants)  # monotone probing upward
+
+    def test_rate_bounds_respected(self):
+        loop = EventLoop()
+        app = ApplicationProcess(loop, processing_rate_bps=8e6)
+        grants = []
+        controller = ReceiverRateController(
+            loop, app, grants.append, interval=0.01,
+            min_rate_bps=1000.0, max_rate_bps=2000.0,
+        )
+        loop.run(until=1.0)
+        controller.stop()
+        assert all(1000.0 <= g <= 2000.0 for g in grants)
+
+    def test_stop_halts_updates(self):
+        loop = EventLoop()
+        app = ApplicationProcess(loop, processing_rate_bps=8e6)
+        grants = []
+        controller = ReceiverRateController(
+            loop, app, grants.append, interval=0.01
+        )
+        loop.run(until=0.03)
+        controller.stop()
+        count = len(grants)
+        loop.run(until=0.2)
+        assert len(grants) == count
+
+    def test_validation(self):
+        loop = EventLoop()
+        app = ApplicationProcess(loop, 100.0)
+        with pytest.raises(TransportError):
+            ReceiverRateController(loop, app, lambda r: None, interval=0)
+        with pytest.raises(TransportError):
+            ReceiverRateController(loop, app, lambda r: None, target_backlog=0)
+
+
+class TestClosedLoop:
+    def test_bounded_backlog_end_to_end(self):
+        """The A6 behaviour as a unit test: flooding overflows, control
+        bounds."""
+        from repro.bench.experiments import rate_control
+
+        result = rate_control(n_adus=100)
+        flood = result.measured("max app backlog, unpaced")
+        paced = result.measured("max app backlog, out-of-band control")
+        assert paced < flood / 5

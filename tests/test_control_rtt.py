@@ -1,0 +1,110 @@
+"""RTT estimation (Jacobson / RFC 6298) and its transport integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.rtt import RttEstimator
+from repro.errors import TransportError
+
+
+class TestEstimator:
+    def test_first_sample_initializes(self):
+        estimator = RttEstimator()
+        rto = estimator.sample(0.1)
+        assert estimator.srtt == pytest.approx(0.1)
+        assert estimator.rttvar == pytest.approx(0.05)
+        assert rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_steady_rtt_converges_to_tight_rto(self):
+        estimator = RttEstimator()
+        for _ in range(100):
+            estimator.sample(0.05)
+        assert estimator.srtt == pytest.approx(0.05, rel=1e-3)
+        assert estimator.rto < 0.07
+
+    def test_variance_widens_rto(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for index in range(50):
+            steady.sample(0.05)
+            jittery.sample(0.02 if index % 2 else 0.08)
+        assert jittery.rto > steady.rto
+
+    def test_min_rto_clamp(self):
+        estimator = RttEstimator(min_rto=0.02)
+        for _ in range(100):
+            estimator.sample(0.001)
+        assert estimator.rto == pytest.approx(0.02)
+
+    def test_max_rto_clamp(self):
+        estimator = RttEstimator(max_rto=1.0)
+        estimator.sample(10.0)
+        assert estimator.rto == pytest.approx(1.0)
+
+    def test_backoff_doubles_and_clamps(self):
+        estimator = RttEstimator(initial_rto=0.5, max_rto=1.5)
+        assert estimator.back_off() == pytest.approx(1.0)
+        assert estimator.back_off() == pytest.approx(1.5)
+        assert estimator.back_off() == pytest.approx(1.5)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(TransportError):
+            RttEstimator().sample(-0.1)
+
+    def test_bad_clamps_rejected(self):
+        with pytest.raises(TransportError):
+            RttEstimator(min_rto=0.0)
+        with pytest.raises(TransportError):
+            RttEstimator(min_rto=2.0, max_rto=1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1,
+                    max_size=50))
+    def test_rto_always_within_clamps(self, samples):
+        estimator = RttEstimator()
+        for sample in samples:
+            rto = estimator.sample(sample)
+            assert estimator.min_rto <= rto <= estimator.max_rto
+
+
+class TestTransportIntegration:
+    def _transfer(self, adaptive, initial_rto, loss, seed=13):
+        from repro.bench.workloads import file_payload
+        from repro.net.topology import two_hosts
+        from repro.transport.tcpstyle import TcpStyleReceiver, TcpStyleSender
+
+        path = two_hosts(seed=seed, loss_rate=loss, bandwidth_bps=50e6,
+                         propagation_delay=0.005)
+        payload = file_payload(60_000, seed=seed)
+        received = bytearray()
+        finished = []
+        TcpStyleReceiver(path.loop, path.b, "a", 1, deliver=received.extend)
+        sender = TcpStyleSender(
+            path.loop, path.a, "b", 1, rto=initial_rto,
+            adaptive_rto=adaptive,
+            on_complete=lambda: finished.append(path.loop.now),
+        )
+        sender.send(payload)
+        sender.close()
+        path.loop.run(until=600)
+        assert bytes(received) == payload
+        return finished[0], sender
+
+    def test_estimator_learns_the_path(self):
+        _, sender = self._transfer(adaptive=True, initial_rto=1.0, loss=0.0)
+        assert sender.rtt is not None
+        assert sender.rtt.samples > 10
+        # The path RTT is ~10 ms; the learned RTO must be near it, far
+        # below the 1 s initial value.
+        assert sender.rtt.rto < 0.2
+
+    def test_adaptive_beats_oversized_fixed_rto_under_loss(self):
+        fixed_time, _ = self._transfer(adaptive=False, initial_rto=1.0,
+                                       loss=0.03)
+        adaptive_time, _ = self._transfer(adaptive=True, initial_rto=1.0,
+                                          loss=0.03)
+        assert adaptive_time < fixed_time
+
+    def test_disabled_by_default(self):
+        _, sender = self._transfer(adaptive=False, initial_rto=0.2, loss=0.0)
+        assert sender.rtt is None

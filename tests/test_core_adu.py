@@ -1,0 +1,111 @@
+"""ADUs: fragmentation and reassembly invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adu import Adu, AduFragment, fragment_adu, reassemble_fragments
+from repro.errors import FramingError
+
+
+def test_adu_basics():
+    adu = Adu(3, b"payload", {"offset": 12})
+    assert len(adu) == 7
+    assert adu.checksum == Adu(0, b"payload").checksum
+
+
+def test_negative_sequence_rejected():
+    with pytest.raises(FramingError):
+        Adu(-1, b"")
+
+
+def test_fragmentation_counts():
+    adu = Adu(0, bytes(2500))
+    fragments = fragment_adu(adu, mtu=1000)
+    assert len(fragments) == 3
+    assert [f.index for f in fragments] == [0, 1, 2]
+    assert all(f.total == 3 for f in fragments)
+    assert all(f.adu_length == 2500 for f in fragments)
+
+
+def test_empty_adu_single_fragment():
+    fragments = fragment_adu(Adu(0, b""), mtu=100)
+    assert len(fragments) == 1
+    assert fragments[0].payload == b""
+
+
+def test_bad_mtu():
+    with pytest.raises(FramingError):
+        fragment_adu(Adu(0, b"x"), mtu=0)
+
+
+def test_fragments_carry_name():
+    adu = Adu(5, bytes(100), {"frame": 2, "slot": 7})
+    for fragment in fragment_adu(adu, mtu=40):
+        assert fragment.name == {"frame": 2, "slot": 7}
+
+
+def test_reassembly_any_order():
+    adu = Adu(1, bytes(range(250)), {"k": "v"})
+    fragments = fragment_adu(adu, mtu=64)
+    rebuilt = reassemble_fragments(list(reversed(fragments)))
+    assert rebuilt.payload == adu.payload
+    assert rebuilt.sequence == 1
+    assert rebuilt.name == {"k": "v"}
+
+
+def test_missing_fragment_detected():
+    fragments = fragment_adu(Adu(0, bytes(300)), mtu=100)
+    with pytest.raises(FramingError, match="have 2 of 3"):
+        reassemble_fragments(fragments[:2])
+
+
+def test_duplicate_fragment_detected():
+    fragments = fragment_adu(Adu(0, bytes(200)), mtu=100)
+    with pytest.raises(FramingError, match="duplicate"):
+        reassemble_fragments([fragments[0], fragments[0]])
+
+
+def test_mixed_adus_detected():
+    a = fragment_adu(Adu(0, bytes(200)), mtu=100)
+    b = fragment_adu(Adu(1, bytes(200)), mtu=100)
+    with pytest.raises(FramingError, match="inconsistent"):
+        reassemble_fragments([a[0], b[1]])
+
+
+def test_corrupted_payload_detected():
+    fragments = fragment_adu(Adu(0, bytes(200)), mtu=100)
+    forged = AduFragment(
+        adu_sequence=0,
+        index=1,
+        total=2,
+        adu_length=200,
+        adu_checksum=fragments[0].adu_checksum,
+        name={},
+        payload=b"\xff" * 100,
+    )
+    with pytest.raises(FramingError, match="checksum"):
+        reassemble_fragments([fragments[0], forged])
+
+
+def test_empty_fragment_list():
+    with pytest.raises(FramingError):
+        reassemble_fragments([])
+
+
+def test_fragment_index_validation():
+    with pytest.raises(FramingError):
+        AduFragment(0, 5, 3, 10, 0, {}, b"")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(min_size=0, max_size=2000),
+    st.integers(min_value=1, max_value=500),
+)
+def test_fragment_reassemble_roundtrip(payload, mtu):
+    adu = Adu(7, payload, {"len": len(payload)})
+    fragments = fragment_adu(adu, mtu)
+    assert all(len(f.payload) <= mtu for f in fragments)
+    rebuilt = reassemble_fragments(fragments)
+    assert rebuilt.payload == payload
+    assert rebuilt.name == adu.name

@@ -1,0 +1,94 @@
+"""The complete receiving end system (network + machine model)."""
+
+import pytest
+
+from repro.core.adu import Adu
+from repro.core.endsystem import AlfEndSystem
+from repro.machine.profile import MIPS_R2000
+from repro.net.topology import two_hosts
+from repro.stages.checksum import ChecksumVerifyStage
+from repro.stages.copy import CopyStage
+from repro.transport.alf import AlfSender
+
+
+def stage_two_factory(adu):
+    verify = ChecksumVerifyStage()
+    verify.expect(adu.checksum)
+    return [verify, CopyStage(name="move", category="application")]
+
+
+def run_transfer(integrated, n_adus=30, loss_rate=0.0, seed=1,
+                 bandwidth=400e6):
+    path = two_hosts(seed=seed, loss_rate=loss_rate, bandwidth_bps=bandwidth,
+                     propagation_delay=0.002, reverse_loss_rate=0.0)
+    end_system = AlfEndSystem(
+        path.loop, path.b, "a", 1,
+        machine=MIPS_R2000,
+        stage_two=stage_two_factory,
+        integrated=integrated,
+        expected_adus=n_adus,
+    )
+    sender = AlfSender(path.loop, path.a, "b", 1, rto=0.05)
+    adus = [Adu(i, bytes(4096), {"offset": i}) for i in range(n_adus)]
+    for adu in adus:
+        sender.send_adu(adu)
+    sender.close()
+    path.loop.run(until=60)
+    return end_system
+
+
+def test_processes_every_adu():
+    end_system = run_transfer(integrated=True)
+    assert end_system.stats.adus_processed == 30
+    assert end_system.stats.payload_bytes == 30 * 4096
+    assert end_system.stats.processing_failures == 0
+    assert end_system.receiver.complete
+
+
+def test_cycles_accumulate():
+    end_system = run_transfer(integrated=True, n_adus=5)
+    expected_one = MIPS_R2000.cycles
+    assert end_system.stats.total_cycles > 0
+    # Five identical ADUs: cycles divide evenly.
+    per_adu = end_system.stats.total_cycles / 5
+    assert per_adu == pytest.approx(end_system.stats.total_cycles / 5)
+
+
+def test_integrated_finishes_sooner():
+    layered = run_transfer(integrated=False)
+    integrated = run_transfer(integrated=True)
+    assert integrated.completion_time < layered.completion_time
+    assert integrated.stats.total_cycles < layered.stats.total_cycles
+
+
+def test_completion_time_zero_before_any_work():
+    path = two_hosts(seed=1)
+    end_system = AlfEndSystem(
+        path.loop, path.b, "a", 1,
+        machine=MIPS_R2000, stage_two=stage_two_factory,
+    )
+    assert end_system.completion_time == 0.0
+
+
+def test_goodput_helper():
+    end_system = run_transfer(integrated=True)
+    elapsed = end_system.completion_time
+    assert end_system.stats.goodput_bps(elapsed) > 0
+    assert end_system.stats.goodput_bps(0) == 0.0
+
+
+def test_survives_loss():
+    end_system = run_transfer(integrated=True, loss_rate=0.05, seed=3)
+    assert end_system.stats.adus_processed == 30
+
+
+def test_e7_shape():
+    from repro.bench.experiments import ilp_end_to_end
+
+    result = ilp_end_to_end(n_adus=60)
+    speedup = result.measured("end-to-end ILP speedup")
+    assert 1.3 < speedup < 2.2
+    layered_util = result.row("goodput, layered receive path").extra[
+        "cpu_utilization"
+    ]
+    assert layered_util > 0.8  # the CPU, not the network, is the bottleneck

@@ -1,0 +1,114 @@
+"""The two-stage receive architecture."""
+
+import pytest
+
+from repro.core.adu import Adu, AduFragment, fragment_adu
+from repro.core.receiver import TwoStageReceiver
+from repro.machine.profile import MIPS_R2000
+from repro.stages.checksum import ChecksumVerifyStage
+from repro.stages.copy import CopyStage
+
+
+def stage_two(adu):
+    verify = ChecksumVerifyStage()
+    verify.expect(adu.checksum)
+    return [verify, CopyStage(name="move", category="application")]
+
+
+def make_receiver(**kwargs):
+    return TwoStageReceiver(MIPS_R2000, stage_two, **kwargs)
+
+
+def feed_all(receiver, adu, mtu=100):
+    result = None
+    for fragment in fragment_adu(adu, mtu):
+        result = receiver.feed(fragment)
+    return result
+
+
+def test_complete_adu_processed():
+    receiver = make_receiver()
+    processed = feed_all(receiver, Adu(0, bytes(250)))
+    assert processed is not None
+    assert processed.in_order
+    assert processed.report.total_cycles > 0
+
+
+def test_out_of_order_adus_processed_immediately():
+    """The headline ALF behaviour: ADU 1 completes and is processed while
+    ADU 0 is still missing a fragment."""
+    receiver = make_receiver()
+    adu0, adu1 = Adu(0, bytes(250)), Adu(1, bytes(250))
+    fragments0 = fragment_adu(adu0, 100)
+    receiver.feed(fragments0[0])  # ADU 0 incomplete
+    processed1 = feed_all(receiver, adu1)
+    assert processed1 is not None
+    assert not processed1.in_order
+    assert receiver.out_of_order_count == 1
+    assert receiver.pending_adus == 1
+    # ADU 0 finishes later and is processed then.
+    for fragment in fragments0[1:]:
+        receiver.feed(fragment)
+    assert len(receiver.processed) == 2
+
+
+def test_incomplete_returns_none():
+    receiver = make_receiver()
+    fragments = fragment_adu(Adu(0, bytes(250)), 100)
+    assert receiver.feed(fragments[0]) is None
+    assert receiver.pending_adus == 1
+
+
+def test_duplicate_fragments_ignored():
+    receiver = make_receiver()
+    fragments = fragment_adu(Adu(0, bytes(200)), 100)
+    receiver.feed(fragments[0])
+    assert receiver.feed(fragments[0]) is None
+    receiver.feed(fragments[1])
+    assert len(receiver.processed) == 1
+    # Fragments of an already-done ADU are discarded too.
+    assert receiver.feed(fragments[0]) is None
+
+
+def test_corrupt_adu_fails_not_crashes():
+    receiver = make_receiver()
+    adu = Adu(0, bytes(200))
+    fragments = fragment_adu(adu, 100)
+    forged = AduFragment(
+        adu_sequence=0, index=1, total=2, adu_length=200,
+        adu_checksum=fragments[0].adu_checksum, name={},
+        payload=b"\xff" * 100,
+    )
+    assert receiver.feed(fragments[0]) is None
+    assert receiver.feed(forged) is None
+    assert receiver.failed_adus == [0]
+
+
+def test_integrated_cheaper_than_layered():
+    integrated = make_receiver(integrated=True)
+    layered = make_receiver(integrated=False)
+    adu = Adu(0, bytes(1000))
+    feed_all(integrated, adu)
+    feed_all(layered, adu)
+    assert (
+        integrated.total_stage_two_cycles()
+        < layered.total_stage_two_cycles()
+    )
+
+
+def test_on_adu_callback():
+    seen = []
+    receiver = TwoStageReceiver(
+        MIPS_R2000, stage_two, on_adu=lambda p: seen.append(p.adu.sequence)
+    )
+    feed_all(receiver, Adu(4, bytes(50)))
+    assert seen == [4]
+
+
+def test_stage_one_is_control_only():
+    """Stage one charges control instructions, not data passes."""
+    receiver = make_receiver()
+    fragments = fragment_adu(Adu(0, bytes(300)), 100)
+    receiver.feed(fragments[0])
+    assert receiver.counter.total > 0
+    assert receiver.total_stage_two_cycles() == 0.0  # nothing complete yet

@@ -1,0 +1,92 @@
+"""Shape assertions for the extension experiments (E6, F5, A3-A5)."""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestE6WordFusion:
+    @pytest.fixture(scope="class")
+    def e6(self):
+        return experiments.word_fusion(payload_bytes=16384)
+
+    def test_outputs_identical(self, e6):
+        assert e6.measured("outputs identical") == 1.0
+
+    def test_fusion_speedup_substantial(self, e6):
+        assert e6.measured("fusion speedup") > 1.4
+
+    def test_fused_absolute_rate(self, e6):
+        assert e6.measured("4 kernels, fused (model)") > e6.measured(
+            "4 kernels, layered (model)"
+        )
+
+
+class TestF5Fec:
+    @pytest.fixture(scope="class")
+    def f5(self):
+        return experiments.fec_survival(n_trials=150)
+
+    def test_fec_beats_plain_at_every_size(self, f5):
+        for size in (2048, 8192, 65536):
+            plain = f5.measured(f"ADU {size} B plain")
+            fec = f5.measured(f"ADU {size} B FEC(k=8)")
+            assert fec > plain
+
+    def test_fec_rescues_large_adus(self, f5):
+        assert f5.measured("ADU 65536 B plain") < 0.4
+        assert f5.measured("ADU 65536 B FEC(k=8)") > 0.9
+
+    def test_simulation_confirms_analytics(self, f5):
+        simulated = f5.measured("ADU 8192 B FEC, simulated")
+        analytic = f5.measured("ADU 8192 B FEC(k=8)")
+        assert simulated == pytest.approx(analytic, abs=0.1)
+
+
+class TestA3Outboard:
+    @pytest.fixture(scope="class")
+    def a3(self):
+        return experiments.outboard_analysis()
+
+    def test_linear_file_is_cheap_to_steer(self, a3):
+        assert a3.measured("steering ratio, linear file") < 0.01
+
+    def test_rpc_steering_exceeds_data(self, a3):
+        assert a3.measured("steering ratio, per-element RPC") >= 1.0
+
+    def test_outboard_useless_under_conversion(self, a3):
+        raw = a3.measured("outboard speedup bound, raw transfer")
+        toolkit = a3.measured("outboard speedup bound, toolkit conversion")
+        assert raw > 1.5
+        assert toolkit < 1.1
+
+
+class TestA4Headers:
+    @pytest.fixture(scope="class")
+    def a4(self):
+        return experiments.header_overhead()
+
+    def test_shared_saves_bytes_and_parses(self, a4):
+        assert a4.measured("shared header bytes") < a4.measured(
+            "layered header bytes"
+        )
+        assert a4.measured("shared parse instructions") < a4.measured(
+            "layered parse instructions"
+        )
+
+    def test_gain_largest_at_cell_size(self, a4):
+        cell = a4.measured("wire efficiency at 44 B payload")
+        big = a4.measured("wire efficiency at 4096 B payload")
+        assert cell > big > 0.99
+
+
+class TestA5Cache:
+    @pytest.fixture(scope="class")
+    def a5(self):
+        return experiments.cache_depletion()
+
+    def test_small_cache_pays_per_pass(self, a5):
+        assert a5.measured("1 KB cache") == pytest.approx(3.0)
+
+    def test_big_cache_amortizes(self, a5):
+        assert a5.measured("64 KB cache") == pytest.approx(1.0)

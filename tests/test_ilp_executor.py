@@ -1,0 +1,123 @@
+"""Executors: equivalence of results, superiority of integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MICROVAX_III, MIPS_R2000, SUPERSCALAR
+from repro.stages.base import Facts
+from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.copy import CopyStage
+from repro.stages.encrypt import DecryptStage, EncryptStage, XorStreamCipher
+from repro.stages.netio import NetworkExtractStage
+
+
+def make_pipeline():
+    return Pipeline(
+        [
+            CopyStage(name="kernel-copy"),
+            ChecksumComputeStage(),
+            EncryptStage(XorStreamCipher(5)),
+            DecryptStage(XorStreamCipher(5)),
+            CopyStage(name="app-copy"),
+        ],
+        initial_facts={Facts.EXTRACTED, Facts.DEMUXED},
+    )
+
+
+def test_paper_e1_numbers():
+    data = bytes(4000)
+    pipeline = Pipeline([CopyStage(), ChecksumComputeStage()])
+    _, layered = LayeredExecutor(MIPS_R2000).execute(pipeline, data)
+    _, integrated = IntegratedExecutor(MIPS_R2000).execute(pipeline, data)
+    assert layered.mbps() == pytest.approx(61.02, abs=0.1)
+    assert integrated.mbps() == pytest.approx(90.0, abs=0.1)
+
+
+def test_functional_equivalence():
+    """ILP must 'achieve the same result' — byte-identical output."""
+    data = bytes(range(256)) * 8
+    out_layered, _ = LayeredExecutor(MIPS_R2000).execute(make_pipeline(), data)
+    out_integrated, _ = IntegratedExecutor(MIPS_R2000).execute(
+        make_pipeline(), data
+    )
+    assert out_layered == out_integrated == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=500))
+def test_equivalence_property(data):
+    out_a, _ = LayeredExecutor(MIPS_R2000).execute(make_pipeline(), data)
+    out_b, _ = IntegratedExecutor(MIPS_R2000).execute(make_pipeline(), data)
+    assert out_a == out_b
+
+
+@pytest.mark.parametrize(
+    "profile", [MICROVAX_III, MIPS_R2000, SUPERSCALAR],
+    ids=lambda p: p.name,
+)
+def test_integration_never_slower(profile):
+    data = bytes(4000)
+    _, layered = LayeredExecutor(profile).execute(make_pipeline(), data)
+    _, integrated = IntegratedExecutor(profile).execute(make_pipeline(), data)
+    assert integrated.total_cycles <= layered.total_cycles
+    assert integrated.memory_passes <= layered.memory_passes
+
+
+def test_memory_pass_counts():
+    data = bytes(1000)
+    pipeline = Pipeline([CopyStage(), ChecksumComputeStage(), CopyStage()])
+    _, layered = LayeredExecutor(MIPS_R2000).execute(pipeline, data)
+    _, integrated = IntegratedExecutor(MIPS_R2000).execute(pipeline, data)
+    assert layered.memory_passes == 3
+    assert integrated.memory_passes == 1
+
+
+def test_hardware_stage_costs_nothing_but_bounds_loops():
+    data = bytes(1000)
+    pipeline = Pipeline([NetworkExtractStage(), CopyStage()])
+    _, report = IntegratedExecutor(MIPS_R2000).execute(pipeline, data)
+    assert len(report.executions) == 2
+    # The hardware extract contributes zero cycles.
+    assert report.executions[0].cycles == 0.0
+    assert not report.executions[0].memory_pass
+
+
+def test_report_labels_fused_groups():
+    data = bytes(100)
+    pipeline = Pipeline([CopyStage(), ChecksumComputeStage()])
+    _, report = IntegratedExecutor(MIPS_R2000).execute(pipeline, data)
+    assert report.executions[0].label == "copy+checksum-internet"
+
+
+def test_report_summary_renders():
+    data = bytes(100)
+    _, report = LayeredExecutor(MIPS_R2000).execute(make_pipeline(), data)
+    text = report.summary()
+    assert "layered" in text
+    assert "Mb/s" in text
+
+
+def test_report_share():
+    data = bytes(1000)
+    pipeline = Pipeline(
+        [CopyStage(category="transport"), CopyStage(category="application")]
+    )
+    _, report = LayeredExecutor(MIPS_R2000).execute(pipeline, data)
+    assert report.share("transport") == pytest.approx(0.5)
+    assert report.share("nothing") == 0.0
+
+
+def test_growing_stage_charged_on_larger_form():
+    """A stage whose output is bigger than its input pays for the big
+    side (a conversion reads small, writes large)."""
+
+    class Doubler(CopyStage):
+        def apply(self, data):
+            return data * 2
+
+    data = bytes(1000)
+    pipeline = Pipeline([Doubler(name="doubler")])
+    _, report = LayeredExecutor(MIPS_R2000).execute(pipeline, data)
+    assert report.executions[0].n_bytes == 2000

@@ -1,0 +1,111 @@
+"""Fusion planning: legality, maximality, speculation."""
+
+import pytest
+
+from repro.errors import OrderingConstraintError
+from repro.ilp.fusion import FusionPlan, fused_group_cost, plan_fusion
+from repro.machine.costs import CHECKSUM_COST, COPY_COST
+from repro.stages.base import Facts, PassthroughStage
+from repro.stages.checksum import ChecksumComputeStage, ChecksumVerifyStage
+from repro.stages.copy import CopyStage
+from repro.stages.netio import NetworkExtractStage
+
+
+def needs(facts, name="needs"):
+    stage = PassthroughStage(name)
+    stage.requires = frozenset(facts)
+    return stage
+
+
+def provides(facts, name="provides"):
+    stage = PassthroughStage(name)
+    stage.provides = frozenset(facts)
+    return stage
+
+
+def test_unconstrained_stages_fuse_fully():
+    plan = plan_fusion([CopyStage(), ChecksumComputeStage(), CopyStage()])
+    assert plan.n_loops == 1
+    assert len(plan.groups[0]) == 3
+
+
+def test_non_fusable_is_a_boundary():
+    plan = plan_fusion(
+        [NetworkExtractStage(), CopyStage(), ChecksumComputeStage()]
+    )
+    assert plan.n_loops == 2
+    assert [len(g) for g in plan.groups] == [1, 2]
+
+
+def test_in_loop_fact_splits_group():
+    verify = provides({Facts.VERIFIED}, "verify")
+    consumer = needs({Facts.VERIFIED}, "move")
+    plan = plan_fusion([CopyStage(), verify, consumer])
+    assert plan.n_loops == 2
+    assert [s.name for s in plan.groups[0]] == ["copy", "verify"]
+    assert [s.name for s in plan.groups[1]] == ["move"]
+    assert not plan.speculative_facts
+
+
+def test_speculation_fuses_through():
+    verify = provides({Facts.VERIFIED}, "verify")
+    consumer = needs({Facts.VERIFIED}, "move")
+    plan = plan_fusion([CopyStage(), verify, consumer], speculative=True)
+    assert plan.n_loops == 1
+    assert plan.speculative_facts == {Facts.VERIFIED}
+
+
+def test_fact_from_previous_group_is_firm():
+    """A fact established in an earlier loop never counts as speculative."""
+    verify = provides({Facts.VERIFIED}, "verify")
+    barrier = NetworkExtractStage()  # forces a loop boundary
+    consumer = needs({Facts.VERIFIED}, "move")
+    plan = plan_fusion([verify, barrier, consumer], speculative=True)
+    assert not plan.speculative_facts
+
+
+def test_initial_facts_count():
+    consumer = needs({Facts.DEMUXED})
+    plan = plan_fusion([CopyStage(), consumer], frozenset({Facts.DEMUXED}))
+    assert plan.n_loops == 1
+
+
+def test_unsatisfiable_requirement_raises():
+    consumer = needs({Facts.VERIFIED})
+    with pytest.raises(OrderingConstraintError, match="no earlier stage"):
+        plan_fusion([CopyStage(), consumer])
+
+
+def test_plan_preserves_stage_order():
+    stages = [CopyStage(name=f"s{i}") for i in range(5)]
+    plan = plan_fusion(stages)
+    flattened = [s.name for group in plan.groups for s in group]
+    assert flattened == [s.name for s in stages]
+
+
+class TestGroupCost:
+    def test_pair_cost_matches_paper(self):
+        cost = fused_group_cost([CopyStage(), ChecksumComputeStage()])
+        assert cost.reads_per_word == 1.0
+        assert cost.writes_per_word == 1.0
+        assert cost.alu_per_word == 2.0
+
+    def test_singleton_cost_is_own_cost(self):
+        assert fused_group_cost([CopyStage()]) == COPY_COST
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(OrderingConstraintError):
+            fused_group_cost([])
+
+    def test_chain_of_three(self):
+        group = [CopyStage(), ChecksumComputeStage(), CopyStage()]
+        cost = fused_group_cost(group)
+        # copy(R1 W1) + csum(read from reg, A2) + copy(read from reg, W1)
+        assert cost.reads_per_word == 1.0
+        assert cost.writes_per_word == 2.0
+        assert cost.alu_per_word == 2.0
+
+
+def test_plan_dataclass():
+    plan = FusionPlan(groups=[[CopyStage()]])
+    assert plan.n_loops == 1

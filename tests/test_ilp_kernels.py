@@ -1,0 +1,113 @@
+"""Word kernels: functional single-pass fusion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StageError
+from repro.ilp.kernels import (
+    FusedWordLoop,
+    byteswap_kernel,
+    bytes_to_words,
+    checksum_kernel,
+    copy_kernel,
+    words_to_bytes,
+    xor_kernel,
+)
+from repro.stages.checksum import internet_checksum
+
+
+class TestWordPacking:
+    def test_roundtrip_aligned(self):
+        data = bytes(range(16))
+        words, length = bytes_to_words(data)
+        assert words_to_bytes(words, length) == data
+
+    @given(st.binary(max_size=100))
+    def test_roundtrip_any_length(self, data):
+        words, length = bytes_to_words(data)
+        assert words_to_bytes(words, length) == data
+
+    def test_padding_is_zero(self):
+        words, _ = bytes_to_words(b"\xff")
+        assert int(words[0]) == 0xFF000000  # big-endian, zero-padded
+
+
+class TestKernels:
+    def test_copy_is_identity(self):
+        loop = FusedWordLoop([copy_kernel()])
+        out, obs = loop.run(b"hello world")
+        assert out == b"hello world"
+        assert obs == {}
+
+    def test_checksum_matches_reference(self):
+        data = bytes(range(256)) * 4
+        loop = FusedWordLoop([checksum_kernel()])
+        _, obs = loop.run(data)
+        assert obs["checksum"] == internet_checksum(data)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_checksum_matches_reference_any_input(self, data):
+        _, obs = FusedWordLoop([checksum_kernel()]).run(data)
+        assert obs["checksum"] == internet_checksum(data)
+
+    def test_xor_is_self_inverse(self):
+        loop = FusedWordLoop([xor_kernel(0xDEADBEEF), xor_kernel(0xDEADBEEF)])
+        assert loop.run(b"secret data!")[0] == b"secret data!"
+
+    def test_byteswap_twice_is_identity(self):
+        loop = FusedWordLoop([byteswap_kernel(), byteswap_kernel()])
+        assert loop.run(b"12345678")[0] == b"12345678"
+
+    def test_byteswap_swaps(self):
+        out, _ = FusedWordLoop([byteswap_kernel()]).run(b"\x01\x02\x03\x04")
+        assert out == b"\x04\x03\x02\x01"
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(StageError):
+            FusedWordLoop([])
+
+
+class TestFusion:
+    KERNELS = staticmethod(
+        lambda: [
+            copy_kernel(),
+            checksum_kernel(),
+            xor_kernel(0xA5A5A5A5),
+            byteswap_kernel(),
+        ]
+    )
+
+    def test_fused_equals_layered(self):
+        data = bytes(range(256)) * 16
+        loop = FusedWordLoop(self.KERNELS())
+        fused_out, fused_obs = loop.run(data)
+        layered_out, layered_obs = loop.run_layered(data)
+        assert fused_out == layered_out
+        assert fused_obs == layered_obs
+
+    @given(st.binary(min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_fused_equals_layered_property(self, data):
+        loop = FusedWordLoop(self.KERNELS())
+        assert loop.run(data) == loop.run_layered(data)
+
+    def test_checksum_observes_pre_encryption_data(self):
+        """Kernel order matters and is preserved: the checksum placed
+        before the XOR sees plaintext."""
+        data = bytes(range(64))
+        loop = FusedWordLoop([checksum_kernel(), xor_kernel(1)])
+        _, obs = loop.run(data)
+        assert obs["checksum"] == internet_checksum(data)
+
+    def test_fused_cost_cheaper_than_layered(self):
+        loop = FusedWordLoop(self.KERNELS())
+        assert (
+            loop.fused_cost.reads_per_word
+            < loop.layered_cost.reads_per_word
+        )
+
+    def test_fused_cost_single_stream_read(self):
+        """However many kernels, the fused loop reads the stream once."""
+        loop = FusedWordLoop(self.KERNELS())
+        assert loop.fused_cost.reads_per_word == 1.0

@@ -1,0 +1,78 @@
+"""Pipelines: composition and control-fact checking."""
+
+import pytest
+
+from repro.errors import PipelineError, StageError
+from repro.ilp.pipeline import Pipeline
+from repro.stages.base import Facts, PassthroughStage
+from repro.stages.checksum import ChecksumVerifyStage
+from repro.stages.copy import CopyStage
+from repro.stages.netio import NetworkExtractStage
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(PipelineError):
+        Pipeline([])
+
+
+def test_apply_runs_in_order():
+    log = []
+
+    class Tag(PassthroughStage):
+        def __init__(self, tag):
+            super().__init__(name=tag)
+            self.tag = tag
+
+        def apply(self, data):
+            log.append(self.tag)
+            return data
+
+    Pipeline([Tag("a"), Tag("b"), Tag("c")]).apply(b"x")
+    assert log == ["a", "b", "c"]
+
+
+def test_stage_names():
+    pipeline = Pipeline([CopyStage(name="one"), CopyStage(name="two")])
+    assert pipeline.stage_names() == ["one", "two"]
+    assert len(pipeline) == 2
+
+
+def test_fact_ordering_enforced():
+    """A stage requiring VERIFIED before anything provides it is
+    ill-formed."""
+    needs_verified = PassthroughStage("needs")
+    needs_verified.requires = frozenset({Facts.VERIFIED})
+    with pytest.raises(StageError, match="requires"):
+        Pipeline([CopyStage(), needs_verified])
+
+
+def test_fact_provided_upstream_is_ok():
+    needs_verified = PassthroughStage("needs")
+    needs_verified.requires = frozenset({Facts.VERIFIED})
+    verify = ChecksumVerifyStage()
+    verify.requires = frozenset()  # relax EXTRACTED for this test
+    Pipeline([verify, needs_verified])  # no raise
+
+
+def test_initial_facts_satisfy():
+    needs = PassthroughStage("needs")
+    needs.requires = frozenset({Facts.DEMUXED})
+    Pipeline([needs], initial_facts={Facts.DEMUXED})  # no raise
+
+
+def test_extract_provides_for_verify():
+    verify = ChecksumVerifyStage()
+    Pipeline([NetworkExtractStage(), verify])  # EXTRACTED flows
+
+
+def test_reset_propagates():
+    verify = ChecksumVerifyStage()
+    verify.requires = frozenset()
+    verify.expect(0)
+    Pipeline([verify]).reset()
+    assert verify.expected is None
+
+
+def test_iteration():
+    stages = [CopyStage(name="a"), CopyStage(name="b")]
+    assert list(Pipeline(stages)) == stages

@@ -1,0 +1,103 @@
+"""Machine profiles: the Table 1 calibration is exact and predictive."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.costs import CHECKSUM_COST, COPY_COST, CostVector
+from repro.machine.profile import (
+    MICROVAX_III,
+    MIPS_R2000,
+    SUPERSCALAR,
+    MachineProfile,
+    profile_by_name,
+)
+
+
+class TestCalibration:
+    """The profiles must reproduce every number they were derived from."""
+
+    def test_r2000_copy(self):
+        assert MIPS_R2000.mbps_for_cost(COPY_COST) == pytest.approx(130.0)
+
+    def test_r2000_checksum(self):
+        assert MIPS_R2000.mbps_for_cost(CHECKSUM_COST) == pytest.approx(115.0)
+
+    def test_r2000_integrated_copy_checksum(self):
+        fused = CHECKSUM_COST.fuse_after(COPY_COST)
+        assert MIPS_R2000.mbps_for_cost(fused) == pytest.approx(90.0)
+
+    def test_uvax_copy(self):
+        assert MICROVAX_III.mbps_for_cost(COPY_COST) == pytest.approx(42.0)
+
+    def test_uvax_checksum(self):
+        assert MICROVAX_III.mbps_for_cost(CHECKSUM_COST) == pytest.approx(60.0)
+
+    def test_uvax_write_costlier_than_read(self):
+        """The paper's oddity: checksum beats copy on the CVAX because
+        its store is expensive."""
+        assert MICROVAX_III.write_cycles > MICROVAX_III.read_cycles
+
+    def test_r2000_consistency(self):
+        """copy + checksum - integrated = R must be positive and sane."""
+        assert 0 < MIPS_R2000.read_cycles < 10
+        assert 0 < MIPS_R2000.write_cycles < 10
+        assert 0 < MIPS_R2000.alu_cycles < 5
+
+    def test_superscalar_cheap_alu(self):
+        assert SUPERSCALAR.alu_cycles < MIPS_R2000.alu_cycles
+
+
+class TestCycles:
+    def test_cycles_per_word(self):
+        assert MIPS_R2000.cycles_per_word(COPY_COST) == pytest.approx(
+            MIPS_R2000.read_cycles + MIPS_R2000.write_cycles
+        )
+
+    def test_cycles_scale_with_bytes(self):
+        one = MIPS_R2000.cycles(COPY_COST, 4000)
+        two = MIPS_R2000.cycles(COPY_COST, 8000)
+        assert two == pytest.approx(2 * one)
+
+    def test_per_call_ops_charged_per_invocation(self):
+        cost = CostVector(reads_per_word=1.0, per_call_ops=100.0)
+        once = MIPS_R2000.cycles(cost, 4000, invocations=1)
+        thrice = MIPS_R2000.cycles(cost, 4000, invocations=3)
+        assert thrice - once == pytest.approx(
+            200.0 * MIPS_R2000.alu_cycles
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(MachineModelError):
+            MIPS_R2000.cycles(COPY_COST, -1)
+
+    def test_free_cost_has_no_throughput(self):
+        with pytest.raises(MachineModelError):
+            MIPS_R2000.mbps_for_cost(CostVector())
+
+    def test_instruction_cycles(self):
+        assert MIPS_R2000.instruction_cycles(100) == pytest.approx(120.0)
+
+    def test_instruction_cycles_rejects_negative(self):
+        with pytest.raises(MachineModelError):
+            MIPS_R2000.instruction_cycles(-1)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert profile_by_name("r2000") is MIPS_R2000
+        assert profile_by_name("UVAX3") is MICROVAX_III
+        assert profile_by_name("superscalar") is SUPERSCALAR
+
+    def test_unknown_name(self):
+        with pytest.raises(MachineModelError, match="unknown machine"):
+            profile_by_name("cray")
+
+
+class TestValidation:
+    def test_bad_clock(self):
+        with pytest.raises(MachineModelError):
+            MachineProfile("x", 0, 1, 1, 1, 1, 1)
+
+    def test_negative_cost(self):
+        with pytest.raises(MachineModelError):
+            MachineProfile("x", 1e6, -1, 1, 1, 1, 1)

@@ -1,0 +1,121 @@
+"""ATM cell layer: segmentation, reassembly, loss detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.atm import (
+    CELL_PAYLOAD_BYTES,
+    AtmAdaptationLayer,
+    AtmCell,
+    cells_for,
+    segment,
+)
+
+
+def collect_aal():
+    done, lost = [], []
+    aal = AtmAdaptationLayer(
+        on_sdu=lambda vci, sid, payload: done.append((vci, sid, payload)),
+        on_loss=lambda vci, sid, got, total: lost.append((sid, got, total)),
+    )
+    return aal, done, lost
+
+
+class TestSegmentation:
+    def test_payload_bound_is_the_papers_44(self):
+        assert CELL_PAYLOAD_BYTES == 44
+
+    def test_cell_count(self):
+        assert cells_for(0) == 1
+        assert cells_for(44) == 1
+        assert cells_for(45) == 2
+        assert cells_for(4400) == 100
+
+    def test_segment_produces_counted_cells(self):
+        cells = segment(bytes(100), vci=1, sdu_id=9)
+        assert len(cells) == 3
+        assert all(c.total == 3 and c.sdu_id == 9 for c in cells)
+        assert [c.index for c in cells] == [0, 1, 2]
+
+    def test_empty_payload_single_cell(self):
+        cells = segment(b"", vci=1, sdu_id=2)
+        assert len(cells) == 1
+        assert cells[0].payload == b""
+
+    def test_cell_validation(self):
+        with pytest.raises(NetworkError):
+            AtmCell(1, 1, 0, 1, bytes(45))
+        with pytest.raises(NetworkError):
+            AtmCell(1, 1, 2, 2, b"")
+
+    def test_auto_sdu_ids_increment(self):
+        a = segment(b"x", vci=1)[0].sdu_id
+        b = segment(b"x", vci=1)[0].sdu_id
+        assert b > a
+
+    @given(st.binary(min_size=0, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_segmentation_is_lossless(self, payload):
+        cells = segment(payload, vci=3, sdu_id=1)
+        assert b"".join(c.payload for c in cells) == payload
+
+
+class TestReassembly:
+    def test_complete_sdu_delivered(self):
+        aal, done, lost = collect_aal()
+        for cell in segment(bytes(range(200)), vci=1, sdu_id=1):
+            aal.receive(cell)
+        assert done == [(1, 1, bytes(range(200)))]
+        assert lost == []
+        assert aal.sdus_delivered == 1
+
+    def test_gap_detected_as_loss(self):
+        aal, done, lost = collect_aal()
+        cells = segment(bytes(200), vci=1, sdu_id=1)
+        for cell in cells[:2] + cells[3:]:  # cell 2 lost
+            aal.receive(cell)
+        assert done == []
+        assert lost == [(1, 4, 5)]
+        assert aal.sdus_lost == 1
+
+    def test_lost_tail_detected_by_next_sdu(self):
+        """In-order delivery: a new SDU on the VC condemns the old one."""
+        aal, done, lost = collect_aal()
+        first = segment(bytes(100), vci=1, sdu_id=1)
+        for cell in first[:-1]:  # tail cell lost
+            aal.receive(cell)
+        for cell in segment(bytes(50), vci=1, sdu_id=2):
+            aal.receive(cell)
+        assert [sid for _, sid, _ in done] == [2]
+        assert lost[0][0] == 1
+
+    def test_flush_abandons_partials(self):
+        aal, done, lost = collect_aal()
+        cells = segment(bytes(100), vci=1, sdu_id=1)
+        aal.receive(cells[0])
+        aal.flush()
+        assert lost == [(1, 1, 3)]
+
+    def test_vcs_are_independent(self):
+        aal, done, lost = collect_aal()
+        one = segment(bytes(100), vci=1, sdu_id=1)
+        two = segment(bytes(100), vci=2, sdu_id=1)
+        # Interleave cells of the two VCs.
+        for pair in zip(one, two):
+            for cell in pair:
+                aal.receive(cell)
+        assert len(done) == 2
+        assert lost == []
+
+    def test_inconsistent_total_rejected(self):
+        aal, done, lost = collect_aal()
+        aal.receive(AtmCell(1, 1, 0, 2, b"a"))
+        with pytest.raises(NetworkError, match="inconsistent"):
+            aal.receive(AtmCell(1, 1, 1, 3, b"b"))
+
+    def test_cells_received_counter(self):
+        aal, done, lost = collect_aal()
+        for cell in segment(bytes(100), vci=1, sdu_id=1):
+            aal.receive(cell)
+        assert aal.cells_received == 3

@@ -1,0 +1,168 @@
+"""BER codec: known encodings, round trips, malformed input."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.presentation.abstract import (
+    ArrayOf,
+    Boolean,
+    Field,
+    Int32,
+    OctetString,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.ber import (
+    BerCodec,
+    decode_length,
+    encode_integer_content,
+    encode_length,
+)
+
+codec = BerCodec()
+
+
+class TestKnownEncodings:
+    """Byte-exact vectors against the BER specification."""
+
+    def test_boolean(self):
+        assert codec.encode(True, Boolean()) == bytes([0x01, 0x01, 0xFF])
+        assert codec.encode(False, Boolean()) == bytes([0x01, 0x01, 0x00])
+
+    def test_small_integer(self):
+        assert codec.encode(5, Int32()) == bytes([0x02, 0x01, 0x05])
+
+    def test_zero(self):
+        assert codec.encode(0, Int32()) == bytes([0x02, 0x01, 0x00])
+
+    def test_negative_one(self):
+        assert codec.encode(-1, Int32()) == bytes([0x02, 0x01, 0xFF])
+
+    def test_sign_bit_needs_leading_zero(self):
+        assert codec.encode(128, Int32()) == bytes([0x02, 0x02, 0x00, 0x80])
+
+    def test_minimal_negative(self):
+        assert codec.encode(-128, Int32()) == bytes([0x02, 0x01, 0x80])
+
+    def test_octet_string(self):
+        assert codec.encode(b"hi", OctetString()) == bytes([0x04, 0x02]) + b"hi"
+
+    def test_sequence(self):
+        point = Struct((Field("x", Int32()), Field("y", Int32())))
+        encoded = codec.encode({"x": 1, "y": 2}, point)
+        assert encoded == bytes(
+            [0x30, 0x06, 0x02, 0x01, 0x01, 0x02, 0x01, 0x02]
+        )
+
+
+class TestLengths:
+    def test_short_form(self):
+        assert encode_length(0) == b"\x00"
+        assert encode_length(127) == b"\x7f"
+
+    def test_long_form(self):
+        assert encode_length(128) == bytes([0x81, 0x80])
+        assert encode_length(300) == bytes([0x82, 0x01, 0x2C])
+
+    def test_roundtrip(self):
+        for n in (0, 1, 127, 128, 255, 256, 65535, 10**6):
+            encoded = encode_length(n)
+            decoded, consumed = decode_length(encoded, 0)
+            assert (decoded, consumed) == (n, len(encoded))
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(DecodeError, match="indefinite"):
+            decode_length(b"\x80", 0)
+
+
+class TestIntegerContent:
+    def test_minimality(self):
+        for value in (0, 1, -1, 127, 128, -128, -129, 2**31 - 1, -(2**31)):
+            content = encode_integer_content(value)
+            # No redundant leading octet.
+            if len(content) > 1:
+                assert not (
+                    (content[0] == 0x00 and not content[1] & 0x80)
+                    or (content[0] == 0xFF and content[1] & 0x80)
+                )
+
+
+class TestRoundTrips:
+    def test_record(self):
+        schema = Struct(
+            (
+                Field("id", UInt32()),
+                Field("name", Utf8String()),
+                Field("data", ArrayOf(Int32())),
+            )
+        )
+        value = {"id": 4_000_000_000, "name": "héllo wörld", "data": [-5, 0, 7]}
+        assert codec.roundtrip(value, schema) == value
+
+    def test_uint32_high_bit(self):
+        assert codec.roundtrip(2**32 - 1, UInt32()) == 2**32 - 1
+
+    def test_empty_array(self):
+        assert codec.roundtrip([], ArrayOf(Int32())) == []
+
+    def test_nested_arrays(self):
+        schema = ArrayOf(ArrayOf(Int32()))
+        assert codec.roundtrip([[1], [], [2, 3]], schema) == [[1], [], [2, 3]]
+
+    def test_empty_octets(self):
+        assert codec.roundtrip(b"", OctetString()) == b""
+
+
+class TestMalformed:
+    def test_wrong_tag(self):
+        with pytest.raises(DecodeError, match="tag"):
+            codec.decode(bytes([0x04, 0x01, 0x00]), Int32())
+
+    def test_truncated_content(self):
+        with pytest.raises(DecodeError, match="truncated"):
+            codec.decode(bytes([0x02, 0x05, 0x00]), Int32())
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DecodeError, match="trailing"):
+            codec.decode(bytes([0x02, 0x01, 0x05, 0xFF]), Int32())
+
+    def test_empty_input(self):
+        with pytest.raises(DecodeError):
+            codec.decode(b"", Int32())
+
+    def test_bad_boolean_length(self):
+        with pytest.raises(DecodeError):
+            codec.decode(bytes([0x01, 0x02, 0x00, 0x00]), Boolean())
+
+    def test_bad_utf8(self):
+        with pytest.raises(DecodeError, match="UTF-8"):
+            codec.decode(bytes([0x0C, 0x01, 0xFF]), Utf8String())
+
+    def test_fixed_count_mismatch(self):
+        encoded = codec.encode([1, 2, 3], ArrayOf(Int32()))
+        with pytest.raises(DecodeError, match="expected 2"):
+            codec.decode(encoded, ArrayOf(Int32(), fixed_count=2))
+
+    def test_sequence_short_of_fields(self):
+        point = Struct((Field("x", Int32()), Field("y", Int32())))
+        only_x = codec.encode([1], ArrayOf(Int32()))
+        with pytest.raises(DecodeError):
+            codec.decode(only_x, point)
+
+
+class TestLayout:
+    def test_extents_cover_leaves_in_order(self):
+        schema = Struct((Field("a", Int32()), Field("b", OctetString())))
+        data, extents = codec.encode_with_layout({"a": 1, "b": b"zz"}, schema)
+        assert [e.path for e in extents] == [("a",), ("b",)]
+        # Extents tile the content after the SEQUENCE header.
+        assert extents[0].start == 2
+        assert extents[-1].end == len(data)
+
+    def test_nested_layout_offsets_shift(self):
+        schema = ArrayOf(ArrayOf(Int32()))
+        data, extents = codec.encode_with_layout([[1, 2]], schema)
+        for extent in extents:
+            piece = data[extent.start : extent.end]
+            assert piece[0] == 0x02  # each leaf slice starts at its own TLV

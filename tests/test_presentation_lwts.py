@@ -1,0 +1,117 @@
+"""Light-weight transfer syntax: byte order, fixed sizes, no padding."""
+
+import pytest
+
+from repro.errors import DecodeError, PresentationError
+from repro.presentation.abstract import (
+    ArrayOf,
+    Boolean,
+    Field,
+    Int32,
+    OctetString,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.lwts import LwtsCodec
+
+le = LwtsCodec("little")
+be = LwtsCodec("big")
+
+
+class TestByteOrder:
+    def test_little_endian_int(self):
+        assert le.encode(1, Int32()) == b"\x01\x00\x00\x00"
+
+    def test_big_endian_int(self):
+        assert be.encode(1, Int32()) == b"\x00\x00\x00\x01"
+
+    def test_names_differ(self):
+        assert le.name == "lwts-le"
+        assert be.name == "lwts-be"
+
+    def test_invalid_order(self):
+        with pytest.raises(PresentationError):
+            LwtsCodec("middle")
+
+    def test_cross_order_decode_differs(self):
+        encoded = le.encode(1, Int32())
+        assert be.decode(encoded, Int32()) == 1 << 24
+
+
+class TestCompactness:
+    def test_no_padding(self):
+        encoded = le.encode(b"abcde", OctetString())
+        assert len(encoded) == 4 + 5  # count + content, nothing else
+
+    def test_fixed_octets_bare(self):
+        assert le.encode(b"ab", OctetString(fixed_length=2)) == b"ab"
+
+    def test_fixed_array_bare(self):
+        assert len(le.encode([1, 2], ArrayOf(Int32(), fixed_count=2))) == 8
+
+
+class TestFixedSize:
+    """fixed_size() is what makes sender-side placement computable."""
+
+    def test_scalars(self):
+        assert le.fixed_size(Int32()) == 4
+        assert le.fixed_size(Boolean()) == 4
+        assert le.fixed_size(UInt32()) == 4
+
+    def test_fixed_containers(self):
+        schema = Struct(
+            (
+                Field("a", Int32()),
+                Field("b", ArrayOf(Int32(), fixed_count=3)),
+                Field("c", OctetString(fixed_length=8)),
+            )
+        )
+        assert le.fixed_size(schema) == 4 + 12 + 8
+
+    def test_variable_is_none(self):
+        assert le.fixed_size(OctetString()) is None
+        assert le.fixed_size(Utf8String()) is None
+        assert le.fixed_size(ArrayOf(Int32())) is None
+        assert le.fixed_size(ArrayOf(Utf8String(), fixed_count=2)) is None
+
+    def test_variable_field_poisons_struct(self):
+        schema = Struct((Field("a", Int32()), Field("b", Utf8String())))
+        assert le.fixed_size(schema) is None
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("codec", [le, be], ids=["le", "be"])
+    def test_record(self, codec):
+        schema = Struct(
+            (
+                Field("id", UInt32()),
+                Field("text", Utf8String()),
+                Field("values", ArrayOf(Int32())),
+                Field("flag", Boolean()),
+            )
+        )
+        value = {"id": 9, "text": "déjà", "values": [-1, 2, -3], "flag": False}
+        assert codec.roundtrip(value, schema) == value
+
+    def test_fixed_size_prediction_matches_encoding(self):
+        schema = ArrayOf(Int32(), fixed_count=7)
+        assert len(le.encode([0] * 7, schema)) == le.fixed_size(schema)
+
+
+class TestMalformed:
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            le.decode(b"\x01\x00", Int32())
+
+    def test_trailing(self):
+        with pytest.raises(DecodeError, match="trailing"):
+            le.decode(b"\x01\x00\x00\x00\xff", Int32())
+
+    def test_bool_range(self):
+        with pytest.raises(DecodeError):
+            le.decode(b"\x07\x00\x00\x00", Boolean())
+
+    def test_bad_utf8(self):
+        with pytest.raises(DecodeError, match="UTF-8"):
+            le.decode(b"\x01\x00\x00\x00\xff", Utf8String())

@@ -1,0 +1,97 @@
+"""Presentation negotiation: the three strategies and their properties."""
+
+import pytest
+
+from repro.errors import NegotiationError
+from repro.presentation.abstract import ArrayOf, Int32, Utf8String
+from repro.presentation.ber import BerCodec
+from repro.presentation.lwts import LwtsCodec
+from repro.presentation.negotiate import (
+    NATIVE_BIG,
+    NATIVE_LITTLE,
+    LocalSyntax,
+    negotiate,
+)
+
+FIXED = ArrayOf(Int32(), fixed_count=16)
+VARIABLE = ArrayOf(Utf8String())
+
+
+def test_identity_when_compatible():
+    plan = negotiate(NATIVE_BIG, NATIVE_BIG, FIXED)
+    assert plan.strategy == "identity"
+    assert plan.placement_computable
+    assert plan.sender_pass.alu_per_word == 0.0  # a plain move
+
+
+def test_sender_converts_when_orders_differ():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE)
+    assert plan.strategy == "sender-converts"
+    assert isinstance(plan.codec, LwtsCodec)
+    assert plan.codec.byte_order == "little"  # the *receiver's* format
+    assert plan.placement_computable  # always, by construction
+
+
+def test_sender_converts_targets_receiver():
+    plan = negotiate(NATIVE_LITTLE, NATIVE_BIG, VARIABLE)
+    assert plan.codec.byte_order == "big"
+
+
+def test_receiver_side_is_cheap_under_direct_conversion():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE)
+    assert plan.receiver_pass.alu_per_word == 0.0
+
+
+def test_canonical_fallback():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE, allow_direct=False)
+    assert plan.strategy == "canonical"
+    assert isinstance(plan.codec, BerCodec)
+    assert not plan.placement_computable  # variable sizes
+
+
+def test_canonical_with_fixed_sizes_can_place():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, FIXED, allow_direct=False)
+    assert plan.strategy == "canonical"
+    assert plan.placement_computable
+
+
+def test_canonical_xdr():
+    plan = negotiate(
+        NATIVE_BIG, NATIVE_LITTLE, FIXED, allow_direct=False, canonical="xdr"
+    )
+    assert plan.codec.name == "xdr"
+
+
+def test_unknown_canonical():
+    with pytest.raises(NegotiationError):
+        negotiate(
+            NATIVE_BIG, NATIVE_LITTLE, FIXED, allow_direct=False,
+            canonical="asn2",
+        )
+
+
+def test_canonical_costs_both_sides():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, FIXED, allow_direct=False)
+    assert plan.sender_pass.alu_per_word > 0
+    assert plan.receiver_pass.alu_per_word > 0
+
+
+def test_describe_mentions_placement():
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE, allow_direct=False)
+    assert "buffer@receiver" in plan.describe()
+    plan2 = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE)
+    assert "placement@sender" in plan2.describe()
+
+
+def test_local_syntax_compatibility():
+    vax = LocalSyntax("vax", "little")
+    sun = LocalSyntax("sun", "big")
+    assert vax.compatible_with(NATIVE_LITTLE)
+    assert not vax.compatible_with(sun)
+
+
+def test_negotiated_codec_roundtrips():
+    """The chosen codec must actually carry the data."""
+    plan = negotiate(NATIVE_BIG, NATIVE_LITTLE, VARIABLE)
+    value = ["a", "bc", ""]
+    assert plan.codec.roundtrip(value, VARIABLE) == value

@@ -1,0 +1,150 @@
+"""Property tests across all codecs: random schemas, random values.
+
+The core invariants:
+* decode(encode(v)) == v for every codec and every valid (schema, value);
+* the layout extents are in order, non-overlapping, within bounds, and
+  one per leaf element;
+* byte-range loss always maps to a well-defined set of element paths.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.presentation.abstract import (
+    ArrayOf,
+    Boolean,
+    Field,
+    Float64,
+    Int32,
+    Int64,
+    OctetString,
+    Struct,
+    UInt32,
+    Utf8String,
+    flatten_paths,
+)
+from repro.presentation.ber import BerCodec
+from repro.presentation.lwts import LwtsCodec
+from repro.presentation.namespace import SyntaxMap
+from repro.presentation.xdr import XdrCodec
+
+CODECS = [BerCodec(), XdrCodec(), LwtsCodec("little"), LwtsCodec("big")]
+
+
+# --- (schema, value) strategy ------------------------------------------
+
+def _scalar_schemas():
+    return st.sampled_from(
+        [Boolean(), Int32(), UInt32(), Int64(), Float64(), OctetString(),
+         Utf8String()]
+    )
+
+
+def _schemas(depth: int = 2):
+    if depth == 0:
+        return _scalar_schemas()
+    inner = _schemas(depth - 1)
+    return st.one_of(
+        _scalar_schemas(),
+        st.builds(ArrayOf, inner),
+        st.builds(
+            lambda types: Struct(
+                tuple(Field(f"f{i}", t) for i, t in enumerate(types))
+            ),
+            st.lists(inner, min_size=1, max_size=3),
+        ),
+    )
+
+
+def _value_for(schema) -> st.SearchStrategy:
+    if isinstance(schema, Boolean):
+        return st.booleans()
+    if isinstance(schema, Int32):
+        return st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    if isinstance(schema, UInt32):
+        return st.integers(min_value=0, max_value=2**32 - 1)
+    if isinstance(schema, Int64):
+        return st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    if isinstance(schema, Float64):
+        # NaN breaks equality-based roundtrip comparison; it has its own
+        # unit tests.
+        return st.floats(allow_nan=False)
+    if isinstance(schema, OctetString):
+        return st.binary(max_size=12)
+    if isinstance(schema, Utf8String):
+        return st.text(max_size=8)
+    if isinstance(schema, ArrayOf):
+        return st.lists(_value_for(schema.element), max_size=4)
+    if isinstance(schema, Struct):
+        return st.fixed_dictionaries(
+            {field.name: _value_for(field.type) for field in schema.fields}
+        )
+    raise AssertionError(schema)
+
+
+schema_and_value = _schemas().flatmap(
+    lambda schema: st.tuples(st.just(schema), _value_for(schema))
+)
+
+
+# --- properties ---------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(schema_and_value)
+def test_roundtrip_all_codecs(pair):
+    schema, value = pair
+    for codec in CODECS:
+        assert codec.roundtrip(value, schema) == value, codec.name
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_and_value)
+def test_layout_invariants(pair):
+    schema, value = pair
+    leaves = list(flatten_paths(value, schema))
+    for codec in CODECS:
+        data, extents = codec.encode_with_layout(value, schema)
+        # One extent per leaf, in leaf order.
+        assert [e.path for e in extents] == leaves, codec.name
+        # In order, non-overlapping, within bounds (SyntaxMap enforces).
+        syntax_map = SyntaxMap(codec.name, len(data), extents)
+        assert syntax_map.total_length == len(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    schema_and_value,
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=60),
+)
+def test_loss_translation_total(pair, start, width):
+    """Any byte-range loss translates to element paths, and every element
+    that overlaps the range is reported."""
+    schema, value = pair
+    codec = CODECS[0]
+    syntax_map = codec.syntax_map(value, schema)
+    start = min(start, syntax_map.total_length)
+    end = min(start + width, syntax_map.total_length)
+    hit = set(map(tuple, syntax_map.paths_in_range(start, end)))
+    for extent in syntax_map.extents:
+        expected = max(extent.start, start) < min(extent.end, end)
+        assert (tuple(extent.path) in hit) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_and_value)
+def test_xdr_always_word_aligned(pair):
+    schema, value = pair
+    assert len(XdrCodec().encode(value, schema)) % 4 == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_and_value)
+def test_lwts_fixed_size_agrees_when_known(pair):
+    schema, value = pair
+    codec = LwtsCodec()
+    size = codec.fixed_size(schema)
+    if size is not None:
+        assert len(codec.encode(value, schema)) == size

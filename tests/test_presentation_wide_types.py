@@ -1,0 +1,121 @@
+"""Int64 and Float64 across the abstract syntax and all codecs."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, PresentationError
+from repro.presentation.abstract import ArrayOf, Float64, Int64, validate
+from repro.presentation.ber import (
+    BerCodec,
+    decode_real_content,
+    encode_real_content,
+)
+from repro.presentation.lwts import LwtsCodec
+from repro.presentation.xdr import XdrCodec
+
+CODECS = [BerCodec(), XdrCodec(), LwtsCodec("little"), LwtsCodec("big")]
+
+
+class TestValidation:
+    def test_int64_range(self):
+        validate(2**63 - 1, Int64())
+        validate(-(2**63), Int64())
+        with pytest.raises(PresentationError, match="range"):
+            validate(2**63, Int64())
+
+    def test_int64_rejects_bool(self):
+        with pytest.raises(PresentationError):
+            validate(True, Int64())
+
+    def test_float64_wants_float(self):
+        validate(1.5, Float64())
+        with pytest.raises(PresentationError):
+            validate(1, Float64())
+
+    def test_float64_specials_are_legal(self):
+        validate(math.inf, Float64())
+        validate(math.nan, Float64())
+
+
+class TestXdrWide:
+    def test_hyper_wire_format(self):
+        assert XdrCodec().encode(-1, Int64()) == b"\xff" * 8
+
+    def test_double_wire_format(self):
+        assert XdrCodec().encode(1.0, Float64()) == struct.pack(">d", 1.0)
+
+
+class TestLwtsWide:
+    def test_byte_order_respected(self):
+        little = LwtsCodec("little").encode(1.0, Float64())
+        big = LwtsCodec("big").encode(1.0, Float64())
+        assert little == big[::-1]
+
+    def test_fixed_sizes(self):
+        assert LwtsCodec().fixed_size(Int64()) == 8
+        assert LwtsCodec().fixed_size(Float64()) == 8
+        assert LwtsCodec().fixed_size(ArrayOf(Float64(), fixed_count=4)) == 32
+
+
+class TestBerReal:
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, 1.0, -1.0, 0.5, -0.5, 3.141592653589793, 1e-300, 1e300,
+         2**-1074, 1.7976931348623157e308, 100.0, 0.1],
+    )
+    def test_roundtrip(self, value):
+        assert BerCodec().roundtrip(value, Float64()) == value
+
+    def test_zero_is_empty_content(self):
+        assert encode_real_content(0.0) == b""
+
+    def test_specials(self):
+        assert encode_real_content(math.inf) == b"\x40"
+        assert encode_real_content(-math.inf) == b"\x41"
+        assert encode_real_content(math.nan) == b"\x42"
+        assert decode_real_content(b"\x40") == math.inf
+        assert decode_real_content(b"\x41") == -math.inf
+        assert math.isnan(decode_real_content(b"\x42"))
+
+    def test_nan_roundtrips_as_nan(self):
+        assert math.isnan(BerCodec().roundtrip(math.nan, Float64()))
+
+    def test_mantissa_is_minimal(self):
+        # 2.0 = 1 * 2^1: one mantissa byte, exponent 1.
+        content = encode_real_content(2.0)
+        assert content == bytes([0x80, 0x01, 0x01])
+
+    def test_sign_bit(self):
+        positive = encode_real_content(2.0)
+        negative = encode_real_content(-2.0)
+        assert negative[0] == positive[0] | 0x40
+
+    def test_decimal_encoding_rejected(self):
+        with pytest.raises(DecodeError, match="binary"):
+            decode_real_content(b"\x03\x31\x32")  # ISO 6093 decimal form
+
+    def test_other_base_rejected(self):
+        with pytest.raises(DecodeError, match="base-2"):
+            decode_real_content(bytes([0x90, 0x01, 0x01]))  # base 8
+
+    def test_zero_mantissa_rejected(self):
+        with pytest.raises(DecodeError, match="mantissa"):
+            decode_real_content(bytes([0x80, 0x01, 0x00]))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodeError, match="truncated"):
+            decode_real_content(bytes([0x80, 0x01]))
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert BerCodec().roundtrip(value, Float64()) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_int64_roundtrip_everywhere(self, value):
+        for codec in CODECS:
+            assert codec.roundtrip(value, Int64()) == value

@@ -1,0 +1,112 @@
+"""XDR codec: RFC 1014 word alignment, padding, known vectors."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.presentation.abstract import (
+    ArrayOf,
+    Boolean,
+    Field,
+    Int32,
+    OctetString,
+    Struct,
+    UInt32,
+    Utf8String,
+)
+from repro.presentation.xdr import XdrCodec
+
+codec = XdrCodec()
+
+
+class TestKnownEncodings:
+    def test_int(self):
+        assert codec.encode(1, Int32()) == b"\x00\x00\x00\x01"
+        assert codec.encode(-1, Int32()) == b"\xff\xff\xff\xff"
+
+    def test_unsigned(self):
+        assert codec.encode(2**32 - 1, UInt32()) == b"\xff\xff\xff\xff"
+
+    def test_bool_is_a_word(self):
+        assert codec.encode(True, Boolean()) == b"\x00\x00\x00\x01"
+        assert codec.encode(False, Boolean()) == b"\x00\x00\x00\x00"
+
+    def test_variable_opaque_padded(self):
+        encoded = codec.encode(b"abcde", OctetString())
+        assert encoded == b"\x00\x00\x00\x05abcde\x00\x00\x00"
+        assert len(encoded) % 4 == 0
+
+    def test_fixed_opaque_has_no_count(self):
+        encoded = codec.encode(b"abcd", OctetString(fixed_length=4))
+        assert encoded == b"abcd"
+
+    def test_string(self):
+        assert codec.encode("hi", Utf8String()) == b"\x00\x00\x00\x02hi\x00\x00"
+
+    def test_fixed_array_has_no_count(self):
+        encoded = codec.encode([1, 2], ArrayOf(Int32(), fixed_count=2))
+        assert encoded == b"\x00\x00\x00\x01\x00\x00\x00\x02"
+
+    def test_variable_array_counted(self):
+        encoded = codec.encode([7], ArrayOf(Int32()))
+        assert encoded == b"\x00\x00\x00\x01\x00\x00\x00\x07"
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("length", range(0, 9))
+    def test_every_opaque_is_word_aligned(self, length):
+        encoded = codec.encode(bytes(length), OctetString())
+        assert len(encoded) % 4 == 0
+
+
+class TestRoundTrips:
+    def test_record(self):
+        schema = Struct(
+            (
+                Field("n", Int32()),
+                Field("s", Utf8String()),
+                Field("flags", ArrayOf(Boolean())),
+                Field("raw", OctetString()),
+            )
+        )
+        value = {
+            "n": -42,
+            "s": "ünïcode",
+            "flags": [True, False, True],
+            "raw": b"\x00\x01\x02",
+        }
+        assert codec.roundtrip(value, schema) == value
+
+    def test_int_extremes(self):
+        for v in (2**31 - 1, -(2**31), 0):
+            assert codec.roundtrip(v, Int32()) == v
+
+
+class TestMalformed:
+    def test_nonzero_padding_rejected(self):
+        bad = b"\x00\x00\x00\x01a\x00\x00\x01"
+        with pytest.raises(DecodeError, match="padding"):
+            codec.decode(bad, OctetString())
+
+    def test_bool_out_of_range(self):
+        with pytest.raises(DecodeError, match="bool"):
+            codec.decode(b"\x00\x00\x00\x02", Boolean())
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError, match="truncated"):
+            codec.decode(b"\x00\x00", Int32())
+
+    def test_trailing(self):
+        with pytest.raises(DecodeError, match="trailing"):
+            codec.decode(b"\x00\x00\x00\x01\x00", Int32())
+
+    def test_opaque_length_overrun(self):
+        with pytest.raises(DecodeError):
+            codec.decode(b"\x00\x00\x00\xffabc\x00", OctetString())
+
+
+class TestLayout:
+    def test_extents_tile_flat_encoding(self):
+        schema = ArrayOf(Int32(), fixed_count=3)
+        data, extents = codec.encode_with_layout([1, 2, 3], schema)
+        assert [(e.start, e.end) for e in extents] == [(0, 4), (4, 8), (8, 12)]
+        assert len(data) == 12

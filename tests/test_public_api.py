@@ -1,0 +1,51 @@
+"""The public API surface: imports, errors, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_error_hierarchy():
+    """Every library error is catchable as ReproError."""
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_specific_hierarchies():
+    assert issubclass(errors.DecodeError, errors.PresentationError)
+    assert issubclass(errors.OrderingConstraintError, errors.PipelineError)
+    assert issubclass(errors.ConnectionClosedError, errors.TransportError)
+
+
+def test_quickstart_snippet_works():
+    """The README/docstring quickstart must keep working."""
+    from repro import transfer_file
+    from repro.bench import experiments
+
+    table = experiments.table1()
+    assert "Table 1" in table.format()
+    result = transfer_file(b"hello" * 1000, loss_rate=0.05, seed=1)
+    assert result.ok
+
+
+def test_machine_profiles_exposed():
+    assert repro.MIPS_R2000.name == "MIPS R2000"
+    assert repro.MICROVAX_III.clock_hz > 0
+    assert repro.SUPERSCALAR.alu_cycles < 1
+
+
+def test_recovery_modes_enum():
+    assert len(repro.RecoveryMode) == 3

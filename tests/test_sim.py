@@ -1,0 +1,144 @@
+"""Simulator core: event loop, RNG streams, tracer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.eventloop import EventLoop
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(2.0, log.append, "late")
+        loop.schedule(1.0, log.append, "early")
+        loop.run()
+        assert log == ["early", "late"]
+        assert loop.now == 2.0
+
+    def test_ties_break_by_schedule_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, log.append, "first")
+        loop.schedule(1.0, log.append, "second")
+        loop.run()
+        assert log == ["first", "second"]
+
+    def test_run_until_advances_clock(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run(until=2.0)
+        assert loop.now == 2.0
+        assert loop.pending == 1
+        loop.run()
+        assert loop.now == 5.0
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run()
+        assert log == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+    def test_cancel(self):
+        loop = EventLoop()
+        log = []
+        event = loop.schedule(1.0, log.append, "no")
+        loop.schedule(2.0, log.append, "yes")
+        event.cancel()
+        loop.run()
+        assert log == ["yes"]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule_at(3.0, log.append, "x")
+        loop.run()
+        assert loop.now == 3.0
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.1, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            loop.run(max_events=100)
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.events_run == 5
+
+
+class TestRngStreams:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(1).stream("x")
+        b = RngStreams(1).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RngStreams(1)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("x").random() != RngStreams(2).stream(
+            "x"
+        ).random()
+
+    def test_creation_order_irrelevant(self):
+        fwd = RngStreams(3)
+        first_a = fwd.stream("a").random()
+        rev = RngStreams(3)
+        rev.stream("b")  # create b first
+        assert rev.stream("a").random() == first_a
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+        assert streams.names() == ["x"]
+
+
+class TestTracer:
+    def test_collects(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "net", "sent", packet=4)
+        tracer.emit(2.0, "app", "done")
+        assert len(tracer.records) == 2
+        assert tracer.records[0].field_dict() == {"packet": 4}
+
+    def test_filters(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "m1")
+        tracer.emit(2.0, "b", "m2")
+        assert [r.message for r in tracer.by_category("a")] == ["m1"]
+        assert tracer.messages() == ["m1", "m2"]
+        assert tracer.messages("b") == ["m2"]
+
+    def test_disabled_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "a", "m")
+        assert tracer.records == []
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "m")
+        tracer.clear()
+        assert tracer.records == []

@@ -1,0 +1,83 @@
+"""Metric sampling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.eventloop import EventLoop
+from repro.sim.metrics import MetricSampler, Series
+
+
+class TestSeries:
+    def test_stats(self):
+        series = Series("s")
+        for t, v in enumerate([1.0, 3.0, 2.0]):
+            series.append(float(t), v)
+        assert len(series) == 3
+        assert series.max == 3.0
+        assert series.mean == pytest.approx(2.0)
+        assert series.percentile(50) == pytest.approx(2.0)
+
+    def test_empty_stats(self):
+        series = Series("s")
+        assert series.max == 0.0
+        assert series.mean == 0.0
+        assert series.percentile(99) == 0.0
+        assert series.time_above(0) == 0.0
+
+    def test_time_above(self):
+        series = Series("s")
+        for t, v in [(0.0, 5.0), (1.0, 5.0), (2.0, 0.0), (3.0, 0.0)]:
+            series.append(t, v)
+        assert series.time_above(1.0) == pytest.approx(2.0)
+
+
+class TestSampler:
+    def test_samples_on_period(self):
+        loop = EventLoop()
+        state = {"v": 0.0}
+        sampler = MetricSampler(loop, period=0.1)
+        series = sampler.watch("v", lambda: state["v"])
+        sampler.start()
+        loop.schedule(0.25, lambda: state.update(v=7.0))
+        loop.schedule(0.5, sampler.stop)
+        loop.run(until=1.0)
+        assert 5 <= len(series) <= 7
+        assert series.max == 7.0
+
+    def test_multiple_probes_share_timestamps(self):
+        loop = EventLoop()
+        sampler = MetricSampler(loop, period=0.1)
+        a = sampler.watch("a", lambda: 1.0)
+        b = sampler.watch("b", lambda: 2.0)
+        sampler.start()
+        loop.schedule(0.3, sampler.stop)
+        loop.run(until=1.0)
+        assert a.times == b.times
+
+    def test_duplicate_name_rejected(self):
+        sampler = MetricSampler(EventLoop())
+        sampler.watch("x", lambda: 0.0)
+        with pytest.raises(SimulationError):
+            sampler.watch("x", lambda: 0.0)
+
+    def test_getitem(self):
+        sampler = MetricSampler(EventLoop())
+        series = sampler.watch("x", lambda: 0.0)
+        assert sampler["x"] is series
+        with pytest.raises(SimulationError):
+            sampler["missing"]
+
+    def test_bad_period(self):
+        with pytest.raises(SimulationError):
+            MetricSampler(EventLoop(), period=0)
+
+    def test_start_idempotent(self):
+        loop = EventLoop()
+        sampler = MetricSampler(loop, period=0.1)
+        series = sampler.watch("x", lambda: 1.0)
+        sampler.start()
+        sampler.start()
+        loop.schedule(0.2, sampler.stop)
+        loop.run(until=1.0)
+        # Double-start must not double-sample.
+        assert len(set(series.times)) == len(series.times)

@@ -1,0 +1,107 @@
+"""Copy-family stages."""
+
+import pytest
+
+from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.errors import StageError
+from repro.machine.costs import COPY_COST
+from repro.stages.copy import BufferForRetransmitStage, CopyStage, MoveToAppStage
+
+
+class TestCopyStage:
+    def test_identity_copy(self):
+        data = bytearray(b"abc")
+        out = CopyStage().apply(bytes(data))
+        assert out == b"abc"
+        data[0] = 0  # mutating the source never affects the copy
+        assert out == b"abc"
+
+    def test_cost_is_copy(self):
+        assert CopyStage().cost == COPY_COST
+
+    def test_custom_category(self):
+        assert CopyStage(category="application").category == "application"
+
+
+class TestRetransmitBuffer:
+    def test_retains_passing_data(self):
+        stage = BufferForRetransmitStage()
+        stage.apply(b"one")
+        stage.apply(b"two")
+        assert stage.buffered_bytes == 6
+        assert stage.retrieve(0) == b"one"
+        assert stage.retrieve(1) == b"two"
+
+    def test_release_through(self):
+        stage = BufferForRetransmitStage()
+        for part in (b"a", b"bb", b"ccc"):
+            stage.apply(part)
+        stage.release_through(1)
+        assert stage.buffered_bytes == 3
+        assert stage.retrieve(0) == b"ccc"
+
+    def test_release_bounds(self):
+        stage = BufferForRetransmitStage()
+        stage.apply(b"x")
+        with pytest.raises(StageError):
+            stage.release_through(5)
+
+    def test_retrieve_bounds(self):
+        with pytest.raises(StageError):
+            BufferForRetransmitStage().retrieve(0)
+
+    def test_capacity_enforced(self):
+        stage = BufferForRetransmitStage(capacity_bytes=4)
+        stage.apply(b"abcd")
+        with pytest.raises(StageError, match="full"):
+            stage.apply(b"e")
+
+    def test_reset(self):
+        stage = BufferForRetransmitStage()
+        stage.apply(b"x")
+        stage.reset()
+        assert stage.buffered_bytes == 0
+
+
+class TestMoveToApp:
+    def test_delivers_via_scatter(self):
+        space = ApplicationAddressSpace()
+        space.add_region("dst", 10)
+        stage = MoveToAppStage(space)
+        stage.set_destination(ScatterMap.linear("dst", 2, 5))
+        assert stage.apply(b"hello") == b"hello"
+        assert space.read_region("dst")[2:7] == b"hello"
+
+    def test_requires_destination(self):
+        space = ApplicationAddressSpace()
+        stage = MoveToAppStage(space)
+        with pytest.raises(StageError, match="no scatter map"):
+            stage.apply(b"data")
+
+    def test_requires_complete_verified_adu(self):
+        from repro.stages.base import Facts
+
+        stage = MoveToAppStage(ApplicationAddressSpace())
+        assert Facts.ADU_COMPLETE in stage.requires
+        assert Facts.VERIFIED in stage.requires
+
+    def test_scatter_complexity_metric(self):
+        space = ApplicationAddressSpace()
+        space.add_region("a", 4)
+        space.add_region("b", 4)
+        stage = MoveToAppStage(space)
+        assert stage.scatter_complexity == 0
+        scatter = ScatterMap()
+        scatter.add(0, "a", 0, 4)
+        scatter.add(4, "b", 0, 4)
+        stage.set_destination(scatter)
+        assert stage.scatter_complexity == 2
+
+    def test_reset_clears_destination(self):
+        space = ApplicationAddressSpace()
+        space.add_region("dst", 4)
+        stage = MoveToAppStage(space)
+        stage.set_destination(ScatterMap.linear("dst", 0, 4))
+        stage.reset()
+        with pytest.raises(StageError):
+            stage.apply(b"data")

@@ -1,0 +1,125 @@
+"""Encryption stages: correctness and ordering semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StageError
+from repro.stages.base import Facts
+from repro.stages.encrypt import (
+    ChainedBlockCipher,
+    DecryptStage,
+    EncryptStage,
+    XorStreamCipher,
+)
+
+
+class TestXorStream:
+    def test_self_inverse(self):
+        cipher = XorStreamCipher(key=7)
+        data = b"secret message"
+        assert cipher.process(cipher.process(data)) == data
+
+    def test_actually_changes_data(self):
+        cipher = XorStreamCipher(key=7)
+        assert cipher.process(b"secret message") != b"secret message"
+
+    def test_position_addressable(self):
+        """Out-of-order units decrypt independently given their offsets —
+        the ALF-compatible property."""
+        cipher = XorStreamCipher(key=3)
+        whole = cipher.process(b"abcdefgh", 0)
+        part = cipher.process(b"efgh", 4)
+        assert whole[4:] == part
+
+    def test_different_keys_differ(self):
+        data = b"same plaintext"
+        assert XorStreamCipher(1).process(data) != XorStreamCipher(2).process(data)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(StageError):
+            XorStreamCipher(1).process(b"x", -1)
+
+    def test_empty(self):
+        assert XorStreamCipher(1).process(b"") == b""
+
+    @given(st.binary(max_size=100), st.integers(min_value=0, max_value=1000))
+    def test_roundtrip_any_offset(self, data, offset):
+        cipher = XorStreamCipher(key=99)
+        assert cipher.process(cipher.process(data, offset), offset) == data
+
+
+class TestChainedBlock:
+    def test_roundtrip(self):
+        cipher = ChainedBlockCipher(key=0xDEADBEEF)
+        data = b"0123456789abcdef"
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_chaining_propagates(self):
+        """Identical plaintext blocks yield different ciphertext blocks."""
+        cipher = ChainedBlockCipher(key=5)
+        encrypted = cipher.encrypt(b"AAAA" * 4)
+        blocks = [encrypted[i : i + 4] for i in range(0, 16, 4)]
+        assert len(set(blocks)) == 4
+
+    def test_block_alignment_required(self):
+        cipher = ChainedBlockCipher(key=5)
+        with pytest.raises(StageError, match="multiple"):
+            cipher.encrypt(b"abc")
+        with pytest.raises(StageError, match="multiple"):
+            cipher.decrypt(b"abc")
+
+    def test_iv_matters(self):
+        data = b"12345678"
+        a = ChainedBlockCipher(key=5, iv=b"\x00" * 4).encrypt(data)
+        b = ChainedBlockCipher(key=5, iv=b"\x01" * 4).encrypt(data)
+        assert a != b
+
+    def test_bad_iv(self):
+        with pytest.raises(StageError):
+            ChainedBlockCipher(key=1, iv=b"abc")
+
+    def test_decrypt_out_of_order_fails(self):
+        """Swapping ciphertext blocks corrupts decryption — the in-order
+        constraint the DecryptStage declares."""
+        cipher = ChainedBlockCipher(key=5)
+        encrypted = cipher.encrypt(b"ABCDEFGHIJKL")
+        swapped = encrypted[4:8] + encrypted[0:4] + encrypted[8:]
+        assert cipher.decrypt(swapped) != b"EFGHABCDIJKL"
+
+    @given(st.binary(max_size=25))
+    def test_roundtrip_property(self, raw):
+        data = raw + bytes(-len(raw) % 4)
+        cipher = ChainedBlockCipher(key=0x1234)
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+
+class TestStages:
+    def test_stream_stage_roundtrip(self):
+        enc = EncryptStage(XorStreamCipher(1))
+        dec = DecryptStage(XorStreamCipher(1))
+        assert dec.apply(enc.apply(b"payload")) == b"payload"
+
+    def test_stream_stage_offsets(self):
+        enc = EncryptStage(XorStreamCipher(1))
+        dec = DecryptStage(XorStreamCipher(1))
+        enc.set_stream_offset(100)
+        dec.set_stream_offset(100)
+        assert dec.apply(enc.apply(b"payload")) == b"payload"
+
+    def test_chained_stage_roundtrip(self):
+        enc = EncryptStage(ChainedBlockCipher(9))
+        dec = DecryptStage(ChainedBlockCipher(9))
+        assert dec.apply(enc.apply(b"12345678")) == b"12345678"
+
+    def test_stream_decrypt_is_order_free(self):
+        stage = DecryptStage(XorStreamCipher(1))
+        assert Facts.TU_IN_ORDER not in stage.requires
+
+    def test_chained_decrypt_requires_order(self):
+        stage = DecryptStage(ChainedBlockCipher(1))
+        assert Facts.TU_IN_ORDER in stage.requires
+
+    def test_chained_costs_more_than_stream(self):
+        stream = EncryptStage(XorStreamCipher(1))
+        chained = EncryptStage(ChainedBlockCipher(1))
+        assert chained.cost.alu_per_word > stream.cost.alu_per_word

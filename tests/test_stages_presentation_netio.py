@@ -1,0 +1,105 @@
+"""Presentation and network-I/O stages."""
+
+import pytest
+
+from repro.errors import StageError
+from repro.presentation.abstract import ArrayOf, Int32, OctetString
+from repro.presentation.ber import BerCodec
+from repro.presentation.costs import RAW_IMAGE, TOOLKIT_BER, TUNED_BER
+from repro.stages.base import Facts
+from repro.stages.netio import NetworkExtractStage, NetworkInjectStage
+from repro.stages.presentation import (
+    PresentationDecodeStage,
+    PresentationEncodeStage,
+)
+
+SCHEMA = ArrayOf(Int32())
+
+
+class TestEncodeStage:
+    def test_encodes_the_armed_value(self):
+        stage = PresentationEncodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        stage.set_value([1, 2, 3])
+        encoded = stage.apply(b"")
+        assert BerCodec().decode(encoded, SCHEMA) == [1, 2, 3]
+
+    def test_unarmed_raises(self):
+        stage = PresentationEncodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        with pytest.raises(StageError, match="no value"):
+            stage.apply(b"")
+
+    def test_reset_disarms(self):
+        stage = PresentationEncodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        stage.set_value([1])
+        stage.reset()
+        with pytest.raises(StageError):
+            stage.apply(b"")
+
+    def test_cost_from_profile(self):
+        stage = PresentationEncodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        assert stage.cost == TUNED_BER.encode
+
+    def test_octet_schema_uses_passthrough_cost(self):
+        stage = PresentationEncodeStage(BerCodec(), OctetString(), TOOLKIT_BER)
+        assert stage.cost == TOOLKIT_BER.octet_passthrough
+
+    def test_provides_converted(self):
+        stage = PresentationEncodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        assert Facts.CONVERTED in stage.provides
+
+
+class TestDecodeStage:
+    def test_decodes_and_passes_through(self):
+        encoded = BerCodec().encode([5, -5], SCHEMA)
+        stage = PresentationDecodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        assert stage.apply(encoded) == encoded
+        assert stage.last_value == [5, -5]
+
+    def test_requires_complete_verified(self):
+        stage = PresentationDecodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        assert Facts.ADU_COMPLETE in stage.requires
+        assert Facts.VERIFIED in stage.requires
+
+    def test_reset(self):
+        stage = PresentationDecodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        stage.apply(BerCodec().encode([1], SCHEMA))
+        stage.reset()
+        assert stage.last_value is None
+
+    def test_toolkit_profile_is_pricier(self):
+        tuned = PresentationDecodeStage(BerCodec(), SCHEMA, TUNED_BER)
+        toolkit = PresentationDecodeStage(BerCodec(), SCHEMA, TOOLKIT_BER)
+        assert toolkit.cost.calls_per_word > tuned.cost.calls_per_word
+
+    def test_raw_profile_is_a_copy(self):
+        stage = PresentationDecodeStage(BerCodec(), SCHEMA, RAW_IMAGE)
+        assert stage.cost.alu_per_word == 0.0
+
+
+class TestNetIo:
+    def test_extract_passthrough(self):
+        assert NetworkExtractStage().apply(b"data") == b"data"
+
+    def test_inject_passthrough(self):
+        assert NetworkInjectStage().apply(b"data") == b"data"
+
+    def test_hardware_offload_is_cpu_free(self):
+        stage = NetworkExtractStage(hardware_offload=True)
+        assert stage.cost.reads_per_word == 0.0
+        assert stage.cost.writes_per_word == 0.0
+
+    def test_pio_costs_a_copy(self):
+        stage = NetworkExtractStage(hardware_offload=False)
+        assert stage.cost.reads_per_word == 1.0
+        assert stage.cost.writes_per_word == 1.0
+
+    def test_not_fusable(self):
+        assert not NetworkExtractStage().fusable
+        assert not NetworkInjectStage().fusable
+
+    def test_extract_provides_extracted(self):
+        assert Facts.EXTRACTED in NetworkExtractStage().provides
+
+    def test_memory_traffic_declared(self):
+        assert NetworkExtractStage().memory_traffic.writes_per_word == 1.0
+        assert NetworkInjectStage().memory_traffic.reads_per_word == 1.0

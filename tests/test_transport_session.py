@@ -1,0 +1,136 @@
+"""Association establishment."""
+
+import pytest
+
+from repro.core.adu import Adu
+from repro.errors import TransportError
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.negotiate import LocalSyntax
+from repro.transport.alf import RecoveryMode
+from repro.transport.session import (
+    SessionConfig,
+    SessionInitiator,
+    SessionListener,
+)
+
+SCHEMAS = {"ints": ArrayOf(Int32())}
+
+
+def make_pair(loss_rate=0.0, seed=1, **config_kwargs):
+    path = two_hosts(seed=seed, loss_rate=loss_rate)
+    delivered = []
+    listener = SessionListener(
+        path.loop, path.b, SCHEMAS,
+        deliver=lambda fid, adu: delivered.append((fid, adu)),
+    )
+    config = SessionConfig(schema_name="ints", **config_kwargs)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b", config, SCHEMAS,
+    )
+    return path, listener, initiator, delivered
+
+
+def test_handshake_establishes_both_sides():
+    path, listener, initiator, _ = make_pair()
+    path.loop.run(until=5)
+    assert initiator.established
+    assert initiator.session is not None
+    assert initiator.session.sender is not None
+    assert initiator.session.flow_id in listener.sessions
+    assert listener.sessions[initiator.session.flow_id].receiver is not None
+
+
+def test_negotiation_agrees_on_both_sides():
+    path, listener, initiator, _ = make_pair()
+    path.loop.run(until=5)
+    session = initiator.session
+    peer = listener.sessions[session.flow_id]
+    assert session.plan.strategy == peer.plan.strategy == "sender-converts"
+    assert session.plan.codec.name == peer.plan.codec.name
+
+
+def test_identity_when_syntaxes_match():
+    path, listener, initiator, _ = make_pair(
+        local_syntax=LocalSyntax("init-le", "little")
+    )
+    path.loop.run(until=5)
+    assert initiator.session.plan.strategy == "identity"
+
+
+def test_data_flows_after_establishment():
+    path, listener, initiator, delivered = make_pair()
+    established = []
+    initiator.on_established = lambda s: established.append(s)
+    path.loop.run(until=5)
+    session = initiator.session
+    session.sender.send_adu(Adu(0, b"\x01\x02\x03\x04", {"n": 0}))
+    path.loop.run(until=10)
+    assert len(delivered) == 1
+    assert delivered[0][0] == session.flow_id
+    assert delivered[0][1].payload == b"\x01\x02\x03\x04"
+
+
+def test_handshake_survives_loss():
+    path, listener, initiator, _ = make_pair(loss_rate=0.4, seed=3)
+    path.loop.run(until=30)
+    assert initiator.established
+
+
+def test_unknown_schema_rejected():
+    path = two_hosts(seed=1)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    failures = []
+    SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="video"),
+        {"video": ArrayOf(Int32())},  # initiator knows it, listener doesn't
+        on_failed=failures.append,
+    )
+    path.loop.run(until=5)
+    assert failures and "unknown schema" in failures[0]
+
+
+def test_initiator_must_know_its_own_schema():
+    path = two_hosts(seed=1)
+    with pytest.raises(TransportError, match="unknown schema"):
+        SessionInitiator(
+            path.loop, path.a, "b",
+            SessionConfig(schema_name="nope"), SCHEMAS,
+        )
+
+
+def test_handshake_times_out_on_black_hole():
+    path = two_hosts(seed=2, loss_rate=1.0)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    failures = []
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="ints"), SCHEMAS,
+        on_failed=failures.append, max_attempts=3,
+    )
+    path.loop.run(until=30)
+    assert not initiator.established
+    assert failures == ["handshake timed out"]
+
+
+def test_duplicate_init_is_idempotent():
+    """Loss of the ACCEPT causes INIT retransmission; the listener must
+    not create a second session."""
+    path = two_hosts(seed=4, reverse_loss_rate=0.5)
+    listener = SessionListener(path.loop, path.b, SCHEMAS)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b", SessionConfig(schema_name="ints"), SCHEMAS,
+    )
+    path.loop.run(until=30)
+    assert initiator.established
+    assert len(listener.sessions) == 1
+
+
+def test_recovery_mode_travels():
+    path, listener, initiator, _ = make_pair(
+        recovery=RecoveryMode.NO_RETRANSMIT
+    )
+    path.loop.run(until=5)
+    peer = listener.sessions[initiator.session.flow_id]
+    assert peer.config.recovery is RecoveryMode.NO_RETRANSMIT

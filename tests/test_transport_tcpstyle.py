@@ -1,0 +1,151 @@
+"""TCP-style transport: integrity under every failure mode, plus the
+stall behaviour the paper critiques."""
+
+import pytest
+
+from repro.bench.workloads import file_payload
+from repro.errors import TransportError
+from repro.net.topology import two_hosts
+from repro.transport.tcpstyle import TcpStyleReceiver, TcpStyleSender
+
+
+def run_transfer(
+    data: bytes,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+    reorder_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    horizon: float = 200.0,
+    **sender_kwargs,
+):
+    path = two_hosts(
+        seed=seed,
+        loss_rate=loss_rate,
+        reorder_rate=reorder_rate,
+        duplicate_rate=duplicate_rate,
+        bandwidth_bps=50e6,
+        reverse_loss_rate=loss_rate / 2,
+    )
+    received = bytearray()
+    finished = []
+    receiver = TcpStyleReceiver(
+        path.loop, path.b, "a", 1, deliver=received.extend
+    )
+    sender = TcpStyleSender(
+        path.loop, path.a, "b", 1,
+        on_complete=lambda: finished.append(path.loop.now),
+        **sender_kwargs,
+    )
+    sender.send(data)
+    sender.close()
+    path.loop.run(until=horizon)
+    return bytes(received), sender, receiver, finished
+
+
+class TestCleanPath:
+    def test_full_delivery(self, small_file):
+        received, sender, receiver, finished = run_transfer(small_file)
+        assert received == small_file
+        assert finished  # completion fired
+        assert sender.stats.retransmissions == 0
+        assert receiver.total_blocked_time == 0.0
+
+    def test_empty_send_is_noop(self):
+        received, sender, receiver, finished = run_transfer(b"")
+        assert received == b""
+        assert finished
+
+    def test_send_after_close_rejected(self):
+        path = two_hosts()
+        TcpStyleReceiver(path.loop, path.b, "a", 1, deliver=lambda d: None)
+        sender = TcpStyleSender(path.loop, path.a, "b", 1)
+        sender.close()
+        with pytest.raises(TransportError):
+            sender.send(b"more")
+
+    def test_window_limits_inflight(self):
+        path = two_hosts(bandwidth_bps=1e9)
+        TcpStyleReceiver(path.loop, path.b, "a", 1, deliver=lambda d: None)
+        sender = TcpStyleSender(
+            path.loop, path.a, "b", 1, window_bytes=4096,
+            use_congestion_control=False,
+        )
+        sender.send(bytes(100_000))
+        assert sender.unacked_bytes <= 4096
+
+    def test_mss_validation(self):
+        path = two_hosts()
+        with pytest.raises(TransportError):
+            TcpStyleSender(path.loop, path.a, "b", 1, mss=0)
+
+
+class TestLossyPath:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_integrity_under_loss(self, seed, small_file):
+        received, sender, _, finished = run_transfer(
+            small_file, seed=seed, loss_rate=0.05
+        )
+        assert received == small_file
+        assert finished
+        assert sender.stats.retransmissions > 0
+
+    def test_integrity_under_reordering(self, small_file):
+        received, *_ = run_transfer(small_file, seed=4, reorder_rate=0.1)
+        assert received == small_file
+
+    def test_integrity_under_duplication(self, small_file):
+        received, sender, receiver, _ = run_transfer(
+            small_file, seed=5, duplicate_rate=0.1
+        )
+        assert received == small_file
+
+    def test_integrity_under_everything(self, small_file):
+        received, *_ = run_transfer(
+            small_file, seed=6, loss_rate=0.05, reorder_rate=0.05,
+            duplicate_rate=0.05,
+        )
+        assert received == small_file
+
+    def test_loss_causes_delivery_stall(self, small_file):
+        """The §5 behaviour: data behind a hole waits; the receiver
+        records blocked time."""
+        _, _, receiver, _ = run_transfer(small_file, seed=7, loss_rate=0.05)
+        assert receiver.total_blocked_time > 0.0
+
+    def test_loss_slows_completion(self, small_file):
+        _, _, _, clean = run_transfer(small_file, seed=8)
+        _, _, _, lossy = run_transfer(small_file, seed=8, loss_rate=0.05)
+        assert lossy[0] > clean[0]
+
+
+class TestControlAccounting:
+    def test_control_path_is_tens_of_instructions(self, small_file):
+        from repro.control.instructions import InstructionCounter
+
+        path = two_hosts(seed=9, bandwidth_bps=50e6)
+        counter = InstructionCounter()
+        received = bytearray()
+        TcpStyleReceiver(
+            path.loop, path.b, "a", 1, deliver=received.extend,
+            counter=counter,
+        )
+        sender = TcpStyleSender(
+            path.loop, path.a, "b", 1, counter=counter,
+        )
+        sender.send(small_file)
+        sender.close()
+        path.loop.run(until=100)
+        assert bytes(received) == small_file
+        per_packet = counter.per_packet()
+        assert 10 < per_packet < 200  # tens, not hundreds (paper §4)
+
+
+class TestFastRetransmit:
+    def test_triple_dup_ack_recovers_before_timeout(self, small_file):
+        """With a long RTO, recovery must come from duplicate ACKs."""
+        received, sender, _, finished = run_transfer(
+            small_file, seed=10, loss_rate=0.03, rto=5.0,
+        )
+        assert received == small_file
+        assert finished
+        assert finished[0] < 20.0  # far less than a few RTOs
