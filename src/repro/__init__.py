@@ -38,7 +38,15 @@ from repro.machine import (
     SUPERSCALAR,
     CostVector,
 )
-from repro.ilp import Pipeline, LayeredExecutor, IntegratedExecutor
+from repro.ilp import (
+    Pipeline,
+    LayeredExecutor,
+    IntegratedExecutor,
+    PipelineCompiler,
+    CompiledPlan,
+    PlanCache,
+    shared_plan_cache,
+)
 from repro.presentation import BerCodec, XdrCodec, LwtsCodec, negotiate
 from repro.transport import (
     TcpStyleSender,
@@ -70,6 +78,10 @@ __all__ = [
     "Pipeline",
     "LayeredExecutor",
     "IntegratedExecutor",
+    "PipelineCompiler",
+    "CompiledPlan",
+    "PlanCache",
+    "shared_plan_cache",
     "BerCodec",
     "XdrCodec",
     "LwtsCodec",

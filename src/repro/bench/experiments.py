@@ -723,6 +723,7 @@ def all_experiments() -> list[ExperimentResult]:
         rate_control(),
         ilp_end_to_end(),
         media_deadline_repair(),
+        plan_cache_fast_path(),
     ]
 
 # ----------------------------------------------------------------------
@@ -1290,4 +1291,106 @@ def media_deadline_repair(
         notes="NO_RETRANSMIT both ways (a retransmission would miss the "
         "deadline anyway); FEC spends ~25% more bandwidth to repair in "
         "zero round trips — footnote 10's trade made concrete",
+    )
+
+
+# ----------------------------------------------------------------------
+# P1 — compile-once plan cache + batched execution
+
+
+def plan_cache_fast_path(n_adus: int = 64, adu_bytes: int = 2048) -> ExperimentResult:
+    """P1: compile-once/execute-many vs per-ADU re-planning.
+
+    Deterministic accounting of the compiled fast path: how many fusion
+    plans each engineering constructs for a steady-state stream, what
+    the LRU plan cache does, and the modelled throughput of the batched
+    integrated pass.  (The wall-clock ops/sec comparison — and the >= 5x
+    acceptance criterion — lives in ``benchmarks/bench_plan_cache.py``,
+    which is allowed to measure real time; this battery stays
+    bit-reproducible.)
+    """
+    from repro.ilp.compiler import PipelineCompiler, PlanCache
+    from repro.stages.encrypt import WordXorStage
+    from repro.stages.presentation import ByteswapStage
+
+    def make_pipeline() -> Pipeline:
+        return Pipeline(
+            [
+                CopyStage(),
+                ChecksumComputeStage(),
+                WordXorStage(0xA5A5A5A5),
+                ByteswapStage(),
+            ],
+            name="wire",
+        )
+
+    adus = [octet_payload(adu_bytes, seed=900 + index) for index in range(n_adus)]
+
+    # Engineering 1: re-plan per ADU (the old hot path).
+    compiler = PipelineCompiler(MIPS_R2000)
+    replan_outputs = []
+    replan_checksums = []
+    replan_compiles = 0
+    for payload in adus:
+        plan = compiler.compile(make_pipeline())
+        replan_compiles += 1
+        output, observations = plan.run(payload)
+        replan_outputs.append(output)
+        replan_checksums.append(observations["checksum-internet"])
+
+    # Engineering 2: compile once through the cache, run per ADU.
+    cache = PlanCache(capacity=8)
+    for payload in adus:
+        cache.get_or_compile(make_pipeline(), MIPS_R2000).run(payload)
+
+    # Engineering 3: one batched pass over all ADUs.
+    plan = cache.get_or_compile(make_pipeline(), MIPS_R2000)
+    batch = plan.run_batch(adus)
+    assert batch.outputs == replan_outputs
+    assert batch.observations["checksum-internet"] == replan_checksums
+
+    snapshot = cache.snapshot()
+    rows = [
+        Row(
+            "plans built, re-plan per ADU",
+            paper=None,
+            measured=float(replan_compiles),
+            unit="compiles",
+        ),
+        Row(
+            "plans built, cached",
+            paper=None,
+            measured=float(snapshot["misses"]),
+            unit="compiles",
+            extra={"hits": int(snapshot["hits"])},
+        ),
+        Row(
+            "cache hit rate, steady state",
+            paper=None,
+            measured=round(snapshot["hit_rate"], 4),
+            unit="fraction",
+        ),
+        Row(
+            "integrated loops per ADU",
+            paper=None,
+            measured=float(plan.n_loops),
+            unit="loops",
+        ),
+        Row(
+            "batched pass, modelled",
+            paper=None,
+            measured=round(batch.report.mbps(), 2),
+            unit="Mb/s",
+            extra={"adus": n_adus, "adu_bytes": adu_bytes},
+        ),
+    ]
+    return ExperimentResult(
+        "P1",
+        "Compile-once ILP fast path: plan cache + batched execution",
+        rows,
+        notes="the fusion plan is a per-association invariant, not "
+        "per-ADU work; caching it amortizes the planning exactly as §6 "
+        "amortizes per-packet control overhead, and batching lets each "
+        "kernel traverse many ADUs in one vectorized pass (outputs "
+        "asserted byte-identical to the per-ADU path)",
     )

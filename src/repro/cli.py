@@ -45,6 +45,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "A4": ("Layered vs shared header", experiments.header_overhead),
     "A5": ("Cache depletion across passes", experiments.cache_depletion),
     "A6": ("Out-of-band rate control", experiments.rate_control),
+    "P1": ("Compile-once plan cache fast path", experiments.plan_cache_fast_path),
 }
 
 
@@ -110,6 +111,25 @@ def _cmd_verify(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ilp(args: argparse.Namespace) -> int:
+    from repro.ilp.compiler import shared_plan_cache
+
+    if args.action == "stats":
+        snapshot = shared_plan_cache().snapshot()
+        print(
+            f"plan cache: {snapshot['entries']} entries "
+            f"(capacity {snapshot['capacity']})"
+        )
+        print(
+            f"  lookups {snapshot['lookups']}  hits {snapshot['hits']}  "
+            f"misses {snapshot['misses']}  evictions {snapshot['evictions']}"
+        )
+        print(f"  hit rate {snapshot['hit_rate']:.4f}")
+        return 0
+    print(f"unknown ilp action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -142,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="check the headline numbers against guard bands"
     )
     verify_parser.set_defaults(handler=_cmd_verify)
+
+    ilp_parser = commands.add_parser(
+        "ilp", help="inspect the ILP compiled-plan machinery"
+    )
+    ilp_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the process-wide plan cache counters",
+    )
+    ilp_parser.set_defaults(handler=_cmd_ilp)
     return parser
 
 

@@ -78,11 +78,17 @@ class AduFragment:
             )
 
 
-def fragment_adu(adu: Adu, mtu: int) -> list[AduFragment]:
-    """Slice an ADU into fragments of at most ``mtu`` payload bytes."""
+def fragment_adu(adu: Adu, mtu: int, checksum: int | None = None) -> list[AduFragment]:
+    """Slice an ADU into fragments of at most ``mtu`` payload bytes.
+
+    ``checksum`` lets a caller that already computed the ADU checksum
+    (e.g. through a compiled wire plan, possibly batched) pass it in
+    instead of paying a second checksum pass here.
+    """
     if mtu <= 0:
         raise FramingError("mtu must be positive")
-    checksum = adu.checksum
+    if checksum is None:
+        checksum = adu.checksum
     if not adu.payload:
         return [
             AduFragment(adu.sequence, 0, 1, 0, checksum, dict(adu.name), b"")
@@ -102,12 +108,14 @@ def fragment_adu(adu: Adu, mtu: int) -> list[AduFragment]:
     ]
 
 
-def reassemble_fragments(fragments: list[AduFragment]) -> Adu:
+def reassemble_fragments(fragments: list[AduFragment], verify: bool = True) -> Adu:
     """Rebuild an ADU from all of its fragments (any order).
 
     Raises :class:`FramingError` on missing/inconsistent fragments or a
     checksum mismatch — the caller treats any of those as loss of the
-    whole ADU.
+    whole ADU.  ``verify=False`` skips the checksum pass for callers
+    that verify through a compiled wire plan instead (the structural
+    checks all still run).
     """
     if not fragments:
         raise FramingError("no fragments to reassemble")
@@ -134,7 +142,7 @@ def reassemble_fragments(fragments: list[AduFragment]) -> Adu:
             f"reassembled {len(payload)} bytes, expected {first.adu_length}"
         )
     adu = Adu(first.adu_sequence, payload, dict(first.name))
-    if adu.checksum != first.adu_checksum:
+    if verify and adu.checksum != first.adu_checksum:
         raise FramingError(
             f"ADU {first.adu_sequence}: checksum mismatch after reassembly"
         )

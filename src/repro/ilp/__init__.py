@@ -17,6 +17,12 @@ This package provides:
 * :class:`~repro.ilp.executor.IntegratedExecutor` — the ILP engineering:
   one pass per fused group, with the downstream stage consuming each word
   while it is still in a register;
+* :class:`~repro.ilp.compiler.PipelineCompiler` /
+  :class:`~repro.ilp.compiler.CompiledPlan` — the compile-once fast
+  path: fusion planned once, groups lowered to word kernels, prices
+  precomputed; :class:`~repro.ilp.compiler.PlanCache` memoizes plans
+  across ADUs and flows, and ``CompiledPlan.run_batch`` executes many
+  ADUs in one vectorized pass per kernel;
 * :class:`~repro.ilp.report.ExecutionReport` — cycles, passes and Mb/s
   for either execution, priced on a machine profile.
 
@@ -28,6 +34,17 @@ construction, as the paper requires.
 
 from repro.ilp.pipeline import Pipeline
 from repro.ilp.fusion import plan_fusion, fused_group_cost
+from repro.ilp.compiler import (
+    BatchResult,
+    CompiledGroup,
+    CompiledPlan,
+    PipelineCompiler,
+    PlanCache,
+    PlanCacheStats,
+    plan_key,
+    shared_plan_cache,
+    stage_signature,
+)
 from repro.ilp.executor import LayeredExecutor, IntegratedExecutor
 from repro.ilp.report import ExecutionReport, StageExecution
 
@@ -35,6 +52,15 @@ __all__ = [
     "Pipeline",
     "plan_fusion",
     "fused_group_cost",
+    "BatchResult",
+    "CompiledGroup",
+    "CompiledPlan",
+    "PipelineCompiler",
+    "PlanCache",
+    "PlanCacheStats",
+    "plan_key",
+    "shared_plan_cache",
+    "stage_signature",
     "LayeredExecutor",
     "IntegratedExecutor",
     "ExecutionReport",

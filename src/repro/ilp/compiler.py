@@ -1,0 +1,546 @@
+"""Compile-once ILP fast path: cached fusion plans + batched execution.
+
+The planner in :mod:`repro.ilp.fusion` is correct but was being invoked
+*per ADU*: every unit of steady-state traffic re-derived the same fusion
+groups and re-assembled the same loop — the per-unit control overhead
+the paper says should be amortized (§6).  This module moves planning to
+compile time:
+
+* :class:`PipelineCompiler` runs ``plan_fusion`` **once** for a
+  (pipeline, machine profile, speculative) triple, lowers each fusable
+  group to word kernels where the stages support it, and precomputes the
+  per-word and per-invocation cycle prices of every group;
+* :class:`CompiledPlan` is the immutable result.  ``execute`` replays
+  the plan over a live pipeline's stages (the general path — identical
+  semantics to the old per-ADU executor, minus the planning);
+  ``run``/``run_batch`` drive the lowered kernel form directly;
+* :class:`PlanCache` is a thread-safe LRU keyed by the *structural
+  signature* of the pipeline (stage types, names, costs, facts — never
+  the pipeline's display name, which transports mint per ADU) plus the
+  profile name, initial facts and speculative flag, with hit / miss /
+  eviction counters surfaced via ``repro ilp stats``;
+* :meth:`CompiledPlan.run_batch` packs many ADUs into one padded 2-D
+  word array so each kernel makes a single vectorized pass over the
+  whole batch — one interpreter dispatch per kernel per *batch* instead
+  of per ADU.
+
+Byte-identity with the unbatched path is maintained exactly: rows carry
+their true byte lengths, and between integrated loops the padding is
+re-zeroed just as the unbatched path's store/reload through bytes does.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.ilp.fusion import fused_group_cost, plan_fusion
+from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel
+from repro.ilp.kernels import bytes_to_words as pack_words
+from repro.ilp.kernels import words_to_bytes as unpack_words
+from repro.ilp.pipeline import Pipeline
+from repro.ilp.report import ExecutionReport, StageExecution
+from repro.machine.costs import CostVector
+from repro.machine.profile import MachineProfile
+from repro.stages.base import Stage
+from repro.units import bytes_to_words as words_covering
+
+StageSignature = tuple
+
+
+def stage_signature(stage: Stage) -> StageSignature:
+    """Structural identity of one stage for plan-cache keys.
+
+    Two stages with equal signatures must plan identically *and* lower
+    to the same kernel behaviour.  Parameterized lowerable stages
+    (e.g. :class:`~repro.stages.encrypt.WordXorStage`) expose a
+    ``lowering_token`` so their parameters enter the key.
+    """
+    cost = stage.cost
+    token = getattr(stage, "lowering_token", None)
+    return (
+        type(stage).__qualname__,
+        stage.name,
+        stage.category,
+        (
+            cost.reads_per_word,
+            cost.writes_per_word,
+            cost.alu_per_word,
+            cost.calls_per_word,
+            cost.per_call_ops,
+        ),
+        tuple(sorted(stage.requires)),
+        tuple(sorted(stage.provides)),
+        bool(stage.fusable),
+        token() if callable(token) else None,
+    )
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key: what a compiled plan depends on — and nothing else.
+
+    Deliberately excludes the pipeline's display name: the transports
+    mint a fresh ``adu-<seq>`` name per unit, and keying on it would
+    defeat the cache entirely.
+    """
+
+    stages: tuple[StageSignature, ...]
+    profile_name: str
+    initial_facts: frozenset[str]
+    speculative: bool
+
+
+def plan_key(
+    pipeline: Pipeline, profile: MachineProfile, speculative: bool = False
+) -> PlanKey:
+    """The cache key for compiling ``pipeline`` on ``profile``."""
+    return PlanKey(
+        stages=tuple(stage_signature(stage) for stage in pipeline.stages),
+        profile_name=profile.name,
+        initial_facts=pipeline.initial_facts,
+        speculative=bool(speculative),
+    )
+
+
+@dataclass(frozen=True)
+class CompiledGroup:
+    """One integrated loop, with its prices precomputed.
+
+    Attributes:
+        label: joined stage names, as in execution reports.
+        category: ledger category of the loop (its first stage's).
+        start, stop: the group's slice of the pipeline's stage list.
+        cost: fused per-word cost vector of the loop.
+        cycles_per_word: ``cost`` priced on the compiling profile.
+        cycles_per_invocation: fixed setup cycles per loop entry.
+        memory_pass: whether the loop touches memory at all.
+        kernels: lowered word kernels, or None when any stage in the
+            group has no kernel form (the group then runs on the stage
+            path only).
+    """
+
+    label: str
+    category: str
+    start: int
+    stop: int
+    cost: CostVector
+    cycles_per_word: float
+    cycles_per_invocation: float
+    memory_pass: bool
+    kernels: tuple[WordKernel, ...] | None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`CompiledPlan.run_batch`.
+
+    Attributes:
+        outputs: transformed payloads, one per input ADU, byte-identical
+            to running each ADU through :meth:`CompiledPlan.run`.
+        observations: kernel name → per-ADU observation list (e.g. the
+            checksum of every ADU in the batch).
+        report: one modelled execution report for the whole batch; its
+            cycle totals equal the sum of the per-ADU reports.
+    """
+
+    outputs: list[bytes]
+    observations: dict[str, list[int]]
+    report: ExecutionReport
+
+    @property
+    def n_adus(self) -> int:
+        """Number of ADUs in the batch."""
+        return len(self.outputs)
+
+
+def _pack_batch(adus: Sequence[bytes]) -> tuple[Array, Array, Array, Array]:
+    """Pack ADUs into one (adu, word) big-endian-value array.
+
+    Returns ``(words, lengths, word_keep, byte_keep)``:
+
+    * ``words`` — shape (n, W) uint32, W = max words over the batch,
+      short rows zero-padded;
+    * ``lengths`` — true byte length per row;
+    * ``word_keep`` — mask zeroing the whole words a row does not own
+      (its columns beyond ceil(len/4)).  Applied after every transform
+      so that batch-only padding can never leak into an observation —
+      the unbatched path has no such words at all;
+    * ``byte_keep`` — additionally zeroes the sub-word pad bytes of a
+      row's final partial word.  Applied between integrated loops,
+      mirroring the unbatched path's store/reload through bytes.
+    """
+    n = len(adus)
+    lengths = np.fromiter((len(adu) for adu in adus), dtype=np.int64, count=n)
+    nwords = (lengths + 3) // 4
+    width = max(int(nwords.max()), 1)
+
+    raw = np.zeros((n, width * 4), dtype=np.uint8)
+    for i, payload in enumerate(adus):
+        if payload:
+            raw[i, : len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    native = raw.view(np.uint32)
+    words = native.byteswap() if _LITTLE_ENDIAN else native.copy()
+
+    cols = np.arange(width)
+    word_keep = np.where(
+        cols[None, :] < nwords[:, None], 0xFFFFFFFF, 0
+    ).astype(np.uint32)
+
+    byte_keep = word_keep.copy()
+    rem = lengths % 4
+    partial = np.nonzero(rem)[0]
+    if partial.size:
+        # Word values are big-endian: byte 0 sits in the high bits, so a
+        # row keeping `rem` bytes of its last word keeps the top rem*8 bits.
+        masks = ((0xFFFFFFFF << (8 * (4 - rem[partial]))) & 0xFFFFFFFF).astype(
+            np.uint32
+        )
+        byte_keep[partial, nwords[partial] - 1] = masks
+    return words, lengths, word_keep, byte_keep
+
+
+def _unpack_batch(words: Array, lengths: Array) -> list[bytes]:
+    """Row-wise inverse of :func:`_pack_batch` (truncated to true lengths)."""
+    raw = words.byteswap() if _LITTLE_ENDIAN else words
+    flat = np.ascontiguousarray(raw).view(np.uint8)
+    return [flat[i, : int(length)].tobytes() for i, length in enumerate(lengths)]
+
+
+class CompiledPlan:
+    """An immutable, reusable execution plan for one pipeline shape.
+
+    Built by :class:`PipelineCompiler`; shared freely across threads and
+    flows (it holds no mutable state — per-run state lives in the live
+    stages passed to :meth:`execute`).
+    """
+
+    __slots__ = (
+        "key",
+        "profile",
+        "groups",
+        "speculative_facts",
+        "pipeline_name",
+        "n_stages",
+    )
+
+    def __init__(
+        self,
+        key: PlanKey,
+        profile: MachineProfile,
+        groups: tuple[CompiledGroup, ...],
+        speculative_facts: frozenset[str],
+        pipeline_name: str,
+    ):
+        self.key = key
+        self.profile = profile
+        self.groups = groups
+        self.speculative_facts = speculative_facts
+        # The name of the pipeline the plan was compiled from; batch
+        # reports carry it (per-ADU reports use the live pipeline's).
+        self.pipeline_name = pipeline_name
+        self.n_stages = len(key.stages)
+
+    @property
+    def n_loops(self) -> int:
+        """Number of integrated loops the plan executes."""
+        return len(self.groups)
+
+    @property
+    def fully_lowered(self) -> bool:
+        """True when every group has a kernel form, enabling
+        :meth:`run` and :meth:`run_batch`."""
+        return all(group.kernels is not None for group in self.groups)
+
+    def _require_lowered(self) -> None:
+        if not self.fully_lowered:
+            unlowered = [g.label for g in self.groups if g.kernels is None]
+            raise PipelineError(
+                f"plan for {self.pipeline_name!r} is not fully lowered "
+                f"(stage-path groups: {unlowered}); use execute() instead"
+            )
+
+    def execute(self, pipeline: Pipeline, data: bytes) -> tuple[bytes, ExecutionReport]:
+        """Run the live ``pipeline``'s stages under this plan's grouping.
+
+        Semantics are identical to planning + executing per ADU — the
+        stages really run, stateful ones included — but the fusion plan
+        and all cycle prices come precomputed.
+        """
+        stages = pipeline.stages
+        if len(stages) != len(self.key.stages):
+            raise PipelineError(
+                f"plan compiled for {len(self.key.stages)} stages cannot "
+                f"execute a {len(stages)}-stage pipeline"
+            )
+        report = ExecutionReport(
+            pipeline_name=pipeline.name,
+            mode="integrated",
+            profile=self.profile,
+            payload_bytes=len(data),
+            speculative_facts=set(self.speculative_facts),
+        )
+        for group in self.groups:
+            pass_bytes = len(data)
+            for stage in stages[group.start : group.stop]:
+                data = stage.apply(data)
+                pass_bytes = max(pass_bytes, len(data))
+            cycles = (
+                words_covering(pass_bytes) * group.cycles_per_word
+                + group.cycles_per_invocation
+            )
+            report.executions.append(
+                StageExecution(
+                    label=group.label,
+                    category=group.category,
+                    n_bytes=pass_bytes,
+                    cycles=cycles,
+                    memory_pass=group.memory_pass,
+                )
+            )
+        return data, report
+
+    def run(self, data: bytes) -> tuple[bytes, dict[str, int]]:
+        """Kernel fast path for one ADU: one fused pass per loop.
+
+        Requires :attr:`fully_lowered`.  Returns (output bytes,
+        observations keyed by kernel name).
+        """
+        self._require_lowered()
+        observations: dict[str, int] = {}
+        for group in self.groups:
+            words, length = pack_words(data)
+            live = words
+            for kernel in group.kernels:
+                transformed = kernel.transform(live)
+                if kernel.finalize is not None:
+                    observations[kernel.name] = kernel.finalize(live, length)
+                live = transformed
+            data = unpack_words(live, length)
+        return data, observations
+
+    def run_batch(self, adus: Sequence[bytes]) -> BatchResult:
+        """Run many ADUs through the plan in one vectorized pass per kernel.
+
+        Payloads are packed into a single padded 2-D word array; each
+        kernel's transform and (vectorized) finalizer then touch the
+        whole batch at once.  Outputs and observations are byte- and
+        value-identical to calling :meth:`run` per ADU.
+        """
+        self._require_lowered()
+        if not adus:
+            raise PipelineError("run_batch needs at least one ADU")
+        words, lengths, word_keep, byte_keep = _pack_batch(adus)
+        observations: dict[str, list[int]] = {}
+        n = len(adus)
+        last = len(self.groups) - 1
+        for index, group in enumerate(self.groups):
+            for kernel in group.kernels:
+                transformed = kernel.transform(words)
+                if kernel.finalize is not None:
+                    if kernel.batch_finalize is not None:
+                        values = kernel.batch_finalize(words, lengths)
+                        observations[kernel.name] = [int(v) for v in values]
+                    else:
+                        observations[kernel.name] = [
+                            kernel.finalize(words[i, :], int(lengths[i]))
+                            for i in range(n)
+                        ]
+                # A short row's unused columns must stay zero: the
+                # unbatched path has no such words, so nothing a kernel
+                # writes there may survive to be observed.
+                words = transformed & word_keep
+            if index != last:
+                # Between loops the unbatched path stores to bytes and
+                # reloads, which re-zeroes each row's sub-word padding.
+                words = words & byte_keep
+        outputs = _unpack_batch(words, lengths)
+        return BatchResult(
+            outputs=outputs,
+            observations=observations,
+            report=self._batch_report(lengths),
+        )
+
+    def _batch_report(self, lengths: Array) -> ExecutionReport:
+        n = int(lengths.size)
+        total_words = int(((lengths + 3) // 4).sum())
+        total_bytes = int(lengths.sum())
+        report = ExecutionReport(
+            pipeline_name=self.pipeline_name,
+            mode="integrated-batch",
+            profile=self.profile,
+            payload_bytes=total_bytes,
+            speculative_facts=set(self.speculative_facts),
+        )
+        for group in self.groups:
+            cycles = (
+                total_words * group.cycles_per_word
+                + n * group.cycles_per_invocation
+            )
+            report.executions.append(
+                StageExecution(
+                    label=group.label,
+                    category=group.category,
+                    n_bytes=total_bytes,
+                    cycles=cycles,
+                    memory_pass=group.memory_pass,
+                )
+            )
+        return report
+
+
+def _lower_group(stages: Sequence[Stage]) -> tuple[WordKernel, ...] | None:
+    """Lower a fused group to kernels, or None if any stage cannot."""
+    kernels: list[WordKernel] = []
+    for stage in stages:
+        hook = getattr(stage, "to_word_kernel", None)
+        kernel = hook() if callable(hook) else None
+        if kernel is None:
+            return None
+        kernels.append(kernel)
+    return tuple(kernels)
+
+
+class PipelineCompiler:
+    """Compiles a pipeline into a :class:`CompiledPlan` for one profile.
+
+    Args:
+        profile: machine to price the plan on.
+        speculative: permit facts produced inside a loop to satisfy
+            requirements inside the same loop (as in
+            :class:`~repro.ilp.executor.IntegratedExecutor`).
+    """
+
+    def __init__(self, profile: MachineProfile, speculative: bool = False):
+        self.profile = profile
+        self.speculative = bool(speculative)
+
+    def compile(self, pipeline: Pipeline) -> CompiledPlan:
+        """Plan fusion once and lower the result."""
+        plan = plan_fusion(
+            pipeline.stages, pipeline.initial_facts, speculative=self.speculative
+        )
+        groups: list[CompiledGroup] = []
+        cursor = 0
+        for group_stages in plan.groups:
+            cost = fused_group_cost(group_stages)
+            start, stop = cursor, cursor + len(group_stages)
+            cursor = stop
+            groups.append(
+                CompiledGroup(
+                    label="+".join(stage.name for stage in group_stages),
+                    category=group_stages[0].category,
+                    start=start,
+                    stop=stop,
+                    cost=cost,
+                    cycles_per_word=self.profile.cycles_per_word(cost),
+                    cycles_per_invocation=cost.per_call_ops * self.profile.alu_cycles,
+                    memory_pass=cost.reads_per_word > 0 or cost.writes_per_word > 0,
+                    kernels=_lower_group(group_stages),
+                )
+            )
+        return CompiledPlan(
+            key=plan_key(pipeline, self.profile, self.speculative),
+            profile=self.profile,
+            groups=tuple(groups),
+            speculative_facts=frozenset(plan.speculative_facts),
+            pipeline_name=pipeline.name,
+        )
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for CLI and bench reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled plans.
+
+    Keyed by :func:`plan_key`; compilation happens under the lock, so
+    concurrent lookups of the same key compile exactly once.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise PipelineError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[PlanKey, CompiledPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def get_or_compile(
+        self,
+        pipeline: Pipeline,
+        profile: MachineProfile,
+        speculative: bool = False,
+    ) -> CompiledPlan:
+        """The cached plan for this pipeline shape, compiling on miss."""
+        key = plan_key(pipeline, profile, speculative)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+            self.stats.misses += 1
+            plan = PipelineCompiler(profile, speculative=speculative).compile(pipeline)
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+            return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
+
+    def snapshot(self) -> dict[str, float]:
+        """Stats plus occupancy, for ``repro ilp stats`` and benches."""
+        with self._lock:
+            data = self.stats.as_dict()
+            data["entries"] = len(self._plans)
+            data["capacity"] = self.capacity
+            return data
+
+
+_SHARED_CACHE = PlanCache()
+
+
+def shared_plan_cache() -> PlanCache:
+    """The process-wide cache the executors and transports default to."""
+    return _SHARED_CACHE

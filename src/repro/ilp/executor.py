@@ -18,13 +18,11 @@ large one; the pass length is the larger).
 
 from __future__ import annotations
 
-from repro.errors import PipelineError
-from repro.ilp.fusion import plan_fusion
+from repro.ilp.compiler import PlanCache, shared_plan_cache
 from repro.ilp.pipeline import Pipeline
 from repro.ilp.report import ExecutionReport, StageExecution
 from repro.machine.costs import CostVector
 from repro.machine.profile import MachineProfile
-from repro.stages.base import Stage
 
 
 def _touches_memory(cost: CostVector) -> bool:
@@ -67,60 +65,39 @@ class LayeredExecutor:
 class IntegratedExecutor:
     """Fused loops per the plan (the ILP engineering).
 
+    Planning is memoized: the fusion plan and its cycle prices come from
+    a :class:`~repro.ilp.compiler.PlanCache` (shared process-wide by
+    default), so steady-state traffic — thousands of structurally
+    identical per-ADU pipelines — plans once and executes many times.
+    Functional semantics are unchanged: the live stages really run, in
+    order, and the cost charged per group is the fused loop's (full
+    price for the first stage, register-fed reads for the rest, on the
+    largest form of the data the loop sees).
+
     Args:
         profile: machine to price the run on.
         speculative: permit facts produced inside a loop to satisfy
             requirements inside the same loop (optimistic delivery with
             late abort).  The report records any facts used this way.
+        plan_cache: cache to compile through; defaults to the shared
+            process-wide cache.
     """
 
     mode = "integrated"
 
-    def __init__(self, profile: MachineProfile, speculative: bool = False):
+    def __init__(
+        self,
+        profile: MachineProfile,
+        speculative: bool = False,
+        plan_cache: PlanCache | None = None,
+    ):
         self.profile = profile
         self.speculative = speculative
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
 
     def execute(self, pipeline: Pipeline, data: bytes) -> tuple[bytes, ExecutionReport]:
         """Run ``pipeline`` over ``data``; returns (output, report)."""
-        plan = plan_fusion(
-            pipeline.stages, pipeline.initial_facts, speculative=self.speculative
+        plan = self.plan_cache.get_or_compile(
+            pipeline, self.profile, speculative=self.speculative
         )
-        report = ExecutionReport(
-            pipeline_name=pipeline.name,
-            mode=self.mode,
-            profile=self.profile,
-            payload_bytes=len(data),
-            speculative_facts=set(plan.speculative_facts),
-        )
-        for group in plan.groups:
-            data = self._run_group(group, data, report)
-        return data, report
-
-    def _run_group(
-        self, group: list[Stage], data: bytes, report: ExecutionReport
-    ) -> bytes:
-        if not group:
-            raise PipelineError("empty fusion group")
-        # Functional semantics are preserved exactly: stages apply in
-        # order.  The cost is the fused loop's: full price for the first
-        # stage, register-fed reads for the rest, charged on the largest
-        # form of the data the loop sees.
-        pass_bytes = len(data)
-        fused_cost = group[0].cost
-        output = group[0].apply(data)
-        pass_bytes = max(pass_bytes, len(output))
-        for stage in group[1:]:
-            fused_cost = stage.cost.fuse_after(fused_cost)
-            output = stage.apply(output)
-            pass_bytes = max(pass_bytes, len(output))
-        cycles = self.profile.cycles(fused_cost, pass_bytes, invocations=1)
-        report.executions.append(
-            StageExecution(
-                label="+".join(stage.name for stage in group),
-                category=group[0].category,
-                n_bytes=pass_bytes,
-                cycles=cycles,
-                memory_pass=_touches_memory(fused_cost),
-            )
-        )
-        return output
+        return plan.execute(pipeline, data)

@@ -24,6 +24,7 @@ multiple is zero-padded, and the true byte length is restored at the end
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Callable
 
@@ -34,19 +35,35 @@ from repro.machine.costs import CostVector
 
 Array = np.ndarray
 
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
 
 def bytes_to_words(data: bytes) -> tuple[Array, int]:
     """Pack bytes into a big-endian uint32 array (padded); returns the
-    array and the original byte length."""
+    array and the original byte length.
+
+    Kernels need the *big-endian* word values (network byte order): the
+    checksum finalizer must reproduce RFC 1071's big-endian 16-bit sums,
+    and the byteswap kernel models XDR-style conversion of wire-order
+    words, so byte 0 of the stream has to land in the most significant
+    byte of the word.  ``frombuffer`` gives a zero-copy native view; on a
+    little-endian host one ``byteswap()`` pass produces the big-endian
+    values directly (``frombuffer(">u4").astype(uint32)`` would make an
+    extra whole-buffer copy).
+    """
     pad = (-len(data)) % 4
-    padded = data + bytes(pad)
-    words = np.frombuffer(padded, dtype=">u4").astype(np.uint32)
+    padded = data + bytes(pad) if pad else data
+    view = np.frombuffer(padded, dtype=np.uint32)
+    # byteswap() allocates the output; on a big-endian host the view is
+    # already correct and only needs to become an owned, writable array.
+    words = view.byteswap() if _LITTLE_ENDIAN else view.copy()
     return words, len(data)
 
 
 def words_to_bytes(words: Array, length: int) -> bytes:
     """Unpack a uint32 array back to ``length`` bytes."""
-    return words.astype(">u4").tobytes()[:length]
+    raw = words.byteswap() if _LITTLE_ENDIAN else words
+    return raw.tobytes()[:length]
 
 
 @dataclass
@@ -61,12 +78,17 @@ class WordKernel:
             input array unchanged.
         finalize: optional; called with (word array, byte length) after
             the loop to produce an observation (e.g. a checksum value).
+        batch_finalize: optional vectorized form of ``finalize`` for the
+            batched executor: called with a 2-D (adu, word) array and a
+            per-row byte-length array, returns one observation per row.
+            Kernels without it fall back to per-row ``finalize`` calls.
     """
 
     name: str
     cost: CostVector
     transform: Callable[[Array], Array]
     finalize: Callable[[Array, int], int] | None = None
+    batch_finalize: Callable[[Array, Array], Array] | None = None
 
 
 def copy_kernel() -> WordKernel:
@@ -113,11 +135,19 @@ def checksum_kernel() -> WordKernel:
             total = (total & 0xFFFF) + (total >> 16)
         return (~total) & 0xFFFF
 
+    def batch_finalize(words: Array, lengths: Array) -> Array:
+        totals = words.astype(np.uint64).sum(axis=1)
+        totals = (totals & 0xFFFF) + ((totals >> 16) & 0xFFFF) + (totals >> 32)
+        while bool((totals >> 16).any()):
+            totals = (totals & 0xFFFF) + (totals >> 16)
+        return (~totals) & np.uint64(0xFFFF)
+
     return WordKernel(
         name="checksum",
         cost=CostVector(reads_per_word=1.0, alu_per_word=2.0),
         transform=lambda words: words,
         finalize=finalize,
+        batch_finalize=batch_finalize,
     )
 
 

@@ -33,8 +33,13 @@ from repro.stages.encrypt import (
     ChainedBlockCipher,
     EncryptStage,
     DecryptStage,
+    WordXorStage,
 )
-from repro.stages.presentation import PresentationEncodeStage, PresentationDecodeStage
+from repro.stages.presentation import (
+    PresentationEncodeStage,
+    PresentationDecodeStage,
+    ByteswapStage,
+)
 from repro.stages.netio import NetworkExtractStage, NetworkInjectStage
 
 __all__ = [
@@ -53,8 +58,10 @@ __all__ = [
     "ChainedBlockCipher",
     "EncryptStage",
     "DecryptStage",
+    "WordXorStage",
     "PresentationEncodeStage",
     "PresentationDecodeStage",
+    "ByteswapStage",
     "NetworkExtractStage",
     "NetworkInjectStage",
 ]

@@ -113,6 +113,25 @@ class ChecksumComputeStage(PassthroughStage):
         self.last_checksum = self._function(data)
         return data
 
+    def to_word_kernel(self):
+        """Lower to a word kernel for the compiled fast path.
+
+        Only the Internet checksum is a pure word-sum; Fletcher and CRC
+        are byte-sequential and stay on the stage path.
+        """
+        if self.algorithm != "internet":
+            return None
+        from repro.ilp.kernels import WordKernel, checksum_kernel
+
+        kernel = checksum_kernel()
+        return WordKernel(
+            name=self.name,
+            cost=self.cost,
+            transform=kernel.transform,
+            finalize=kernel.finalize,
+            batch_finalize=kernel.batch_finalize,
+        )
+
     def reset(self) -> None:
         self.last_checksum = None
 
@@ -135,6 +154,13 @@ class ChecksumVerifyStage(ChecksumComputeStage):
     def expect(self, checksum: int) -> None:
         """Arm the stage with the transmitted checksum."""
         self.expected = checksum
+
+    def to_word_kernel(self):
+        # Verification aborts the pipeline on mismatch — a control action
+        # the pure kernel form cannot express.  Compiled wire paths
+        # compare the checksum *observation* instead (see
+        # repro.transport.alf.receiver).
+        return None
 
     def apply(self, data: bytes) -> bytes:
         super().apply(data)

@@ -28,6 +28,12 @@ class CopyStage(Stage):
     def apply(self, data: bytes) -> bytes:
         return bytes(data)
 
+    def to_word_kernel(self):
+        """Lower to a word kernel for the compiled fast path."""
+        from repro.ilp.kernels import WordKernel
+
+        return WordKernel(name=self.name, cost=self.cost, transform=lambda words: words)
+
 
 class BufferForRetransmitStage(Stage):
     """Sender-side retransmission buffering (one of the six manipulations).

@@ -27,6 +27,7 @@ from repro.stages.base import Facts, Stage
 
 XOR_STREAM_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=3.0)
 CHAINED_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=6.0)
+WORD_XOR_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=1.0)
 
 
 def _keystream(key: int, offset: int, length: int) -> np.ndarray:
@@ -114,6 +115,43 @@ class ChainedBlockCipher:
             out += plain.to_bytes(self.BLOCK, "big")
             previous = cipher
         return bytes(out)
+
+
+class WordXorStage(Stage):
+    """Word-wide constant-key XOR (self-inverse).
+
+    Unlike :class:`XorStreamCipher`'s position-keyed keystream, the key
+    is one 32-bit word applied identically to every word, so the
+    transform needs no per-unit stream offset and lowers directly to
+    :func:`repro.ilp.kernels.xor_kernel` — the kernel-lowerable
+    encryption of the compiled fast path.  Still non-cryptographic; the
+    architectural point is that per-packet-synchronizable ciphers fuse
+    freely (paper §6).
+    """
+
+    category = "security"
+    cost = WORD_XOR_COST
+
+    def __init__(self, key: int, name: str | None = None):
+        self.key = key & 0xFFFFFFFF
+        self.name = name or f"word-xor-{self.key:#010x}"
+
+    def lowering_token(self) -> tuple[str, int]:
+        """Behavioural identity for plan-cache keys (the key matters)."""
+        return ("word-xor", self.key)
+
+    def apply(self, data: bytes) -> bytes:
+        from repro.ilp.kernels import bytes_to_words, words_to_bytes
+
+        words, length = bytes_to_words(data)
+        return words_to_bytes(words ^ np.uint32(self.key), length)
+
+    def to_word_kernel(self):
+        """Lower to a word kernel for the compiled fast path."""
+        from repro.ilp.kernels import WordKernel, xor_kernel
+
+        kernel = xor_kernel(self.key)
+        return WordKernel(name=self.name, cost=self.cost, transform=kernel.transform)
 
 
 class EncryptStage(Stage):

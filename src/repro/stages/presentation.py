@@ -15,14 +15,48 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import StageError
+from repro.machine.costs import CostVector
 from repro.presentation.abstract import ASType, OctetString
 from repro.presentation.base import TransferCodec
 from repro.presentation.costs import CodecCostProfile
 from repro.stages.base import Facts, Stage
 
+BYTESWAP_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=4.0)
+
 
 def _is_raw_octets(astype: ASType) -> bool:
     return isinstance(astype, OctetString)
+
+
+class ByteswapStage(Stage):
+    """Per-word byte-order conversion — the XDR-style presentation
+    transform in kernel-lowerable form.
+
+    Self-inverse on word-aligned data (a trailing partial word is
+    zero-padded before the swap, as any word-loop implementation would).
+    This is the "sender-converts" strategy of §5 reduced to its memory
+    behaviour: one read, one write, four byte extractions per word.
+    """
+
+    category = "presentation"
+    provides = frozenset({Facts.CONVERTED})
+    cost = BYTESWAP_COST
+
+    def __init__(self, name: str = "byteswap"):
+        self.name = name
+
+    def apply(self, data: bytes) -> bytes:
+        from repro.ilp.kernels import bytes_to_words, words_to_bytes
+
+        words, length = bytes_to_words(data)
+        return words_to_bytes(words.byteswap(), length)
+
+    def to_word_kernel(self):
+        """Lower to a word kernel for the compiled fast path."""
+        from repro.ilp.kernels import WordKernel, byteswap_kernel
+
+        kernel = byteswap_kernel()
+        return WordKernel(name=self.name, cost=self.cost, transform=kernel.transform)
 
 
 class PresentationEncodeStage(Stage):

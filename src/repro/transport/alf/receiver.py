@@ -18,7 +18,10 @@ from repro.control.ack import SelectiveAckTracker
 from repro.control.instructions import InstructionCounter
 from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
+from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
+from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.transport.alf.fec import FecDecoder, FecFragment
+from repro.transport.alf.sender import WIRE_CHECKSUM, wire_pipeline
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
@@ -53,6 +56,10 @@ class AlfReceiver:
             sent on every completed ADU).
         expected_adus: when known, lets :attr:`complete` report overall
             transfer completion.
+        machine: profile the compiled wire plan is priced on.
+        plan_cache: plan cache to compile through; the wire pipeline's
+            shape matches the sender's, so by default both ends of every
+            flow share one cached plan.
     """
 
     def __init__(
@@ -64,6 +71,8 @@ class AlfReceiver:
         deliver: DeliverFn,
         ack_interval: float = 0.05,
         expected_adus: int | None = None,
+        machine: MachineProfile | None = None,
+        plan_cache: PlanCache | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
     ):
@@ -74,6 +83,9 @@ class AlfReceiver:
         self.deliver = deliver
         self.ack_interval = ack_interval
         self.expected_adus = expected_adus
+        self.machine = machine or MIPS_R2000
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
+        self._wire_plan: CompiledPlan | None = None
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
         self.stats = TransportStats()
@@ -159,11 +171,31 @@ class AlfReceiver:
             del self._partial[sequence]
             self._deliver_adu(adu.sequence, adu)
 
+    @property
+    def wire_plan(self) -> CompiledPlan:
+        """The flow's compiled wire plan (same shape as the sender's, so
+        the shared cache serves both ends from one entry)."""
+        if self._wire_plan is None:
+            self._wire_plan = self.plan_cache.get_or_compile(
+                wire_pipeline(), self.machine
+            )
+        return self._wire_plan
+
     def _complete_adu(self, sequence: int, partial: _PartialAdu) -> None:
         del self._partial[sequence]
+        expected = next(iter(partial.fragments.values())).adu_checksum
         try:
-            adu = reassemble_fragments(list(partial.fragments.values()))
+            # Structural checks only; the checksum runs through the
+            # compiled wire plan below.
+            adu = reassemble_fragments(
+                list(partial.fragments.values()), verify=False
+            )
         except FramingError:
+            self.stats.checksum_failures += 1
+            self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+            return
+        _, observations = self.wire_plan.run(adu.payload)
+        if observations[WIRE_CHECKSUM] != expected:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
             return

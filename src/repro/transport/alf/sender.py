@@ -15,14 +15,31 @@ from typing import Any, Callable
 from repro.control.instructions import InstructionCounter
 from repro.core.adu import Adu, fragment_adu
 from repro.errors import TransportError
+from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
+from repro.stages.checksum import ChecksumComputeStage
 from repro.transport.alf.recovery import RecoveryMode
 from repro.transport.base import TransportStats
 
 PROTOCOL = "alf"
+
+#: Kernel name the wire plan's checksum observation is published under.
+WIRE_CHECKSUM = "checksum-internet"
+
+
+def wire_pipeline() -> Pipeline:
+    """The ALF wire manipulation: the per-ADU checksum (paper §5 —
+    "error detection is done on an ADU basis").
+
+    The shape is identical on both ends of a flow, so sender and
+    receiver share one cached :class:`CompiledPlan` per machine profile.
+    """
+    return Pipeline([ChecksumComputeStage()], name="alf-wire")
 
 #: A callback that regenerates a lost ADU from its sequence number.
 RecomputeFn = Callable[[int], Adu]
@@ -59,6 +76,9 @@ class AlfSender:
         fec_group: enable transmission-unit FEC (footnote 10): one XOR
             parity unit per this many data fragments, letting the
             receiver repair a single loss per group with no round trip.
+        machine: profile the compiled wire plan is priced on.
+        plan_cache: plan cache to compile through (defaults to the
+            process-wide shared cache, so all flows reuse one plan).
         on_complete: called when every ADU is acknowledged or abandoned.
     """
 
@@ -76,6 +96,8 @@ class AlfSender:
         max_attempts: int = 20,
         max_outstanding: int | None = None,
         fec_group: int | None = None,
+        machine: MachineProfile | None = None,
+        plan_cache: PlanCache | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         on_complete: Callable[[], None] | None = None,
@@ -102,6 +124,10 @@ class AlfSender:
         if fec_group is not None and fec_group <= 0:
             raise TransportError("fec_group must be positive")
         self.fec_group = fec_group
+        self.machine = machine or MIPS_R2000
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
+        self._wire_plan: CompiledPlan | None = None
+        self._wire_checksums: dict[int, int] = {}
         self._pending: list[Adu] = []
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -141,6 +167,45 @@ class AlfSender:
             return
         self._dispatch(adu)
 
+    def send_batch(self, adus: list[Adu]) -> None:
+        """Transmit many ADUs with one batched wire pass.
+
+        The compiled wire plan packs every payload into one padded 2-D
+        word array and computes all ADU checksums in a single vectorized
+        traversal, amortizing the per-ADU interpreter overhead across
+        the batch.  Transmission then proceeds exactly as per-ADU
+        :meth:`send_adu` calls, windowing included.
+        """
+        if self._closed:
+            raise TransportError("sender is closed")
+        if not adus:
+            return
+        batch = self.wire_plan.run_batch([adu.payload for adu in adus])
+        for adu, checksum in zip(adus, batch.observations[WIRE_CHECKSUM]):
+            self._wire_checksums.setdefault(adu.sequence, checksum)
+        for adu in adus:
+            self.send_adu(adu)
+
+    @property
+    def wire_plan(self) -> CompiledPlan:
+        """The flow's compiled wire plan — planned once, cached across
+        flows; steady-state traffic never re-plans."""
+        if self._wire_plan is None:
+            self._wire_plan = self.plan_cache.get_or_compile(
+                wire_pipeline(), self.machine
+            )
+        return self._wire_plan
+
+    def _checksum_of(self, adu: Adu) -> int:
+        """The ADU's wire checksum via the compiled plan, memoized so
+        retransmissions of a buffered ADU pay no second pass."""
+        checksum = self._wire_checksums.get(adu.sequence)
+        if checksum is None:
+            _, observations = self.wire_plan.run(adu.payload)
+            checksum = observations[WIRE_CHECKSUM]
+            self._wire_checksums[adu.sequence] = checksum
+        return checksum
+
     def _dispatch(self, adu: Adu) -> None:
         keep = adu if self.recovery is RecoveryMode.TRANSPORT_BUFFER else None
         if self.recovery is not RecoveryMode.NO_RETRANSMIT:
@@ -152,6 +217,9 @@ class AlfSender:
             )
         self.adus_sent += 1
         self._transmit(adu)
+        if self.recovery is RecoveryMode.NO_RETRANSMIT:
+            # Nothing outstanding to retransmit; drop the checksum memo.
+            self._wire_checksums.pop(adu.sequence, None)
         self._arm_timer()
 
     def _pump_pending(self) -> None:
@@ -215,7 +283,8 @@ class AlfSender:
     def _wire_units(self, adu: Adu):
         """(header, payload) pairs for one ADU, FEC-encoded if enabled."""
         if self.fec_group is None:
-            for fragment in fragment_adu(adu, self.mtu):
+            checksum = self._checksum_of(adu)
+            for fragment in fragment_adu(adu, self.mtu, checksum=checksum):
                 yield self._fragment_header(fragment), fragment.payload
             return
         from repro.transport.alf.fec import encode_with_parity
@@ -259,6 +328,7 @@ class AlfSender:
             if entry is not None:
                 self.counter.record("sequence_check")
                 self._acked.add(sequence)
+                self._wire_checksums.pop(sequence, None)
 
         for sequence in missing:
             self._repair(sequence)
@@ -293,10 +363,13 @@ class AlfSender:
             self.adus_recomputed += 1
             self.stats.retransmissions += 1
             self.tracer.emit(self.loop.now, "alf", "recompute", seq=sequence)
+            # The application regenerated the payload; checksum it fresh.
+            self._wire_checksums.pop(sequence, None)
             self._transmit(adu)
 
     def _abandon(self, sequence: int) -> None:
         self._outstanding.pop(sequence, None)
+        self._wire_checksums.pop(sequence, None)
         self.adus_abandoned.add(sequence)
         self.tracer.emit(self.loop.now, "alf", "abandon", seq=sequence)
         self._pump_pending()

@@ -23,18 +23,41 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import TransportError
+from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.presentation.abstract import ASType
 from repro.presentation.negotiate import ConversionPlan, LocalSyntax, negotiate
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
+from repro.stages.base import Stage
+from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.presentation import ByteswapStage
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
 from repro.transport.base import DeliveredAdu
 
 PROTOCOL = "session"
 
 _flow_ids = itertools.count(1000)
+
+
+def session_wire_pipeline(
+    sender_syntax: LocalSyntax, receiver_syntax: LocalSyntax
+) -> Pipeline:
+    """The association's per-ADU wire manipulation.
+
+    Always the ADU checksum; when the peers' byte orders differ, the §5
+    sender-converts strategy adds a word byteswap — both in
+    kernel-lowerable form, so the whole wire pass compiles to one fused
+    loop and is planned exactly once per association *shape* (the plan
+    cache shares it across associations and both endpoints).
+    """
+    stages: list[Stage] = [ChecksumComputeStage()]
+    if sender_syntax.byte_order != receiver_syntax.byte_order:
+        stages.append(ByteswapStage(name="presentation-byteswap"))
+    return Pipeline(stages, name="session-wire")
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,9 @@ class Session:
         flow_id: the data flow's demultiplexing id.
         config: the agreed parameters.
         plan: the negotiated conversion plan.
+        compiled_plan: the association's compiled wire plan (checksum,
+            plus byteswap when the peers' byte orders differ) — compiled
+            once at establishment, shared via the plan cache.
         sender: the data sender (initiator side only).
         receiver: the data receiver (listener side only).
     """
@@ -73,6 +99,7 @@ class Session:
     flow_id: int
     config: SessionConfig
     plan: ConversionPlan
+    compiled_plan: CompiledPlan | None = None
     sender: AlfSender | None = None
     receiver: AlfReceiver | None = None
 
@@ -88,6 +115,9 @@ class SessionListener:
         deliver: called with every :class:`DeliveredAdu` of any accepted
             session (sessions are distinguished by flow id in the name).
         on_session: called with each established :class:`Session`.
+        machine: profile session wire plans are priced on.
+        plan_cache: plan cache shared with the ALF endpoints this
+            listener builds (defaults to the process-wide cache).
     """
 
     def __init__(
@@ -98,6 +128,8 @@ class SessionListener:
         local_syntax: LocalSyntax | None = None,
         deliver: Callable[[int, DeliveredAdu], None] | None = None,
         on_session: Callable[[Session], None] | None = None,
+        machine: MachineProfile | None = None,
+        plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
     ):
         self.loop = loop
@@ -106,6 +138,8 @@ class SessionListener:
         self.local_syntax = local_syntax or LocalSyntax("listener", "little")
         self.deliver = deliver
         self.on_session = on_session
+        self.machine = machine or MIPS_R2000
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
@@ -139,12 +173,20 @@ class SessionListener:
             allow_direct=config.allow_direct,
         )
         session = Session(flow_id=flow_id, config=config, plan=plan)
+        # Compile the association's wire manipulation once, at
+        # establishment; steady-state ADUs reuse it via the cache.
+        session.compiled_plan = self.plan_cache.get_or_compile(
+            session_wire_pipeline(config.local_syntax, self.local_syntax),
+            self.machine,
+        )
         session.receiver = AlfReceiver(
             self.loop,
             self.host,
             packet.src,
             flow_id,
             deliver=lambda adu, fid=flow_id: self._deliver(fid, adu),
+            machine=self.machine,
+            plan_cache=self.plan_cache,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -198,6 +240,9 @@ class SessionInitiator:
         handshake_timeout: per-INIT retransmit interval.
         max_attempts: INIT attempts before giving up.
         recompute: forwarded to the ALF sender (APP_RECOMPUTE mode).
+        machine: profile the session wire plan is priced on.
+        plan_cache: plan cache shared with the ALF sender this initiator
+            builds (defaults to the process-wide cache).
     """
 
     def __init__(
@@ -212,6 +257,8 @@ class SessionInitiator:
         handshake_timeout: float = 0.1,
         max_attempts: int = 10,
         recompute: Callable[[int], Any] | None = None,
+        machine: MachineProfile | None = None,
+        plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
     ):
         if config.schema_name not in schemas:
@@ -228,6 +275,8 @@ class SessionInitiator:
         self.handshake_timeout = handshake_timeout
         self.max_attempts = max_attempts
         self.recompute = recompute
+        self.machine = machine or MIPS_R2000
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
 
         self.flow_id = next(_flow_ids)
@@ -286,6 +335,12 @@ class SessionInitiator:
             allow_direct=self.config.allow_direct,
         )
         session = Session(flow_id=self.flow_id, config=self.config, plan=plan)
+        # Same wire-pipeline shape as the listener builds for this pair
+        # of syntaxes, so both ends share one cached compiled plan.
+        session.compiled_plan = self.plan_cache.get_or_compile(
+            session_wire_pipeline(self.config.local_syntax, receiver_syntax),
+            self.machine,
+        )
         session.sender = AlfSender(
             self.loop,
             self.host,
@@ -294,6 +349,8 @@ class SessionInitiator:
             mtu=self.config.mtu,
             recovery=self.config.recovery,
             recompute=self.recompute,
+            machine=self.machine,
+            plan_cache=self.plan_cache,
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",

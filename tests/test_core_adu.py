@@ -109,3 +109,27 @@ def test_fragment_reassemble_roundtrip(payload, mtu):
     rebuilt = reassemble_fragments(fragments)
     assert rebuilt.payload == payload
     assert rebuilt.name == adu.name
+
+
+def test_fragment_with_precomputed_checksum():
+    # A caller that already checksummed (e.g. through a compiled wire
+    # plan) passes the value in; the fragments carry it verbatim and no
+    # second checksum pass runs here.
+    adu = Adu(3, bytes(range(100)))
+    fragments = fragment_adu(adu, mtu=40, checksum=0x1234)
+    assert all(f.adu_checksum == 0x1234 for f in fragments)
+    # The default still derives it from the payload.
+    assert fragment_adu(adu, mtu=40)[0].adu_checksum == adu.checksum
+
+
+def test_reassemble_without_verify_skips_checksum():
+    fragments = fragment_adu(Adu(0, bytes(200)), mtu=100, checksum=0xBAD)
+    # verify=True rejects the mismatch...
+    with pytest.raises(FramingError, match="checksum"):
+        reassemble_fragments(fragments)
+    # ...verify=False defers it to the caller's own (compiled) pass,
+    # while the structural checks all still run.
+    adu = reassemble_fragments(fragments, verify=False)
+    assert adu.payload == bytes(200)
+    with pytest.raises(FramingError, match="have 1 of 2"):
+        reassemble_fragments(fragments[:1], verify=False)

@@ -1,0 +1,248 @@
+"""PipelineCompiler / CompiledPlan: plan once, execute many, batch many.
+
+The compiled fast path must be a pure re-scheduling of the existing
+engine: same fusion groups, same modelled cycles, and — for the kernel
+form — byte-identical outputs whether ADUs run one at a time or packed
+into one batched pass.
+"""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.ilp.compiler import (
+    BatchResult,
+    CompiledPlan,
+    PipelineCompiler,
+    plan_key,
+)
+from repro.ilp.executor import IntegratedExecutor, LayeredExecutor
+from repro.ilp.fusion import fused_group_cost, plan_fusion
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MICROVAX_III, MIPS_R2000
+from repro.stages.base import Facts, PassthroughStage
+from repro.stages.checksum import ChecksumComputeStage, internet_checksum
+from repro.stages.copy import CopyStage
+from repro.stages.encrypt import WordXorStage
+from repro.stages.presentation import ByteswapStage
+
+
+def wire_pipeline(name: str = "wire") -> Pipeline:
+    return Pipeline(
+        [
+            CopyStage(),
+            ChecksumComputeStage(),
+            WordXorStage(0xDEADBEEF),
+            ByteswapStage(),
+        ],
+        name=name,
+    )
+
+
+class ConvertedCopyStage(CopyStage):
+    """A lowerable stage gated on a fact the byteswap provides —
+    forces a fusion boundary, giving a fully lowered two-loop plan."""
+
+    requires = frozenset({Facts.CONVERTED})
+
+
+def two_loop_pipeline() -> Pipeline:
+    return Pipeline(
+        [
+            ChecksumComputeStage(),
+            WordXorStage(0x0F0F0F0F),
+            ByteswapStage(),
+            ConvertedCopyStage(name="post-convert-copy"),
+        ],
+        name="two-loop",
+    )
+
+
+LENGTHS = [0, 1, 2, 3, 4, 5, 7, 8, 13, 100, 1024, 2048, 2049]
+
+
+def payload(n: int, seed: int = 7) -> bytes:
+    return bytes((seed * 31 + i * 131) % 256 for i in range(n))
+
+
+# ----------------------------------------------------------------------
+# Compilation: the plan mirrors the planner exactly
+
+
+def test_groups_match_plan_fusion():
+    pipeline = wire_pipeline()
+    plan = PipelineCompiler(MIPS_R2000).compile(pipeline)
+    reference = plan_fusion(pipeline.stages, pipeline.initial_facts)
+    assert plan.n_loops == reference.n_loops
+    for group, ref_stages in zip(plan.groups, reference.groups):
+        assert group.label == "+".join(s.name for s in ref_stages)
+        assert (group.stop - group.start) == len(ref_stages)
+        assert group.cost == fused_group_cost(ref_stages)
+        assert group.cycles_per_word == MIPS_R2000.cycles_per_word(group.cost)
+
+
+def test_plan_is_fully_lowered_for_kernel_stages():
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    assert plan.fully_lowered
+    assert plan.n_loops == 1  # all four stages fuse into one loop
+
+
+def test_two_loop_plan_structure():
+    plan = PipelineCompiler(MIPS_R2000).compile(two_loop_pipeline())
+    assert plan.n_loops == 2
+    assert plan.fully_lowered
+    speculative = PipelineCompiler(MIPS_R2000, speculative=True).compile(
+        two_loop_pipeline()
+    )
+    assert speculative.n_loops == 1
+    assert Facts.CONVERTED in speculative.speculative_facts
+
+
+def test_unlowerable_stage_blocks_kernel_path_only():
+    pipeline = Pipeline(
+        [CopyStage(), PassthroughStage(name="opaque")], name="mixed"
+    )
+    plan = PipelineCompiler(MIPS_R2000).compile(pipeline)
+    assert not plan.fully_lowered
+    with pytest.raises(PipelineError, match="not fully lowered"):
+        plan.run(b"data")
+    with pytest.raises(PipelineError, match="not fully lowered"):
+        plan.run_batch([b"data"])
+    # The stage path still works.
+    out, _ = plan.execute(pipeline, b"data")
+    assert out == b"data"
+
+
+# ----------------------------------------------------------------------
+# execute(): identical semantics to the per-ADU executor
+
+
+def test_execute_matches_integrated_executor():
+    data = payload(4000)
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    out_plan, report_plan = plan.execute(wire_pipeline(), data)
+    out_exec, report_exec = IntegratedExecutor(MIPS_R2000).execute(
+        wire_pipeline(), data
+    )
+    assert out_plan == out_exec
+    assert report_plan.total_cycles == report_exec.total_cycles
+    assert report_plan.mbps() == report_exec.mbps()
+
+
+def test_execute_rejects_wrong_stage_count():
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    short = Pipeline([CopyStage()], name="short")
+    with pytest.raises(PipelineError, match="stages"):
+        plan.execute(short, b"data")
+
+
+# ----------------------------------------------------------------------
+# run(): kernel fast path vs the stage path
+
+
+@pytest.mark.parametrize("n", [n for n in LENGTHS if n % 4 == 0])
+def test_run_matches_stage_path_on_aligned_data(n):
+    # Cross-path identity is pinned on word-aligned data; on ragged
+    # lengths the stage path truncates at each stage boundary while the
+    # fused loop keeps pad words live (see DESIGN.md).
+    data = payload(n)
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    out_kernel, observations = plan.run(data)
+    out_stage, _ = LayeredExecutor(MIPS_R2000).execute(wire_pipeline(), data)
+    assert out_kernel == out_stage
+    assert observations["checksum-internet"] == internet_checksum(data)
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_run_checksum_observation_all_lengths(n):
+    # The checksum kernel precedes the transforms, so its observation is
+    # the RFC 1071 checksum of the input at every length.
+    data = payload(n)
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    _, observations = plan.run(data)
+    assert observations["checksum-internet"] == internet_checksum(data)
+
+
+# ----------------------------------------------------------------------
+# run_batch(): byte- and value-identical to per-ADU run()
+
+
+def test_run_batch_matches_run_mixed_lengths():
+    adus = [payload(n, seed=n + 1) for n in LENGTHS]
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    batch = plan.run_batch(adus)
+    assert isinstance(batch, BatchResult)
+    assert batch.n_adus == len(adus)
+    for i, data in enumerate(adus):
+        out, observations = plan.run(data)
+        assert batch.outputs[i] == out
+        assert (
+            batch.observations["checksum-internet"][i]
+            == observations["checksum-internet"]
+        )
+
+
+def test_run_batch_matches_run_across_loop_boundary():
+    # Two integrated loops: between them the batch must re-zero each
+    # row's sub-word padding exactly as the unbatched store/reload does.
+    adus = [payload(n, seed=2 * n + 3) for n in LENGTHS]
+    plan = PipelineCompiler(MIPS_R2000).compile(two_loop_pipeline())
+    assert plan.n_loops == 2
+    batch = plan.run_batch(adus)
+    for i, data in enumerate(adus):
+        out, _ = plan.run(data)
+        assert batch.outputs[i] == out
+
+
+def test_run_batch_single_adu_and_empty_payload():
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    batch = plan.run_batch([b""])
+    out, observations = plan.run(b"")
+    assert batch.outputs == [out]
+    assert batch.observations["checksum-internet"] == [
+        observations["checksum-internet"]
+    ]
+
+
+def test_run_batch_rejects_empty_batch():
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    with pytest.raises(PipelineError, match="at least one ADU"):
+        plan.run_batch([])
+
+
+def test_batch_report_sums_per_adu_cycles():
+    adus = [payload(n, seed=n) for n in [64, 256, 1024]]
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    batch = plan.run_batch(adus)
+    per_adu = sum(
+        plan.execute(wire_pipeline(), data)[1].total_cycles for data in adus
+    )
+    assert batch.report.total_cycles == pytest.approx(per_adu)
+    assert batch.report.mode == "integrated-batch"
+    assert batch.report.payload_bytes == sum(len(a) for a in adus)
+
+
+# ----------------------------------------------------------------------
+# Plans are profile-specific but shareable
+
+
+def test_profiles_price_same_plan_differently():
+    mips = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    uvax = PipelineCompiler(MICROVAX_III).compile(wire_pipeline())
+    assert mips.key != uvax.key
+    assert (
+        mips.groups[0].cycles_per_word != uvax.groups[0].cycles_per_word
+    )
+
+
+def test_plan_key_ignores_pipeline_display_name():
+    a = plan_key(wire_pipeline(name="adu-1"), MIPS_R2000)
+    b = plan_key(wire_pipeline(name="adu-2"), MIPS_R2000)
+    assert a == b
+
+
+def test_compiled_plan_is_reusable():
+    plan = PipelineCompiler(MIPS_R2000).compile(wire_pipeline())
+    data = payload(512)
+    first = plan.run(data)
+    second = plan.run(data)
+    assert first == second

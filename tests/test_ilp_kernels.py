@@ -1,5 +1,8 @@
 """Word kernels: functional single-pass fusion."""
 
+import itertools
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -111,3 +114,66 @@ class TestFusion:
         """However many kernels, the fused loop reads the stream once."""
         loop = FusedWordLoop(self.KERNELS())
         assert loop.fused_cost.reads_per_word == 1.0
+
+
+class TestKernelOrderings:
+    """Satellite regression: fused and layered engineerings must agree
+    for *every* kernel ordering — composition order is semantics (the
+    checksum before vs after encryption observes different data), and
+    both engineerings must realize the same semantics bit for bit."""
+
+    FACTORIES = {
+        "copy": copy_kernel,
+        "checksum": checksum_kernel,
+        "xor": lambda: xor_kernel(0xA5A5A5A5),
+        "byteswap": byteswap_kernel,
+    }
+
+    LENGTHS = [0, 1, 3, 4, 13, 64, 257]
+
+    @pytest.mark.parametrize(
+        "ordering",
+        list(itertools.permutations(FACTORIES)),
+        ids=lambda names: "-".join(names),
+    )
+    def test_fused_equals_layered_every_ordering(self, ordering):
+        for n in self.LENGTHS:
+            data = bytes((11 * i + n) % 256 for i in range(n))
+            loop = FusedWordLoop(
+                [self.FACTORIES[name]() for name in ordering]
+            )
+            assert loop.run(data) == loop.run_layered(data)
+
+    def test_checksum_before_xor_observes_plaintext(self):
+        data = bytes(range(64))
+        loop = FusedWordLoop([checksum_kernel(), xor_kernel(0xA5A5A5A5)])
+        _, obs = loop.run(data)
+        assert obs["checksum"] == internet_checksum(data)
+
+    def test_xor_before_checksum_observes_ciphertext(self):
+        data = bytes(range(64))  # word-aligned: the XOR is byte-exact
+        ciphertext, _ = FusedWordLoop([xor_kernel(0xA5A5A5A5)]).run(data)
+        assert ciphertext != data
+        loop = FusedWordLoop([xor_kernel(0xA5A5A5A5), checksum_kernel()])
+        _, obs = loop.run(data)
+        assert obs["checksum"] == internet_checksum(ciphertext)
+        # And the layered engineering observes the same ciphertext sum.
+        _, layered_obs = loop.run_layered(data)
+        assert layered_obs == obs
+
+    def test_batch_finalize_matches_scalar_finalize(self):
+        kernel = checksum_kernel()
+        payloads = [b"", b"a", bytes(range(7)), bytes(range(16)), b"xy" * 33]
+        width = max((len(p) + 3) // 4 for p in payloads)
+        rows, lengths = [], []
+        for p in payloads:
+            padded, _ = bytes_to_words(p + bytes(4 * width - len(p)))
+            rows.append(padded)
+            lengths.append(len(p))
+        values = kernel.batch_finalize(np.stack(rows), np.array(lengths))
+        for i, p in enumerate(payloads):
+            words, length = bytes_to_words(p)
+            # Zero padding cannot perturb a one's-complement sum, so the
+            # batch value over the padded row equals the scalar value.
+            assert int(values[i]) == kernel.finalize(words, length)
+            assert int(values[i]) == internet_checksum(p)

@@ -1,0 +1,177 @@
+"""PlanCache: LRU behaviour, key sensitivity, counters, thread safety."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.ilp.compiler import PlanCache, shared_plan_cache
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MICROVAX_III, MIPS_R2000
+from repro.stages.base import Facts
+from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.copy import CopyStage
+from repro.stages.encrypt import WordXorStage
+from repro.stages.presentation import ByteswapStage
+
+
+def wire_pipeline(name: str = "wire", key: int = 0xA5A5A5A5) -> Pipeline:
+    return Pipeline(
+        [CopyStage(), ChecksumComputeStage(), WordXorStage(key)], name=name
+    )
+
+
+def test_miss_then_hits():
+    cache = PlanCache()
+    first = cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    second = cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    assert first is second
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.lookups == 2
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_pipeline_display_name_does_not_miss():
+    # Transports mint a fresh pipeline name per ADU; the cache must not
+    # care.
+    cache = PlanCache()
+    a = cache.get_or_compile(wire_pipeline(name="adu-0"), MIPS_R2000)
+    b = cache.get_or_compile(wire_pipeline(name="adu-1"), MIPS_R2000)
+    assert a is b
+    assert cache.stats.misses == 1
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["profile", "speculative", "xor_key", "initial_facts", "stage_order"],
+)
+def test_key_sensitivity(variant):
+    cache = PlanCache()
+    cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    if variant == "profile":
+        cache.get_or_compile(wire_pipeline(), MICROVAX_III)
+    elif variant == "speculative":
+        cache.get_or_compile(wire_pipeline(), MIPS_R2000, speculative=True)
+    elif variant == "xor_key":
+        # WordXorStage's lowering_token puts the key into the plan key
+        # even though the stage *name* also differs; use an explicit
+        # name collision to prove the token alone suffices.
+        collide = Pipeline(
+            [CopyStage(), ChecksumComputeStage(), WordXorStage(1, name="xor")],
+            name="wire",
+        )
+        other = Pipeline(
+            [CopyStage(), ChecksumComputeStage(), WordXorStage(2, name="xor")],
+            name="wire",
+        )
+        cache.get_or_compile(collide, MIPS_R2000)
+        cache.get_or_compile(other, MIPS_R2000)
+        assert cache.stats.misses == 3
+        return
+    elif variant == "initial_facts":
+        facted = Pipeline(
+            [CopyStage(), ChecksumComputeStage(), WordXorStage(0xA5A5A5A5)],
+            name="wire",
+            initial_facts={Facts.EXTRACTED},
+        )
+        cache.get_or_compile(facted, MIPS_R2000)
+    elif variant == "stage_order":
+        reordered = Pipeline(
+            [ChecksumComputeStage(), CopyStage(), WordXorStage(0xA5A5A5A5)],
+            name="wire",
+        )
+        cache.get_or_compile(reordered, MIPS_R2000)
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 0
+
+
+def test_lru_eviction_order():
+    cache = PlanCache(capacity=2)
+    cache.get_or_compile(wire_pipeline(key=1), MIPS_R2000)
+    cache.get_or_compile(wire_pipeline(key=2), MIPS_R2000)
+    # Touch key=1 so key=2 becomes least recently used.
+    cache.get_or_compile(wire_pipeline(key=1), MIPS_R2000)
+    cache.get_or_compile(wire_pipeline(key=3), MIPS_R2000)  # evicts key=2
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+    # key=1 survived, key=2 did not.
+    cache.get_or_compile(wire_pipeline(key=1), MIPS_R2000)
+    assert cache.stats.hits == 2
+    cache.get_or_compile(wire_pipeline(key=2), MIPS_R2000)
+    assert cache.stats.misses == 4  # keys 1,2,3 plus the re-miss of 2
+    assert cache.stats.evictions == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(PipelineError, match="capacity"):
+        PlanCache(capacity=0)
+    with pytest.raises(PipelineError, match="capacity"):
+        PlanCache(capacity=-3)
+
+
+def test_clear_resets_entries_and_stats():
+    cache = PlanCache()
+    cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.lookups == 0
+    assert cache.stats.hit_rate == 0.0
+
+
+def test_snapshot_shape():
+    cache = PlanCache(capacity=4)
+    cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+    snapshot = cache.snapshot()
+    assert snapshot == {
+        "hits": 0,
+        "misses": 1,
+        "evictions": 0,
+        "lookups": 1,
+        "hit_rate": 0.0,
+        "entries": 1,
+        "capacity": 4,
+    }
+
+
+def test_shared_cache_is_a_singleton():
+    assert shared_plan_cache() is shared_plan_cache()
+
+
+def test_thread_safety_single_compile():
+    cache = PlanCache()
+    barrier = threading.Barrier(8)
+    plans = []
+
+    def worker():
+        barrier.wait()
+        return cache.get_or_compile(wire_pipeline(), MIPS_R2000)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        plans = [f.result() for f in [pool.submit(worker) for _ in range(8)]]
+
+    assert all(plan is plans[0] for plan in plans)
+    # Compilation happens under the lock: exactly one miss.
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 7
+
+
+def test_thread_safety_mixed_keys():
+    cache = PlanCache(capacity=4)
+    barrier = threading.Barrier(16)
+
+    def worker(index):
+        barrier.wait()
+        for _ in range(20):
+            cache.get_or_compile(wire_pipeline(key=index % 4), MIPS_R2000)
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        for future in [pool.submit(worker, i) for i in range(16)]:
+            future.result()
+
+    assert cache.stats.lookups == 16 * 20
+    assert cache.stats.misses == 4
+    assert len(cache) == 4

@@ -1,0 +1,182 @@
+"""The compiled wire plan inside the ALF transport and sessions.
+
+Steady-state traffic must plan its wire manipulation exactly once: the
+sender and receiver of a flow share one cached :class:`CompiledPlan`,
+``send_batch`` checksums a whole burst in one vectorized pass, and the
+receiver's verification (now an observation comparison instead of
+``reassemble_fragments``'s internal pass) still rejects corrupt ADUs.
+"""
+
+import pytest
+
+from repro.bench.workloads import octet_payload
+from repro.core.adu import Adu, fragment_adu
+from repro.errors import TransportError
+from repro.ilp.compiler import PlanCache
+from repro.net.packet import Packet
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.negotiate import LocalSyntax
+from repro.transport.alf import AlfReceiver, AlfSender
+from repro.transport.session import (
+    SessionConfig,
+    SessionInitiator,
+    SessionListener,
+)
+
+SCHEMAS = {"ints": ArrayOf(Int32())}
+
+
+def make_adus(count=12, size=2500):
+    return [
+        Adu(i, octet_payload(size, seed=300 + i), {"offset": i * size})
+        for i in range(count)
+    ]
+
+
+def make_flow(cache, expected=None, seed=0, **sender_kwargs):
+    path = two_hosts(seed=seed, bandwidth_bps=50e6)
+    got = {}
+    receiver = AlfReceiver(
+        path.loop, path.b, "a", 1,
+        deliver=lambda d: got.setdefault(d.sequence, d),
+        expected_adus=expected,
+        plan_cache=cache,
+    )
+    sender = AlfSender(path.loop, path.a, "b", 1, plan_cache=cache, **sender_kwargs)
+    return path, sender, receiver, got
+
+
+class TestSharedWirePlan:
+    def test_one_compile_serves_both_ends(self):
+        cache = PlanCache()
+        adus = make_adus()
+        path, sender, receiver, got = make_flow(cache, expected=len(adus))
+        for adu in adus:
+            sender.send_adu(adu)
+        sender.close()
+        path.loop.run(until=60)
+        assert len(got) == len(adus)
+        # The sender checksummed every ADU and the receiver verified
+        # every ADU, all through ONE compiled plan.
+        assert cache.stats.misses == 1
+        assert cache.stats.hits >= 1
+        assert sender.wire_plan is receiver.wire_plan
+
+    def test_wire_plan_is_fully_lowered_single_loop(self):
+        cache = PlanCache()
+        path, sender, receiver, _ = make_flow(cache)
+        assert sender.wire_plan.fully_lowered
+        assert sender.wire_plan.n_loops == 1
+
+
+class TestSendBatch:
+    def test_batch_delivers_byte_identical_payloads(self):
+        cache = PlanCache()
+        adus = make_adus(16)
+        path, sender, receiver, got = make_flow(cache, expected=len(adus))
+        sender.send_batch(adus)
+        sender.close()
+        path.loop.run(until=60)
+        assert len(got) == len(adus)
+        for adu in adus:
+            assert got[adu.sequence].payload == adu.payload
+            assert got[adu.sequence].name == adu.name
+        assert receiver.stats.checksum_failures == 0
+
+    def test_batch_checksums_once(self):
+        cache = PlanCache()
+        adus = make_adus(8)
+        path, sender, receiver, _ = make_flow(cache, expected=len(adus))
+        sender.send_batch(adus)
+        # The batch pass seeded the memo: fragmenting consumed it, no
+        # per-ADU run() was needed (one cache miss, batch counts one
+        # lookup).
+        sender.close()
+        path.loop.run(until=60)
+        assert cache.stats.misses == 1
+
+    def test_empty_batch_is_a_noop(self):
+        cache = PlanCache()
+        path, sender, receiver, got = make_flow(cache)
+        sender.send_batch([])
+        path.loop.run(until=5)
+        assert got == {}
+
+    def test_batch_after_close_rejected(self):
+        cache = PlanCache()
+        path, sender, receiver, _ = make_flow(cache)
+        sender.close()
+        with pytest.raises(TransportError):
+            sender.send_batch(make_adus(2))
+
+
+class TestCompiledVerification:
+    def test_corrupt_checksum_rejected_nothing_delivered(self):
+        cache = PlanCache()
+        path, _, receiver, got = make_flow(cache)
+        adu = Adu(0, octet_payload(2000, seed=9), {"offset": 0})
+        wrong = (adu.checksum + 1) & 0xFFFF
+        for fragment in fragment_adu(adu, 800, checksum=wrong):
+            path.a.send(
+                Packet(
+                    src="a",
+                    dst="b",
+                    protocol="alf",
+                    flow_id=1,
+                    header={
+                        "adu_seq": fragment.adu_sequence,
+                        "frag": fragment.index,
+                        "nfrags": fragment.total,
+                        "adu_len": fragment.adu_length,
+                        "adu_csum": fragment.adu_checksum,
+                        "name": fragment.name,
+                    },
+                    payload=fragment.payload,
+                )
+            )
+        path.loop.run(until=5)
+        assert receiver.stats.checksum_failures == 1
+        assert got == {}
+        assert receiver.delivered_count == 0
+
+
+class TestSessionCompiledPlan:
+    def run_handshake(self, listener_syntax, initiator_syntax, cache):
+        path = two_hosts(seed=1)
+        listener = SessionListener(
+            path.loop, path.b, SCHEMAS,
+            local_syntax=listener_syntax,
+            plan_cache=cache,
+        )
+        initiator = SessionInitiator(
+            path.loop, path.a, "b",
+            SessionConfig(schema_name="ints", local_syntax=initiator_syntax),
+            SCHEMAS,
+            plan_cache=cache,
+        )
+        path.loop.run(until=5)
+        assert initiator.established
+        peer = listener.sessions[initiator.session.flow_id]
+        return initiator.session, peer
+
+    def test_both_ends_share_one_plan_matching_orders(self):
+        cache = PlanCache()
+        session, peer = self.run_handshake(
+            LocalSyntax("listener", "big"), LocalSyntax("init", "big"), cache
+        )
+        assert session.compiled_plan is not None
+        assert session.compiled_plan is peer.compiled_plan
+        assert session.compiled_plan.fully_lowered
+        # Same byte order: checksum only, no conversion stage.
+        assert session.compiled_plan.n_stages == 1
+
+    def test_byteswap_added_when_byte_orders_differ(self):
+        cache = PlanCache()
+        session, peer = self.run_handshake(
+            LocalSyntax("listener", "little"), LocalSyntax("init", "big"), cache
+        )
+        assert session.compiled_plan is peer.compiled_plan
+        assert session.compiled_plan.fully_lowered
+        assert session.compiled_plan.n_stages == 2
+        assert "byteswap" in session.compiled_plan.groups[0].label
