@@ -11,16 +11,20 @@ building blocks the stack uses:
   costs no data pass; materializing it does);
 * :class:`BufferChain` — an mbuf-style scatter/gather chain used for
   header prepending and fragmentation without copying;
+* :class:`Segment` — a refcounted window whose backing buffer recycles
+  itself when the last reference is released;
 * :class:`BufferPool` — fixed-size allocator modelling finite interface
-  memory;
+  memory, with refcounted segment allocation for the zero-copy receive
+  path;
 * :class:`ApplicationAddressSpace` — named, scattered destination regions
   (file extents, RPC argument slots, video frame slabs) that ADUs are
   delivered into.
 """
 
 from repro.buffers.buffer import Buffer, BufferView
-from repro.buffers.chain import BufferChain
-from repro.buffers.pool import BufferPool
+from repro.buffers.chain import BufferChain, as_buffer_chain
+from repro.buffers.segment import Segment
+from repro.buffers.pool import BufferPool, shared_rx_pool
 from repro.buffers.appspace import ApplicationAddressSpace, Region, ScatterMap
 
 __all__ = [
@@ -28,7 +32,10 @@ __all__ = [
     "BufferView",
     "BufferChain",
     "BufferPool",
+    "Segment",
     "ApplicationAddressSpace",
     "Region",
     "ScatterMap",
+    "as_buffer_chain",
+    "shared_rx_pool",
 ]

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.buffers.buffer import Buffer
+from repro.buffers.chain import BufferChain
 from repro.errors import BufferError_
+from repro.machine.accounting import datapath_counters
 
 
 @dataclass(frozen=True)
@@ -127,13 +129,16 @@ class ApplicationAddressSpace:
         """All registered region names."""
         return list(self._regions)
 
-    def deliver(self, payload: bytes, scatter: ScatterMap) -> int:
+    def deliver(self, payload: bytes | BufferChain, scatter: ScatterMap) -> int:
         """Execute a scatter map: move ADU bytes into their regions.
 
         Returns the number of bytes moved.  This is the real "move to
         application address space" manipulation; the stage layer charges
-        a copy pass for it.
+        a copy pass for it.  A :class:`BufferChain` payload is gathered
+        straight from its segments into the regions — the chain is never
+        pre-joined, so the move is the datapath's *only* copy.
         """
+        is_chain = isinstance(payload, BufferChain)
         moved = 0
         for entry in scatter.entries:
             if entry.source_offset + entry.length > len(payload):
@@ -149,8 +154,19 @@ class ApplicationAddressSpace:
                     f"(offset {entry.region_offset}, length {entry.length}, "
                     f"region length {region.length})"
                 )
-            piece = payload[entry.source_offset : entry.source_offset + entry.length]
-            region.buffer.write(region.offset + entry.region_offset, piece)
+            start = region.offset + entry.region_offset
+            if is_chain:
+                payload.copy_into(
+                    memoryview(region.buffer.data)[start : start + entry.length],
+                    src_offset=entry.source_offset,
+                    length=entry.length,
+                )
+            else:
+                piece = payload[
+                    entry.source_offset : entry.source_offset + entry.length
+                ]
+                datapath_counters().record_copy(entry.length, label="deliver")
+                region.buffer.write(start, piece)
             moved += entry.length
         self.bytes_delivered += moved
         return moved

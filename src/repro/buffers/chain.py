@@ -3,8 +3,15 @@
 Protocol implementations avoid copying by keeping a packet as a chain of
 segments: headers are *prepended* as new segments, payloads are *split*
 without touching the data.  A :class:`BufferChain` models exactly that.
-Only :meth:`linearize` performs a real data pass (and says so, so the
-caller can charge for it).
+Only :meth:`linearize` and :meth:`copy_into` perform a real data pass,
+and both record it on the process-wide datapath counters
+(:func:`repro.machine.accounting.datapath_counters`), so the zero-copy
+claims of the chain datapath are measured rather than asserted.
+
+Segments may be plain :class:`BufferView` windows or refcounted
+:class:`~repro.buffers.segment.Segment` objects; the chain treats both
+uniformly (``__len__`` / ``memoryview`` / ``subview`` / ``tobytes``) and
+:meth:`share`/:meth:`release` manage references only where they exist.
 """
 
 from __future__ import annotations
@@ -12,44 +19,67 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.buffers.buffer import Buffer, BufferView
+from repro.buffers.segment import Segment
 from repro.errors import BufferError_
+from repro.machine.accounting import datapath_counters
 
 
 class BufferChain:
-    """An ordered chain of :class:`BufferView` segments.
+    """An ordered chain of zero-copy segments.
 
     The chain's logical content is the concatenation of its segments.
     All structural operations (prepend, append, split, trim) are
     zero-copy.
     """
 
-    def __init__(self, segments: Iterable[BufferView] = ()):
-        self._segments: list[BufferView] = [s for s in segments if len(s) > 0]
+    def __init__(self, segments: Iterable[BufferView | Segment] = ()):
+        self._segments: list[BufferView | Segment] = [
+            s for s in segments if len(s) > 0
+        ]
 
     @classmethod
     def from_bytes(cls, payload: bytes, label: str = "") -> "BufferChain":
-        """Chain holding a fresh buffer initialized with ``payload``."""
+        """Chain holding a fresh buffer initialized with ``payload``.
+
+        This *copies* ``payload`` into the new buffer (and records the
+        copy); use :meth:`wrap` to reference existing storage instead.
+        """
         if not payload:
             return cls()
+        datapath_counters().record_copy(len(payload), label="chain-from-bytes")
         return cls([Buffer.from_bytes(payload, label=label).view()])
 
+    @classmethod
+    def wrap(cls, payload, label: str = "") -> "BufferChain":
+        """Zero-copy chain over caller-owned storage (bytes, bytearray,
+        memoryview...)."""
+        if len(payload) == 0:
+            return cls()
+        datapath_counters().record_zero_copy()
+        return cls([Segment.wrap(payload, label=label)])
+
     @property
-    def segments(self) -> tuple[BufferView, ...]:
+    def segments(self) -> tuple[BufferView | Segment, ...]:
         """The chain's segments, in order."""
         return tuple(self._segments)
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._segments)
 
-    def __iter__(self) -> Iterator[BufferView]:
+    def __iter__(self) -> Iterator[BufferView | Segment]:
         return iter(self._segments)
 
-    def prepend(self, view: BufferView) -> None:
+    def memoryviews(self) -> Iterator[memoryview]:
+        """The segments' backing windows, in order (no copies)."""
+        for segment in self._segments:
+            yield segment.memoryview()
+
+    def prepend(self, view: BufferView | Segment) -> None:
         """Push a segment (typically a header) onto the front."""
         if len(view) > 0:
             self._segments.insert(0, view)
 
-    def append(self, view: BufferView) -> None:
+    def append(self, view: BufferView | Segment) -> None:
         """Add a segment at the end."""
         if len(view) > 0:
             self._segments.append(view)
@@ -59,22 +89,32 @@ class BufferChain:
         self._segments.extend(other._segments)
 
     def split(self, at: int) -> tuple["BufferChain", "BufferChain"]:
-        """Split into (first ``at`` bytes, rest) without copying."""
+        """Split into (first ``at`` bytes, rest) without copying.
+
+        Both result chains own fresh references to the underlying data
+        (refcounted segments are shared or subviewed); the original chain
+        keeps its own and must still be released by its owner.
+        """
         if at < 0 or at > len(self):
             raise BufferError_(f"split point {at} outside chain of length {len(self)}")
-        head: list[BufferView] = []
-        tail: list[BufferView] = []
+        datapath_counters().record_zero_copy()
+        head: list[BufferView | Segment] = []
+        tail: list[BufferView | Segment] = []
         remaining = at
         for segment in self._segments:
             if remaining >= len(segment):
-                head.append(segment)
+                head.append(
+                    segment.share() if isinstance(segment, Segment) else segment
+                )
                 remaining -= len(segment)
             elif remaining > 0:
                 head.append(segment.subview(0, remaining))
                 tail.append(segment.subview(remaining))
                 remaining = 0
             else:
-                tail.append(segment)
+                tail.append(
+                    segment.share() if isinstance(segment, Segment) else segment
+                )
         return BufferChain(head), BufferChain(tail)
 
     def trim_front(self, n: int) -> "BufferChain":
@@ -83,22 +123,102 @@ class BufferChain:
         return rest
 
     def chunks(self, size: int) -> Iterator["BufferChain"]:
-        """Yield consecutive sub-chains of at most ``size`` bytes."""
+        """Yield consecutive sub-chains of at most ``size`` bytes.
+
+        Each yielded chunk owns its own references; the original chain is
+        untouched.  Intermediate remainders are released internally so
+        refcounted segments never leak references here.
+        """
         if size <= 0:
             raise BufferError_(f"chunk size must be positive, got {size}")
-        rest = self
+        rest = self.share()
         while len(rest) > 0:
-            head, rest = rest.split(min(size, len(rest)))
+            head, new_rest = rest.split(min(size, len(rest)))
+            rest.release()
+            rest = new_rest
             yield head
+
+    def share(self) -> "BufferChain":
+        """A new chain referencing the same data (refcounts bumped)."""
+        datapath_counters().record_zero_copy()
+        return BufferChain(
+            [
+                s.share() if isinstance(s, Segment) else s
+                for s in self._segments
+            ]
+        )
+
+    def release(self) -> None:
+        """Release every refcounted segment (pool buffers may recycle).
+
+        Plain :class:`BufferView` segments have no reference to retire
+        and are simply dropped.  The chain is empty afterwards.
+        """
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            if isinstance(segment, Segment):
+                segment.release()
+
+    def copy_into(self, target: memoryview, src_offset: int = 0,
+                  length: int | None = None) -> int:
+        """Gather ``length`` bytes from ``src_offset`` into ``target``.
+
+        One real data pass (recorded); this is the scatter-gather
+        primitive the final move into application memory uses.
+        Returns the bytes written.
+        """
+        total = len(self)
+        if length is None:
+            length = total - src_offset
+        if src_offset < 0 or length < 0 or src_offset + length > total:
+            raise BufferError_(
+                f"copy_into range [{src_offset}, {src_offset + length}) "
+                f"outside chain of length {total}"
+            )
+        if length > len(target):
+            raise BufferError_(
+                f"copy_into of {length} bytes exceeds target of {len(target)}"
+            )
+        written = 0
+        skip = src_offset
+        for segment in self._segments:
+            seg_len = len(segment)
+            if skip >= seg_len:
+                skip -= seg_len
+                continue
+            take = min(seg_len - skip, length - written)
+            if take <= 0:
+                break
+            target[written : written + take] = segment.memoryview()[
+                skip : skip + take
+            ]
+            written += take
+            skip = 0
+        datapath_counters().record_copy(written, label="gather")
+        return written
 
     def linearize(self) -> bytes:
         """Materialize the chain as contiguous bytes.
 
         This is a real data pass (one read of every byte, one write into
-        the fresh region); callers that account cycles must charge a copy
-        for it.
+        the fresh region); it is recorded on the datapath counters, and
+        callers that account cycles must charge a copy for it.
         """
-        return b"".join(segment.tobytes() for segment in self._segments)
+        total = len(self)
+        if total == 0:
+            return b""
+        if len(self._segments) == 1:
+            datapath_counters().record_copy(total, label="linearize")
+            return self._segments[0].tobytes()
+        out = bytearray(total)
+        target = memoryview(out)
+        written = 0
+        for segment in self._segments:
+            seg_len = len(segment)
+            target[written : written + seg_len] = segment.memoryview()
+            written += seg_len
+        datapath_counters().record_copy(total, label="linearize")
+        return bytes(out)
 
     def tobytes(self) -> bytes:
         """Alias of :meth:`linearize` for symmetry with BufferView."""
@@ -110,3 +230,16 @@ class BufferChain:
 
     def __repr__(self) -> str:
         return f"BufferChain(segments={len(self._segments)}, length={len(self)})"
+
+
+def as_buffer_chain(payload, label: str = "") -> BufferChain:
+    """Coerce any payload into a chain without copying.
+
+    Chains pass through; views and segments become single-segment
+    chains; ``bytes``/``bytearray``/``memoryview`` are wrapped zero-copy.
+    """
+    if isinstance(payload, BufferChain):
+        return payload
+    if isinstance(payload, (BufferView, Segment)):
+        return BufferChain([payload])
+    return BufferChain.wrap(payload, label=label)

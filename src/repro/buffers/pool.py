@@ -4,12 +4,22 @@ Network interfaces and kernels hold finite buffer memory; flow control
 exists precisely because the receiver's pool can be exhausted.  The pool
 hands out fixed-size :class:`Buffer` objects and recycles them, so the
 transport simulations get realistic backpressure.
+
+For the zero-copy datapath the pool also hands out refcounted
+:class:`~repro.buffers.segment.Segment` windows over its buffers
+(:meth:`BufferPool.allocate_segment`, :meth:`BufferPool.dma_chain`): the
+segment's reference cell carries an ``on_zero`` hook that returns the
+buffer to the pool automatically when the last reference anywhere in the
+stack is released — mbuf clusters, in miniature.
 """
 
 from __future__ import annotations
 
 from repro.buffers.buffer import Buffer
+from repro.buffers.chain import BufferChain
+from repro.buffers.segment import Segment, _RefCell
 from repro.errors import BufferError_
+from repro.machine.accounting import datapath_counters
 
 
 class BufferPool:
@@ -33,7 +43,11 @@ class BufferPool:
             Buffer(buffer_size, label=f"{label}[{i}]") for i in range(n_buffers)
         ]
         self._outstanding: set[int] = set()
+        self._outstanding_labels: dict[int, str] = {}
         self.allocation_failures = 0
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
 
     @property
     def available(self) -> int:
@@ -49,9 +63,12 @@ class BufferPool:
         """Take a buffer, or return None (and count the failure) if empty."""
         if not self._free:
             self.allocation_failures += 1
+            self.misses += 1
             return None
         buffer = self._free.pop()
         self._outstanding.add(id(buffer))
+        self._outstanding_labels[id(buffer)] = buffer.label
+        self.hits += 1
         return buffer
 
     def allocate(self) -> Buffer:
@@ -74,11 +91,114 @@ class BufferPool:
                 "or was already released"
             )
         self._outstanding.remove(id(buffer))
+        self._outstanding_labels.pop(id(buffer), None)
         buffer.data[:] = bytes(self.buffer_size)
         self._free.append(buffer)
+
+    # ------------------------------------------------------------------
+    # Refcounted segment allocation (the zero-copy receive path)
+
+    def try_allocate_segment(self, length: int | None = None) -> Segment | None:
+        """A refcounted window over a pool buffer, or None when exhausted.
+
+        The buffer recycles itself when the segment's last reference is
+        released — callers never hand the buffer back explicitly.
+        """
+        if length is None:
+            length = self.buffer_size
+        if length < 0 or length > self.buffer_size:
+            raise BufferError_(
+                f"segment of {length} bytes exceeds {self.label} "
+                f"buffer_size={self.buffer_size}"
+            )
+        buffer = self.try_allocate()
+        if buffer is None:
+            return None
+
+        def _recycle() -> None:
+            self.recycled += 1
+            self.release(buffer)
+
+        cell = _RefCell(on_zero=_recycle)
+        return Segment(
+            memoryview(buffer.data)[:length], label=buffer.label, cell=cell
+        )
+
+    def allocate_segment(self, length: int | None = None) -> Segment:
+        """Like :meth:`try_allocate_segment`, raising when exhausted."""
+        segment = self.try_allocate_segment(length)
+        if segment is None:
+            raise BufferError_(f"{self.label} exhausted ({self.capacity} buffers)")
+        return segment
+
+    def dma_chain(self, payload) -> BufferChain | None:
+        """Model the NIC writing ``payload`` into pooled receive buffers.
+
+        Fills as many fixed-size segments as the payload needs and chains
+        them.  Returns None (a dropped frame) when the pool cannot cover
+        the payload — the partial allocation is released first, so drops
+        never leak buffers.  The fill is recorded as DMA (bus traffic),
+        not as a CPU copy: from the CPU's point of view the data arrives
+        in place, which is where the zero-copy path starts.
+        """
+        mv = payload if isinstance(payload, memoryview) else memoryview(payload)
+        total = len(mv)
+        if total == 0:
+            return BufferChain()
+        segments: list[Segment] = []
+        offset = 0
+        while offset < total:
+            take = min(self.buffer_size, total - offset)
+            segment = self.try_allocate_segment(take)
+            if segment is None:
+                for allocated in segments:
+                    allocated.release()
+                return None
+            segment.memoryview()[:] = mv[offset : offset + take]
+            segments.append(segment)
+            offset += take
+        datapath_counters().record_dma(total)
+        return BufferChain(segments)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def leak_report(self) -> list[str]:
+        """Labels of buffers allocated but never released (suspected leaks)."""
+        return sorted(self._outstanding_labels.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict counters for the CLI and benchmark records."""
+        return {
+            "label": self.label,
+            "capacity": self.capacity,
+            "buffer_size": self.buffer_size,
+            "available": self.available,
+            "in_use": self.in_use,
+            "hits": self.hits,
+            "misses": self.misses,
+            "recycled": self.recycled,
+            "allocation_failures": self.allocation_failures,
+            "leaked": self.leak_report(),
+        }
 
     def __repr__(self) -> str:
         return (
             f"BufferPool({self.label!r}, {self.available}/{self.capacity} free, "
             f"buffer_size={self.buffer_size})"
         )
+
+
+_SHARED_RX_POOL: BufferPool | None = None
+
+
+def shared_rx_pool() -> BufferPool:
+    """The process-wide receive pool hosts DMA into by default.
+
+    Sized generously (256 × 8 KiB) so simulations only hit exhaustion
+    when they configure their own, smaller pools on purpose.
+    """
+    global _SHARED_RX_POOL
+    if _SHARED_RX_POOL is None:
+        _SHARED_RX_POOL = BufferPool(256, 8192, label="rx-pool")
+    return _SHARED_RX_POOL

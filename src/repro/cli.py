@@ -46,6 +46,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "A5": ("Cache depletion across passes", experiments.cache_depletion),
     "A6": ("Out-of-band rate control", experiments.rate_control),
     "P1": ("Compile-once plan cache fast path", experiments.plan_cache_fast_path),
+    "P2": ("Zero-copy datapath vs copy-per-layer", experiments.zero_copy_datapath),
 }
 
 
@@ -130,6 +131,46 @@ def _cmd_ilp(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_buffers(args: argparse.Namespace) -> int:
+    from repro.buffers.pool import shared_rx_pool
+    from repro.machine.accounting import datapath_counters
+
+    if args.action == "stats":
+        counters = datapath_counters().snapshot()
+        print("datapath counters:")
+        print(
+            f"  copies {counters['copies']}  bytes_copied {counters['bytes_copied']}"
+        )
+        print(
+            f"  read_passes {counters['read_passes']}  "
+            f"bytes_read {counters['bytes_read']}"
+        )
+        print(f"  memory_passes {counters['memory_passes']}")
+        print(
+            f"  zero_copy_ops {counters['zero_copy_ops']}  "
+            f"dma_writes {counters['dma_writes']}  "
+            f"dma_bytes {counters['dma_bytes']}"
+        )
+        for label, n_bytes in sorted(counters["copies_by_label"].items()):
+            print(f"    copy[{label}] {n_bytes} bytes")
+        pool = shared_rx_pool().snapshot()
+        print(f"rx pool '{pool['label']}':")
+        print(
+            f"  capacity {pool['capacity']}  buffer_size {pool['buffer_size']}  "
+            f"available {pool['available']}  in_use {pool['in_use']}"
+        )
+        print(
+            f"  hits {pool['hits']}  misses {pool['misses']}  "
+            f"recycled {pool['recycled']}  "
+            f"allocation_failures {pool['allocation_failures']}"
+        )
+        for label in pool["leaked"]:
+            print(f"  LEAK: {label}")
+        return 0
+    print(f"unknown buffers action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -172,6 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="'stats' prints the process-wide plan cache counters",
     )
     ilp_parser.set_defaults(handler=_cmd_ilp)
+
+    buffers_parser = commands.add_parser(
+        "buffers", help="inspect the zero-copy buffer substrate"
+    )
+    buffers_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the datapath copy counters and rx-pool state",
+    )
+    buffers_parser.set_defaults(handler=_cmd_buffers)
     return parser
 
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.buffers.chain import BufferChain, as_buffer_chain
 from repro.errors import FramingError
-from repro.stages.checksum import internet_checksum
+from repro.machine.accounting import datapath_counters
+from repro.stages.checksum import internet_checksum, internet_checksum_chain
 
 
 @dataclass(frozen=True)
@@ -37,7 +39,7 @@ class Adu:
     """
 
     sequence: int
-    payload: bytes
+    payload: bytes | BufferChain
     name: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -46,7 +48,13 @@ class Adu:
 
     @property
     def checksum(self) -> int:
-        """The ADU-level error-detection code (synchronized per ADU)."""
+        """The ADU-level error-detection code (synchronized per ADU).
+
+        Chain payloads are checksummed in place (one read pass over the
+        segments, no materialization).
+        """
+        if isinstance(self.payload, BufferChain):
+            return internet_checksum_chain(self.payload)
         return internet_checksum(self.payload)
 
     def __len__(self) -> int:
@@ -69,7 +77,7 @@ class AduFragment:
     adu_length: int
     adu_checksum: int
     name: dict[str, Any]
-    payload: bytes
+    payload: bytes | BufferChain
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.total:
@@ -78,22 +86,47 @@ class AduFragment:
             )
 
 
-def fragment_adu(adu: Adu, mtu: int, checksum: int | None = None) -> list[AduFragment]:
+def fragment_adu(
+    adu: Adu,
+    mtu: int,
+    checksum: int | None = None,
+    zero_copy: bool = False,
+) -> list[AduFragment]:
     """Slice an ADU into fragments of at most ``mtu`` payload bytes.
 
     ``checksum`` lets a caller that already computed the ADU checksum
     (e.g. through a compiled wire plan, possibly batched) pass it in
     instead of paying a second checksum pass here.
+
+    ``zero_copy=True`` wraps the payload once and hands out
+    :class:`~repro.buffers.chain.BufferChain` windows instead of sliced
+    ``bytes`` — fragmentation then costs no data pass at all, whatever
+    the ADU size.
     """
     if mtu <= 0:
         raise FramingError("mtu must be positive")
     if checksum is None:
         checksum = adu.checksum
-    if not adu.payload:
+    if not len(adu.payload):
         return [
             AduFragment(adu.sequence, 0, 1, 0, checksum, dict(adu.name), b"")
         ]
     total = -(-len(adu.payload) // mtu)
+    if zero_copy:
+        chain = as_buffer_chain(adu.payload, label=f"adu-{adu.sequence}")
+        pieces = list(chain.chunks(mtu))
+        return [
+            AduFragment(
+                adu_sequence=adu.sequence,
+                index=index,
+                total=total,
+                adu_length=len(chain),
+                adu_checksum=checksum,
+                name=dict(adu.name),
+                payload=piece,
+            )
+            for index, piece in enumerate(pieces)
+        ]
     return [
         AduFragment(
             adu_sequence=adu.sequence,
@@ -108,7 +141,11 @@ def fragment_adu(adu: Adu, mtu: int, checksum: int | None = None) -> list[AduFra
     ]
 
 
-def reassemble_fragments(fragments: list[AduFragment], verify: bool = True) -> Adu:
+def reassemble_fragments(
+    fragments: list[AduFragment],
+    verify: bool = True,
+    as_chain: bool = False,
+) -> Adu:
     """Rebuild an ADU from all of its fragments (any order).
 
     Raises :class:`FramingError` on missing/inconsistent fragments or a
@@ -116,6 +153,11 @@ def reassemble_fragments(fragments: list[AduFragment], verify: bool = True) -> A
     whole ADU.  ``verify=False`` skips the checksum pass for callers
     that verify through a compiled wire plan instead (the structural
     checks all still run).
+
+    ``as_chain=True`` assembles the ADU as a
+    :class:`~repro.buffers.chain.BufferChain` over the fragments'
+    payloads — no join, no copy; fragment chains are *shared* into the
+    result, so callers keep (and must release) their own references.
     """
     if not fragments:
         raise FramingError("no fragments to reassemble")
@@ -136,7 +178,24 @@ def reassemble_fragments(fragments: list[AduFragment], verify: bool = True) -> A
         if fragment.index in by_index:
             raise FramingError(f"duplicate fragment index {fragment.index}")
         by_index[fragment.index] = fragment
-    payload = b"".join(by_index[i].payload for i in range(first.total))
+    payload: bytes | BufferChain
+    if as_chain:
+        chain = BufferChain()
+        for i in range(first.total):
+            piece = by_index[i].payload
+            if isinstance(piece, BufferChain):
+                chain.extend(piece.share())
+            else:
+                chain.extend(as_buffer_chain(piece))
+        payload = chain
+    else:
+        payload = b"".join(
+            by_index[i].payload
+            if isinstance(by_index[i].payload, bytes)
+            else by_index[i].payload.linearize()
+            for i in range(first.total)
+        )
+        datapath_counters().record_copy(len(payload), label="reassemble-join")
     if len(payload) != first.adu_length:
         raise FramingError(
             f"reassembled {len(payload)} bytes, expected {first.adu_length}"

@@ -38,9 +38,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.buffers.chain import BufferChain
 from repro.errors import PipelineError
 from repro.ilp.fusion import fused_group_cost, plan_fusion
-from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel
+from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel, gather_words
 from repro.ilp.kernels import bytes_to_words as pack_words
 from repro.ilp.kernels import words_to_bytes as unpack_words
 from repro.ilp.pipeline import Pipeline
@@ -315,6 +316,51 @@ class CompiledPlan:
         observations: dict[str, int] = {}
         for group in self.groups:
             words, length = pack_words(data)
+            live = words
+            for kernel in group.kernels:
+                transformed = kernel.transform(live)
+                if kernel.finalize is not None:
+                    observations[kernel.name] = kernel.finalize(live, length)
+                live = transformed
+            data = unpack_words(live, length)
+        return data, observations
+
+    def run_chain(
+        self, chain: BufferChain
+    ) -> tuple[BufferChain | bytes, dict[str, int]]:
+        """Kernel fast path over a scatter-gather chain.
+
+        Groups whose kernels all *preserve the data* (observers and pure
+        moves) and can finalize straight off a chain run with **zero
+        materialization**: each observer makes one read pass over the
+        segments and the chain flows through untouched.  The first group
+        that must transform bytes gathers the chain into words once
+        (:func:`~repro.ilp.kernels.gather_words` — one pass, no
+        intermediate ``bytes``) and execution continues on the
+        materialized form.
+
+        Returns (output, observations).  The output is the input chain
+        itself when no group materialized, otherwise ``bytes``; callers
+        that need contiguous bytes linearize exactly once, at delivery.
+        Observations are identical to ``run(chain.linearize())``.
+        """
+        self._require_lowered()
+        observations: dict[str, int] = {}
+        data: BufferChain | bytes = chain
+        for group in self.groups:
+            if isinstance(data, BufferChain) and all(
+                kernel.preserves_data
+                and (kernel.finalize is None or kernel.chain_finalize is not None)
+                for kernel in group.kernels
+            ):
+                for kernel in group.kernels:
+                    if kernel.chain_finalize is not None:
+                        observations[kernel.name] = kernel.chain_finalize(data)
+                continue
+            if isinstance(data, BufferChain):
+                words, length = gather_words(data)
+            else:
+                words, length = pack_words(data)
             live = words
             for kernel in group.kernels:
                 transformed = kernel.transform(live)

@@ -30,7 +30,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.buffers.chain import BufferChain
 from repro.errors import StageError
+from repro.machine.accounting import datapath_counters
 from repro.machine.costs import CostVector
 
 Array = np.ndarray
@@ -38,7 +40,31 @@ Array = np.ndarray
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 
-def bytes_to_words(data: bytes) -> tuple[Array, int]:
+def _as_byte_view(data) -> memoryview:
+    """A flat uint8 memoryview over any bytes-like object (no copy)."""
+    mv = data if isinstance(data, memoryview) else memoryview(data)
+    if mv.format != "B" or mv.ndim != 1:
+        mv = mv.cast("B")
+    return mv
+
+
+def as_native_words(data) -> Array:
+    """Zero-copy native-order uint32 view over word-aligned input.
+
+    This is the raw ``frombuffer`` view — no byteswap, no padding, no
+    allocation; the returned array aliases ``data``'s storage.  Used by
+    identity-transform fast paths and by the no-copy tests, which assert
+    the aliasing directly.
+    """
+    mv = _as_byte_view(data)
+    if len(mv) % 4:
+        raise StageError(
+            f"native word view needs a multiple of 4 bytes, got {len(mv)}"
+        )
+    return np.frombuffer(mv, dtype=np.uint32)
+
+
+def bytes_to_words(data: bytes | bytearray | memoryview) -> tuple[Array, int]:
     """Pack bytes into a big-endian uint32 array (padded); returns the
     array and the original byte length.
 
@@ -46,24 +72,85 @@ def bytes_to_words(data: bytes) -> tuple[Array, int]:
     checksum finalizer must reproduce RFC 1071's big-endian 16-bit sums,
     and the byteswap kernel models XDR-style conversion of wire-order
     words, so byte 0 of the stream has to land in the most significant
-    byte of the word.  ``frombuffer`` gives a zero-copy native view; on a
-    little-endian host one ``byteswap()`` pass produces the big-endian
-    values directly (``frombuffer(">u4").astype(uint32)`` would make an
-    extra whole-buffer copy).
+    byte of the word.  ``frombuffer`` gives a zero-copy view over the
+    input — ``bytearray`` and ``memoryview`` are consumed in place, never
+    round-tripped through ``bytes()`` — and on a little-endian host one
+    ``byteswap()`` pass produces the big-endian values directly.  That
+    byteswap/copy is the pack's single materialization, recorded on the
+    datapath counters.
     """
-    pad = (-len(data)) % 4
-    padded = data + bytes(pad) if pad else data
-    view = np.frombuffer(padded, dtype=np.uint32)
+    mv = _as_byte_view(data)
+    length = len(mv)
+    pad = (-length) % 4
+    if pad:
+        padded = bytearray(length + pad)
+        padded[:length] = mv
+        view = np.frombuffer(padded, dtype=np.uint32)
+    else:
+        view = np.frombuffer(mv, dtype=np.uint32)
     # byteswap() allocates the output; on a big-endian host the view is
     # already correct and only needs to become an owned, writable array.
     words = view.byteswap() if _LITTLE_ENDIAN else view.copy()
-    return words, len(data)
+    datapath_counters().record_copy(length, label="pack-words")
+    return words, length
 
 
 def words_to_bytes(words: Array, length: int) -> bytes:
     """Unpack a uint32 array back to ``length`` bytes."""
     raw = words.byteswap() if _LITTLE_ENDIAN else words
+    datapath_counters().record_copy(length, label="unpack-words")
     return raw.tobytes()[:length]
+
+
+def gather_words(chain: BufferChain) -> tuple[Array, int]:
+    """Pack a :class:`BufferChain` into big-endian words in **one pass**.
+
+    The scatter-gather analogue of :func:`bytes_to_words`: segments are
+    written straight into the word buffer as they are visited — the chain
+    is never linearized into an intermediate ``bytes`` first, so a
+    fragmented ADU costs one materialization instead of two.  The
+    in-place byteswap reuses the gather buffer rather than allocating.
+    """
+    length = len(chain)
+    pad = (-length) % 4
+    buf = np.empty(length + pad, dtype=np.uint8)
+    offset = 0
+    for mv in chain.memoryviews():
+        n = len(mv)
+        buf[offset : offset + n] = np.frombuffer(mv, dtype=np.uint8)
+        offset += n
+    if pad:
+        buf[length:] = 0
+    view = buf.view(np.uint32)
+    words = view.byteswap(True) if _LITTLE_ENDIAN else view
+    datapath_counters().record_copy(length, label="gather-words")
+    return words, length
+
+
+def checksum_chain(chain: BufferChain) -> int:
+    """RFC 1071 Internet checksum straight off a chain — zero-copy.
+
+    One vectorized read pass per segment, no gather buffer.  The sum is
+    composed across arbitrary (odd-length) segment boundaries by
+    weighting each byte by the parity of its *global* offset: even-offset
+    bytes form the high byte of their 16-bit word, odd-offset bytes the
+    low byte.  Matches ``internet_checksum(chain.linearize())`` exactly,
+    at the cost of a read pass instead of a copy.
+    """
+    total = 0
+    offset = 0
+    for mv in chain.memoryviews():
+        arr = np.frombuffer(mv, dtype=np.uint8).astype(np.uint64)
+        if offset % 2 == 0:
+            high, low = arr[0::2], arr[1::2]
+        else:
+            low, high = arr[0::2], arr[1::2]
+        total += (int(high.sum()) << 8) + int(low.sum())
+        offset += len(arr)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    datapath_counters().record_read_pass(offset)
+    return (~total) & 0xFFFF
 
 
 @dataclass
@@ -82,6 +169,14 @@ class WordKernel:
             batched executor: called with a 2-D (adu, word) array and a
             per-row byte-length array, returns one observation per row.
             Kernels without it fall back to per-row ``finalize`` calls.
+        preserves_data: True when ``transform`` is the identity (observer
+            and pure-move kernels).  Groups in which every kernel
+            preserves data can run over a :class:`BufferChain` without
+            materializing it at all.
+        chain_finalize: optional zero-copy form of ``finalize`` operating
+            directly on a :class:`BufferChain` (one read pass over the
+            segments, no gather).  Only meaningful alongside
+            ``preserves_data``.
     """
 
     name: str
@@ -89,6 +184,8 @@ class WordKernel:
     transform: Callable[[Array], Array]
     finalize: Callable[[Array, int], int] | None = None
     batch_finalize: Callable[[Array, Array], Array] | None = None
+    preserves_data: bool = False
+    chain_finalize: Callable[[BufferChain], int] | None = None
 
 
 def copy_kernel() -> WordKernel:
@@ -97,6 +194,7 @@ def copy_kernel() -> WordKernel:
         name="copy",
         cost=CostVector(reads_per_word=1.0, writes_per_word=1.0),
         transform=lambda words: words,
+        preserves_data=True,
     )
 
 
@@ -148,6 +246,8 @@ def checksum_kernel() -> WordKernel:
         transform=lambda words: words,
         finalize=finalize,
         batch_finalize=batch_finalize,
+        preserves_data=True,
+        chain_finalize=checksum_chain,
     )
 
 

@@ -17,6 +17,89 @@ from repro.machine.profile import MachineProfile
 from repro.units import MEGA, bits_of_bytes
 
 
+@dataclass
+class DatapathCounters:
+    """Explicit copy / memory-pass counters for the *functional* datapath.
+
+    The :class:`CycleLedger` prices modelled passes; these counters count
+    the passes the Python implementation actually performs, so the
+    zero-copy datapath's reduction is **measured**, not asserted.  Every
+    materialization of bytes (slice, join, pack, linearize) records a
+    copy; every full read-only traversal that produces only a scalar
+    (a gather checksum) records a read pass; structural operations that
+    *avoided* a copy (sharing a segment, splitting a chain) record a
+    zero-copy op.  DMA traffic is kept separate: the NIC filling host
+    memory consumes bus bandwidth but is not a CPU copy.
+    """
+
+    copies: int = 0
+    bytes_copied: int = 0
+    read_passes: int = 0
+    bytes_read: int = 0
+    zero_copy_ops: int = 0
+    dma_writes: int = 0
+    dma_bytes: int = 0
+    copies_by_label: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memory_passes(self) -> int:
+        """All full-data traversals: materializing copies + read passes."""
+        return self.copies + self.read_passes
+
+    def record_copy(self, n_bytes: int, label: str = "copy") -> None:
+        """One materializing pass: every byte read and written somewhere new."""
+        self.copies += 1
+        self.bytes_copied += n_bytes
+        self.copies_by_label[label] = self.copies_by_label.get(label, 0) + n_bytes
+
+    def record_read_pass(self, n_bytes: int) -> None:
+        """One read-only pass over the data (e.g. a gather checksum)."""
+        self.read_passes += 1
+        self.bytes_read += n_bytes
+
+    def record_zero_copy(self, count: int = 1) -> None:
+        """Structural operations that would have copied in a layered stack."""
+        self.zero_copy_ops += count
+
+    def record_dma(self, n_bytes: int) -> None:
+        """The NIC writing into host memory (bus traffic, not a CPU copy)."""
+        self.dma_writes += 1
+        self.dma_bytes += n_bytes
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        self.copies = 0
+        self.bytes_copied = 0
+        self.read_passes = 0
+        self.bytes_read = 0
+        self.zero_copy_ops = 0
+        self.dma_writes = 0
+        self.dma_bytes = 0
+        self.copies_by_label.clear()
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict form for the CLI and benchmark JSON records."""
+        return {
+            "copies": self.copies,
+            "bytes_copied": self.bytes_copied,
+            "read_passes": self.read_passes,
+            "bytes_read": self.bytes_read,
+            "memory_passes": self.memory_passes,
+            "zero_copy_ops": self.zero_copy_ops,
+            "dma_writes": self.dma_writes,
+            "dma_bytes": self.dma_bytes,
+            "copies_by_label": dict(self.copies_by_label),
+        }
+
+
+_DATAPATH = DatapathCounters()
+
+
+def datapath_counters() -> DatapathCounters:
+    """The process-wide datapath counters the buffer substrate records into."""
+    return _DATAPATH
+
+
 @dataclass(frozen=True)
 class LedgerEntry:
     """One recorded data pass.

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.buffers.chain import BufferChain
 from repro.errors import NetworkError
 
 #: Raw ATM cell payload (after the 5-byte cell header, which we do not model
@@ -50,7 +51,7 @@ class AtmCell:
     sdu_id: int
     index: int
     total: int
-    payload: bytes
+    payload: bytes | BufferChain
 
     def __post_init__(self) -> None:
         if len(self.payload) > CELL_PAYLOAD_BYTES:
@@ -61,12 +62,24 @@ class AtmCell:
             raise NetworkError(f"cell index {self.index} outside total {self.total}")
 
 
-def segment(payload: bytes, vci: int, sdu_id: int | None = None) -> list[AtmCell]:
-    """Split an SDU into cells (the adaptation layer's sender half)."""
+def segment(
+    payload: bytes | BufferChain, vci: int, sdu_id: int | None = None
+) -> list[AtmCell]:
+    """Split an SDU into cells (the adaptation layer's sender half).
+
+    A chain SDU is segmented into chain *windows* — 44-byte cell
+    payloads referencing the original buffers, no per-cell slicing copy.
+    """
     if sdu_id is None:
         sdu_id = next(_sdu_ids)
-    if not payload:
+    if not len(payload):
         return [AtmCell(vci, sdu_id, 0, 1, b"")]
+    if isinstance(payload, BufferChain):
+        pieces = list(payload.chunks(CELL_PAYLOAD_BYTES))
+        return [
+            AtmCell(vci, sdu_id, index, len(pieces), piece)
+            for index, piece in enumerate(pieces)
+        ]
     total = -(-len(payload) // CELL_PAYLOAD_BYTES)
     return [
         AtmCell(
@@ -90,8 +103,15 @@ def cells_for(length: int) -> int:
 @dataclass
 class _PartialSdu:
     total: int
-    pieces: dict[int, bytes] = field(default_factory=dict)
+    pieces: dict[int, bytes | BufferChain] = field(default_factory=dict)
     loss_detected: bool = False
+
+    def release(self) -> None:
+        """Retire any chain pieces' buffer references."""
+        for piece in self.pieces.values():
+            if isinstance(piece, BufferChain):
+                piece.release()
+        self.pieces.clear()
 
 
 class AtmAdaptationLayer:
@@ -152,7 +172,22 @@ class AtmAdaptationLayer:
         partial.pieces[cell.index] = cell.payload
 
         if len(partial.pieces) == partial.total and not partial.loss_detected:
-            payload = b"".join(partial.pieces[i] for i in range(partial.total))
+            if any(
+                isinstance(piece, BufferChain) for piece in partial.pieces.values()
+            ):
+                # Chain cells reassemble structurally: the SDU becomes a
+                # chain over the cells' windows, with no join pass.  The
+                # consumer takes ownership of the references.
+                payload: bytes | BufferChain = BufferChain()
+                for i in range(partial.total):
+                    piece = partial.pieces[i]
+                    if isinstance(piece, BufferChain):
+                        payload.extend(piece)
+                    elif piece:
+                        payload.extend(BufferChain.wrap(piece))
+                partial.pieces.clear()
+            else:
+                payload = b"".join(partial.pieces[i] for i in range(partial.total))
             del self._partial[key]
             self.sdus_delivered += 1
             self._on_sdu(cell.vci, cell.sdu_id, payload)
@@ -169,5 +204,7 @@ class AtmAdaptationLayer:
         if partial is None:
             return
         self.sdus_lost += 1
+        received = len(partial.pieces)
+        partial.release()
         if self._on_loss is not None:
-            self._on_loss(vci, key[1], len(partial.pieces), partial.total)
+            self._on_loss(vci, key[1], received, partial.total)

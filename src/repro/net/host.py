@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.buffers.chain import BufferChain
+from repro.buffers.pool import BufferPool
 from repro.errors import NetworkError
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -26,17 +28,31 @@ class Host:
     Args:
         loop: simulation event loop.
         name: the host's address (packets are routed by this).
+        rx_pool: when set, arriving byte payloads are DMA'd into
+            refcounted pool buffers and handed to transports as
+            scatter-gather chains — the start of the zero-copy receive
+            path.  Pool exhaustion drops the packet (counted in
+            :attr:`rx_dropped`), which is the real backpressure a finite
+            interface has.
     """
 
-    def __init__(self, loop: EventLoop, name: str, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        tracer: Tracer | None = None,
+        rx_pool: BufferPool | None = None,
+    ):
         self.loop = loop
         self.name = name
         self.tracer = tracer or Tracer(enabled=False)
+        self.rx_pool = rx_pool
         self._links: dict[str, Link] = {}
         self._handlers: dict[tuple[str, int], Handler] = {}
         self._default_handlers: dict[str, Handler] = {}
         self.received = 0
         self.undeliverable = 0
+        self.rx_dropped = 0
 
     def add_link(self, destination: str, link: Link) -> None:
         """Use ``link`` for packets addressed to ``destination``."""
@@ -72,11 +88,27 @@ class Host:
     def receive(self, packet: Packet) -> None:
         """Deliver an arriving packet to its bound handler."""
         self.received += 1
+        if (
+            self.rx_pool is not None
+            and not isinstance(packet.payload, BufferChain)
+            and packet.payload
+        ):
+            # NIC DMA: the frame lands in pooled receive buffers (bus
+            # traffic, not a CPU copy) and flows upward as a chain.
+            chain = self.rx_pool.dma_chain(packet.payload)
+            if chain is None:
+                self.rx_dropped += 1
+                self.tracer.emit(self.loop.now, "host", "rx-pool-drop",
+                                 host=self.name, packet_id=packet.packet_id)
+                return
+            packet.payload = chain
         handler = self._handlers.get((packet.protocol, packet.flow_id))
         if handler is None:
             handler = self._default_handlers.get(packet.protocol)
         if handler is None:
             self.undeliverable += 1
+            if isinstance(packet.payload, BufferChain):
+                packet.payload.release()
             self.tracer.emit(self.loop.now, "host", "undeliverable",
                              host=self.name, protocol=packet.protocol,
                              flow_id=packet.flow_id)

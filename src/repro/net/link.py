@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.buffers.chain import BufferChain
 from repro.errors import NetworkError
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
@@ -123,6 +124,10 @@ class Link:
 
         if self.rng.random() < self.loss_rate:
             self.stats.lost += 1
+            # A lost frame's receive buffers go back to the pool now —
+            # nothing downstream will ever release them.
+            if isinstance(packet.payload, BufferChain):
+                packet.payload.release()
             self.tracer.emit(self.loop.now, "link", "lost", link=self.name,
                              packet_id=packet.packet_id)
             return
@@ -132,11 +137,18 @@ class Link:
         # sequences of existing experiments.
         if (
             self.corrupt_rate > 0.0
-            and packet.payload
+            and len(packet.payload)
             and self.rng.random() < self.corrupt_rate
         ):
             self.stats.corrupted += 1
-            mutated = bytearray(packet.payload)
+            # Corruption is the one event that must materialize a chain:
+            # the flipped bit lives in a private copy, never in shared
+            # (possibly pooled) buffers other references still read.
+            if isinstance(packet.payload, BufferChain):
+                mutated = bytearray(packet.payload.linearize())
+                packet.payload.release()
+            else:
+                mutated = bytearray(packet.payload)
             position = self.rng.randrange(len(mutated))
             mutated[position] ^= 1 << self.rng.randrange(8)
             packet.payload = bytes(mutated)

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.buffers.chain import BufferChain
 from repro.errors import NetworkError
 
 #: Modelled wire overhead of one packet's headers (network + transport),
@@ -34,7 +35,10 @@ class Packet:
         flow_id: demultiplexing key within the protocol (connection /
             association identifier).
         header: protocol-defined control fields.
-        payload: the data bytes.
+        payload: the data — ``bytes`` on the classic path, or a
+            :class:`~repro.buffers.chain.BufferChain` on the zero-copy
+            datapath (forwarding elements pass the reference along; only
+            explicit materialization points touch the bytes).
         header_overhead: modelled wire bytes of header.
         packet_id: unique id for tracing (assigned automatically).
     """
@@ -44,7 +48,7 @@ class Packet:
     protocol: str
     flow_id: int
     header: dict[str, Any] = field(default_factory=dict)
-    payload: bytes = b""
+    payload: bytes | BufferChain = b""
     header_overhead: int = HEADER_OVERHEAD_BYTES
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
@@ -58,14 +62,22 @@ class Packet:
         return self.header_overhead + len(self.payload)
 
     def copy(self) -> "Packet":
-        """An independent copy with a fresh packet id (for duplication)."""
+        """An independent copy with a fresh packet id (for duplication).
+
+        A chain payload is *shared*, not duplicated: both packets hold
+        their own references, so a receiver releasing a discarded
+        duplicate cannot pull the buffers out from under the original.
+        """
+        payload = self.payload
+        if isinstance(payload, BufferChain):
+            payload = payload.share()
         return Packet(
             src=self.src,
             dst=self.dst,
             protocol=self.protocol,
             flow_id=self.flow_id,
             header=dict(self.header),
-            payload=self.payload,
+            payload=payload,
             header_overhead=self.header_overhead,
         )
 

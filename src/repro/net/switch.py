@@ -14,7 +14,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.buffers.chain import BufferChain
 from repro.errors import NetworkError
+from repro.machine.accounting import datapath_counters
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
@@ -71,20 +73,31 @@ class StoreAndForwardSwitch:
         self._routes[destination] = port_name
 
     def receive(self, packet: Packet) -> None:
-        """Handle an arriving packet: look up the route and enqueue."""
+        """Handle an arriving packet: look up the route and enqueue.
+
+        Forwarding is store-and-forward in *references*: a chain payload
+        sits in its buffers while only the packet descriptor moves
+        through the queue.  Dropped packets release their references.
+        """
         port_name = self._routes.get(packet.dst)
         if port_name is None:
             self.drops += 1
+            if isinstance(packet.payload, BufferChain):
+                packet.payload.release()
             self.tracer.emit(self.loop.now, "switch", "no-route",
                              switch=self.name, dst=packet.dst)
             return
         port = self._ports[port_name]
         if len(port.queue) >= self.queue_capacity:
             self.drops += 1
+            if isinstance(packet.payload, BufferChain):
+                packet.payload.release()
             self.tracer.emit(self.loop.now, "switch", "queue-drop",
                              switch=self.name, port=port_name,
                              packet_id=packet.packet_id)
             return
+        if isinstance(packet.payload, BufferChain):
+            datapath_counters().record_zero_copy()
         port.queue.append(packet)
         if not port.transmitting:
             port.transmitting = True

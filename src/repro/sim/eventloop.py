@@ -24,10 +24,21 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _loop: "EventLoop | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap)."""
+        """Prevent the event from firing.
+
+        The entry is lazily discarded: it stays in the heap until it
+        either surfaces or the owning loop compacts (which it does once
+        cancelled entries dominate the queue), so retransmit-timer
+        churn cannot grow the heap without bound.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            self._loop._on_cancel()
 
 
 class EventLoop:
@@ -37,15 +48,31 @@ class EventLoop:
         self.now = 0.0
         self._heap: list[Event] = []
         self._sequence = itertools.count()
+        self._cancelled = 0
         self.events_run = 0
+        self.compactions = 0
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay {delay})")
         event = Event(self.now + delay, next(self._sequence), callback, args)
+        event._loop = self
         heapq.heappush(self._heap, event)
         return event
+
+    def _on_cancel(self) -> None:
+        self._cancelled += 1
+        # Compact when dead entries outnumber live ones: O(n) rebuild,
+        # amortized O(1) per cancellation.
+        if self._cancelled > len(self._heap) // 2 and len(self._heap) > 8:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``."""
@@ -69,6 +96,7 @@ class EventLoop:
                 break
             heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             if event.time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")

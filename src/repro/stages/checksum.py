@@ -20,6 +20,7 @@ import binascii
 
 import numpy as np
 
+from repro.buffers.chain import BufferChain
 from repro.errors import StageError
 from repro.machine.costs import CHECKSUM_COST, CostVector
 from repro.stages.base import Facts, PassthroughStage
@@ -37,6 +38,18 @@ def internet_checksum(data: bytes) -> int:
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
+
+
+def internet_checksum_chain(chain: BufferChain) -> int:
+    """RFC 1071 checksum straight off a scatter-gather chain (zero-copy).
+
+    Equals ``internet_checksum(chain.linearize())`` without the
+    linearize; the segment-composable sum lives in
+    :func:`repro.ilp.kernels.checksum_chain`.
+    """
+    from repro.ilp.kernels import checksum_chain
+
+    return checksum_chain(chain)
 
 
 def verify_internet_checksum(data: bytes, checksum: int) -> bool:
@@ -109,7 +122,13 @@ class ChecksumComputeStage(PassthroughStage):
         self._function = function
         self.last_checksum: int | None = None
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
+        if isinstance(data, BufferChain):
+            if self.algorithm == "internet":
+                self.last_checksum = internet_checksum_chain(data)
+            else:
+                self.last_checksum = self._function(data.linearize())
+            return data
         self.last_checksum = self._function(data)
         return data
 
@@ -130,6 +149,8 @@ class ChecksumComputeStage(PassthroughStage):
             transform=kernel.transform,
             finalize=kernel.finalize,
             batch_finalize=kernel.batch_finalize,
+            preserves_data=True,
+            chain_finalize=kernel.chain_finalize,
         )
 
     def reset(self) -> None:

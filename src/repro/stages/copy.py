@@ -9,13 +9,19 @@ the unit everything else is compared to.
 from __future__ import annotations
 
 from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
+from repro.buffers.chain import BufferChain
 from repro.errors import StageError
+from repro.machine.accounting import datapath_counters
 from repro.machine.costs import COPY_COST
 from repro.stages.base import Facts, Stage
 
 
 class CopyStage(Stage):
-    """A word-aligned copy from one memory region to another."""
+    """A word-aligned copy from one memory region to another.
+
+    On the chain datapath the copy degenerates to a reference pass: the
+    chain flows through untouched and the avoided copy is recorded.
+    """
 
     category = "transport"
     cost = COPY_COST
@@ -25,14 +31,22 @@ class CopyStage(Stage):
         if category is not None:
             self.category = category
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
+        if isinstance(data, BufferChain):
+            datapath_counters().record_zero_copy()
+            return data
         return bytes(data)
 
     def to_word_kernel(self):
         """Lower to a word kernel for the compiled fast path."""
         from repro.ilp.kernels import WordKernel
 
-        return WordKernel(name=self.name, cost=self.cost, transform=lambda words: words)
+        return WordKernel(
+            name=self.name,
+            cost=self.cost,
+            transform=lambda words: words,
+            preserves_data=True,
+        )
 
 
 class BufferForRetransmitStage(Stage):
@@ -54,7 +68,7 @@ class BufferForRetransmitStage(Stage):
         self._total = 0
         self.capacity_bytes = capacity_bytes
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
         if (
             self.capacity_bytes is not None
             and self._total + len(data) > self.capacity_bytes
@@ -62,8 +76,11 @@ class BufferForRetransmitStage(Stage):
             raise StageError(
                 f"retransmit buffer full ({self._total}/{self.capacity_bytes} bytes)"
             )
-        self._saved.append(bytes(data))
-        self._total += len(data)
+        # Retransmission needs a stable reference copy — this stage is a
+        # real copy even on the chain datapath (linearize records it).
+        saved = data.linearize() if isinstance(data, BufferChain) else bytes(data)
+        self._saved.append(saved)
+        self._total += len(saved)
         return data
 
     @property
@@ -113,12 +130,14 @@ class MoveToAppStage(Stage):
         """Arm the stage with the current ADU's scatter map."""
         self._scatter = scatter
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
         if self._scatter is None:
             raise StageError(
                 f"{self.name}: no scatter map set; the sender must specify "
                 "the ADU's disposition in terms meaningful to the receiver"
             )
+        # deliver() gathers chains straight into the regions — on the
+        # chain datapath this move is the path's only copy.
         self.app_space.deliver(data, self._scatter)
         return data
 

@@ -16,6 +16,8 @@ the one classical exception (a NIC that checksums on the fly) modelled by
 
 from __future__ import annotations
 
+from repro.buffers.chain import BufferChain
+from repro.machine.accounting import datapath_counters
 from repro.machine.costs import CostVector
 from repro.stages.base import Facts, Stage
 
@@ -39,7 +41,12 @@ class NetworkExtractStage(Stage):
         self.cost = CostVector() if hardware_offload else _PIO_COPY
         self.memory_traffic = _DMA_WRITE
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
+        if isinstance(data, BufferChain):
+            # The DMA engine already filled the chain's pool buffers; the
+            # extraction leaves the data exactly where it landed.
+            datapath_counters().record_zero_copy()
+            return data
         return bytes(data)
 
 
@@ -56,5 +63,10 @@ class NetworkInjectStage(Stage):
         self.cost = CostVector() if hardware_offload else _PIO_COPY
         self.memory_traffic = _DMA_READ
 
-    def apply(self, data: bytes) -> bytes:
+    def apply(self, data):
+        if isinstance(data, BufferChain):
+            # Injection serializes the chain onto the wire segment by
+            # segment (the NIC gathers); no host-memory copy happens.
+            datapath_counters().record_zero_copy()
+            return data
         return bytes(data)

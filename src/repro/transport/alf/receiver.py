@@ -11,9 +11,11 @@ own terms.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.buffers.chain import BufferChain
 from repro.control.ack import SelectiveAckTracker
 from repro.control.instructions import InstructionCounter
 from repro.errors import FramingError
@@ -60,6 +62,12 @@ class AlfReceiver:
         plan_cache: plan cache to compile through; the wire pipeline's
             shape matches the sender's, so by default both ends of every
             flow share one cached plan.
+        zero_copy: assemble completed ADUs as scatter-gather chains over
+            the received fragment buffers and checksum them in place
+            (one read pass, no join, no pack) — the delivered bytes are
+            produced by a single linearize at the hand-off.  ``False``
+            restores the layered path: join, pack to words, unpack.
+            Delivered payloads are byte-identical either way.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class AlfReceiver:
         plan_cache: PlanCache | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
+        zero_copy: bool = True,
     ):
         self.loop = loop
         self.host = host
@@ -83,6 +92,7 @@ class AlfReceiver:
         self.deliver = deliver
         self.ack_interval = ack_interval
         self.expected_adus = expected_adus
+        self.zero_copy = bool(zero_copy)
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self._wire_plan: CompiledPlan | None = None
@@ -101,6 +111,18 @@ class AlfReceiver:
         if ack_interval > 0:
             self.loop.schedule(ack_interval, self._periodic_ack)
 
+    @staticmethod
+    def _discard_payload(payload) -> None:
+        """Retire a chain payload's buffer references (no-op for bytes)."""
+        if isinstance(payload, BufferChain):
+            payload.release()
+
+    def _release_fragments(self, partial: _PartialAdu) -> None:
+        """Release every buffered fragment's chain references."""
+        for fragment in partial.fragments.values():
+            self._discard_payload(fragment.payload)
+        partial.fragments.clear()
+
     def _on_fragment(self, packet: Packet) -> None:
         self.counter.note_packet()
         self.stats.segments_received += 1
@@ -109,6 +131,7 @@ class AlfReceiver:
 
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
+            self._discard_payload(packet.payload)
             return
 
         fragment = AduFragment(
@@ -133,11 +156,19 @@ class AlfReceiver:
 
         fec_info = header.get("fec")
         if fec_info is not None:
+            # The XOR decoder works on materialized bytes; a chain
+            # payload (e.g. from a DMA receive pool) is linearized here
+            # and its buffers returned immediately.
+            if isinstance(fragment.payload, BufferChain):
+                chain = fragment.payload
+                fragment = dataclasses.replace(fragment, payload=chain.linearize())
+                chain.release()
             self._on_fec_unit(sequence, partial, fragment, fec_info)
             return
 
         if fragment.index in partial.fragments:
             self.stats.duplicates_discarded += 1
+            self._discard_payload(fragment.payload)
             return
         partial.fragments[fragment.index] = fragment
 
@@ -186,24 +217,37 @@ class AlfReceiver:
         expected = next(iter(partial.fragments.values())).adu_checksum
         try:
             # Structural checks only; the checksum runs through the
-            # compiled wire plan below.
+            # compiled wire plan below.  On the zero-copy path the ADU
+            # is a chain over the fragment buffers — no join happens.
             adu = reassemble_fragments(
-                list(partial.fragments.values()), verify=False
+                list(partial.fragments.values()),
+                verify=False,
+                as_chain=self.zero_copy,
             )
         except FramingError:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+            self._release_fragments(partial)
             return
-        _, observations = self.wire_plan.run(adu.payload)
+        if isinstance(adu.payload, BufferChain):
+            # Observer-only wire plans verify in place: one read pass
+            # over the segments, zero materialization.
+            _, observations = self.wire_plan.run_chain(adu.payload)
+        else:
+            _, observations = self.wire_plan.run(adu.payload)
         if observations[WIRE_CHECKSUM] != expected:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+            self._discard_payload(adu.payload)
+            self._release_fragments(partial)
             return
+        self._release_fragments(partial)
         self._deliver_adu(sequence, adu)
 
     def _deliver_adu(self, sequence: int, adu) -> None:
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
+            self._discard_payload(adu.payload)
             return
         self._delivered.add(sequence)
         self.acks.on_adu(sequence)
@@ -213,18 +257,29 @@ class AlfReceiver:
         if not in_order:
             self.out_of_order_deliveries += 1
 
-        self.stats.bytes_delivered += len(adu.payload)
+        chain = adu.payload if isinstance(adu.payload, BufferChain) else None
+        if chain is not None:
+            # The datapath's single copy: the verified chain becomes the
+            # application's contiguous bytes here, and nowhere else.
+            payload = chain.linearize()
+        else:
+            payload = adu.payload
+        self.stats.bytes_delivered += len(payload)
         self.tracer.emit(self.loop.now, "alf", "deliver-adu",
                          seq=sequence, in_order=in_order)
         self.deliver(
             DeliveredAdu(
                 sequence=sequence,
                 name=adu.name,
-                payload=adu.payload,
+                payload=payload,
                 arrival_time=self.loop.now,
                 in_order=in_order,
+                chain=chain,
             )
         )
+        if chain is not None:
+            # The loan ends with the callback: recycle the buffers.
+            chain.release()
         self._send_ack()
 
     # ------------------------------------------------------------------

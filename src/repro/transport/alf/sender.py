@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.buffers.chain import BufferChain
 from repro.control.instructions import InstructionCounter
 from repro.core.adu import Adu, fragment_adu
 from repro.errors import TransportError
@@ -76,6 +77,10 @@ class AlfSender:
         fec_group: enable transmission-unit FEC (footnote 10): one XOR
             parity unit per this many data fragments, letting the
             receiver repair a single loss per group with no round trip.
+        zero_copy: fragment ADUs as scatter-gather chain windows over
+            the payload instead of sliced ``bytes`` — fragmentation then
+            costs no data pass.  Ignored when FEC is enabled (parity
+            encoding materializes the bytes anyway).
         machine: profile the compiled wire plan is priced on.
         plan_cache: plan cache to compile through (defaults to the
             process-wide shared cache, so all flows reuse one plan).
@@ -96,6 +101,7 @@ class AlfSender:
         max_attempts: int = 20,
         max_outstanding: int | None = None,
         fec_group: int | None = None,
+        zero_copy: bool = False,
         machine: MachineProfile | None = None,
         plan_cache: PlanCache | None = None,
         counter: InstructionCounter | None = None,
@@ -124,6 +130,7 @@ class AlfSender:
         if fec_group is not None and fec_group <= 0:
             raise TransportError("fec_group must be positive")
         self.fec_group = fec_group
+        self.zero_copy = bool(zero_copy) and fec_group is None
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self._wire_plan: CompiledPlan | None = None
@@ -180,7 +187,14 @@ class AlfSender:
             raise TransportError("sender is closed")
         if not adus:
             return
-        batch = self.wire_plan.run_batch([adu.payload for adu in adus])
+        batch = self.wire_plan.run_batch(
+            [
+                adu.payload.linearize()
+                if isinstance(adu.payload, BufferChain)
+                else adu.payload
+                for adu in adus
+            ]
+        )
         for adu, checksum in zip(adus, batch.observations[WIRE_CHECKSUM]):
             self._wire_checksums.setdefault(adu.sequence, checksum)
         for adu in adus:
@@ -201,7 +215,18 @@ class AlfSender:
         retransmissions of a buffered ADU pay no second pass."""
         checksum = self._wire_checksums.get(adu.sequence)
         if checksum is None:
-            _, observations = self.wire_plan.run(adu.payload)
+            payload = adu.payload
+            if not isinstance(payload, BufferChain) and self.zero_copy:
+                # The wire plan is observer-only, so a chain wrapped
+                # around the application's bytes lets it checksum in
+                # place — one read pass instead of pack/unpack copies.
+                wrapped = BufferChain.wrap(payload, label=f"adu-{adu.sequence}")
+                _, observations = self.wire_plan.run_chain(wrapped)
+                wrapped.release()
+            elif isinstance(payload, BufferChain):
+                _, observations = self.wire_plan.run_chain(payload)
+            else:
+                _, observations = self.wire_plan.run(payload)
             checksum = observations[WIRE_CHECKSUM]
             self._wire_checksums[adu.sequence] = checksum
         return checksum
@@ -284,7 +309,10 @@ class AlfSender:
         """(header, payload) pairs for one ADU, FEC-encoded if enabled."""
         if self.fec_group is None:
             checksum = self._checksum_of(adu)
-            for fragment in fragment_adu(adu, self.mtu, checksum=checksum):
+            fragments = fragment_adu(
+                adu, self.mtu, checksum=checksum, zero_copy=self.zero_copy
+            )
+            for fragment in fragments:
                 yield self._fragment_header(fragment), fragment.payload
             return
         from repro.transport.alf.fec import encode_with_parity

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.buffers.chain import BufferChain
+
 
 @dataclass
 class TransportStats:
@@ -34,6 +36,12 @@ class DeliveredAdu:
         in_order: whether every earlier ADU had already been delivered
             when this one completed (False marks out-of-order progress —
             the thing a byte-stream transport cannot give you).
+        chain: on the zero-copy datapath, the scatter-gather view over
+            the receive buffers the ADU was assembled from.  Valid only
+            for the duration of the delivery callback — the receiver
+            releases it (recycling pool buffers) when the callback
+            returns, so applications that want zero-copy disposal must
+            scatter from it synchronously and must not retain it.
     """
 
     sequence: int
@@ -41,3 +49,4 @@ class DeliveredAdu:
     payload: bytes
     arrival_time: float
     in_order: bool
+    chain: BufferChain | None = None

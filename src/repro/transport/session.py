@@ -118,6 +118,9 @@ class SessionListener:
         machine: profile session wire plans are priced on.
         plan_cache: plan cache shared with the ALF endpoints this
             listener builds (defaults to the process-wide cache).
+        zero_copy: forwarded to the ALF receivers this listener builds
+            (scatter-gather reassembly with a single linearize at
+            delivery).
     """
 
     def __init__(
@@ -131,6 +134,7 @@ class SessionListener:
         machine: MachineProfile | None = None,
         plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
+        zero_copy: bool = True,
     ):
         self.loop = loop
         self.host = host
@@ -141,6 +145,7 @@ class SessionListener:
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
+        self.zero_copy = bool(zero_copy)
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
         host.bind_protocol(PROTOCOL, self._on_packet)
@@ -187,6 +192,7 @@ class SessionListener:
             deliver=lambda adu, fid=flow_id: self._deliver(fid, adu),
             machine=self.machine,
             plan_cache=self.plan_cache,
+            zero_copy=self.zero_copy,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -243,6 +249,8 @@ class SessionInitiator:
         machine: profile the session wire plan is priced on.
         plan_cache: plan cache shared with the ALF sender this initiator
             builds (defaults to the process-wide cache).
+        zero_copy: forwarded to the ALF sender this initiator builds
+            (fragment ADUs as scatter-gather views, no slicing copies).
     """
 
     def __init__(
@@ -260,6 +268,7 @@ class SessionInitiator:
         machine: MachineProfile | None = None,
         plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
+        zero_copy: bool = False,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -278,6 +287,7 @@ class SessionInitiator:
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
+        self.zero_copy = bool(zero_copy)
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
@@ -351,6 +361,7 @@ class SessionInitiator:
             recompute=self.recompute,
             machine=self.machine,
             plan_cache=self.plan_cache,
+            zero_copy=self.zero_copy,
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.buffers.chain import BufferChain
 from repro.control.ack import AckGenerator
 from repro.control.framing import StreamReassembler
 from repro.control.instructions import InstructionCounter
+from repro.machine.accounting import datapath_counters
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
@@ -70,9 +72,17 @@ class TcpStyleReceiver:
         self.stats.segments_received += 1
         seq = int(packet.header["seq"])
         payload = packet.payload
+        if isinstance(payload, BufferChain):
+            # The byte-stream reassembler stores contiguous bytes; a
+            # pooled receive chain is materialized here and its buffers
+            # returned.  (The ALF path keeps chains all the way up —
+            # this is the stream abstraction's copy tax.)
+            payload = payload.linearize()
+            packet.payload.release()
 
         # Manipulation: error detection (charged by the stack layer when
         # one is attached; functionally verified here).
+        datapath_counters().record_read_pass(len(payload))
         if internet_checksum(payload) != packet.header["checksum"]:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "tcp", "bad-checksum", seq=seq)

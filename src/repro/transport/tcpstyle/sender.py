@@ -15,6 +15,7 @@ from repro.control.flow import AimdCongestionControl, SlidingWindow
 from repro.control.instructions import InstructionCounter
 from repro.control.rtt import RttEstimator
 from repro.errors import TransportError
+from repro.machine.accounting import datapath_counters
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.eventloop import Event, EventLoop
@@ -142,9 +143,12 @@ class TcpStyleSender:
             if allowance <= 0:
                 break
             length = min(self.mss, unsent, allowance)
+            # Slice through a memoryview: one copy (view -> bytes), not
+            # the two a bytearray slice would do (slice, then bytes()).
             payload = bytes(
-                self._buffer[unsent_offset : unsent_offset + length]
+                memoryview(self._buffer)[unsent_offset : unsent_offset + length]
             )
+            datapath_counters().record_copy(length, label="segment-slice")
             self._transmit(self._next_seq, payload)
             self.window.on_send(length)
             self._next_seq += length
@@ -227,7 +231,8 @@ class TcpStyleSender:
         length = min(self.mss, self._next_seq - self._base)
         if length <= 0:
             return
-        payload = bytes(self._buffer[:length])
+        payload = bytes(memoryview(self._buffer)[:length])
+        datapath_counters().record_copy(length, label="segment-slice")
         self.stats.retransmissions += 1
         self._last_retransmit_time = self.loop.now
         self.window.on_retransmit(length)

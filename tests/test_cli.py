@@ -93,3 +93,27 @@ def test_guard_bands_are_sane():
     for _, guards in _SUITES:
         for guard in guards:
             assert guard.low <= guard.high
+
+
+def test_ilp_stats(capsys):
+    assert main(["ilp", "stats"]) == 0
+    assert "plan cache" in capsys.readouterr().out
+
+
+def test_buffers_stats(capsys):
+    from repro.buffers import BufferChain
+    from repro.machine.accounting import datapath_counters
+
+    # Put something recognisable on the counters first.
+    datapath_counters().reset()
+    chain = BufferChain.from_bytes(b"x" * 128)
+    chain.linearize()
+    chain.release()
+
+    assert main(["buffers", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "datapath counters" in out
+    assert "copy[linearize] 128 bytes" in out
+    assert "rx pool" in out
+    assert "hits" in out
+    datapath_counters().reset()
