@@ -47,6 +47,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "A6": ("Out-of-band rate control", experiments.rate_control),
     "P1": ("Compile-once plan cache fast path", experiments.plan_cache_fast_path),
     "P2": ("Zero-copy datapath vs copy-per-layer", experiments.zero_copy_datapath),
+    "P3": ("Compiled presentation fused in loop", experiments.compiled_presentation),
 }
 
 
@@ -128,6 +129,44 @@ def _cmd_ilp(args: argparse.Namespace) -> int:
         print(f"  hit rate {snapshot['hit_rate']:.4f}")
         return 0
     print(f"unknown ilp action {args.action!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_presentation(args: argparse.Namespace) -> int:
+    from repro.presentation.compiler import (
+        presentation_counters,
+        shared_codec_cache,
+    )
+
+    if args.action == "stats":
+        cache = shared_codec_cache().snapshot()
+        print(
+            f"codec cache: {cache['entries']} entries "
+            f"(capacity {cache['capacity']})"
+        )
+        print(
+            f"  lookups {cache['lookups']}  hits {cache['hits']}  "
+            f"misses {cache['misses']}  evictions {cache['evictions']}"
+        )
+        print(f"  hit rate {cache['hit_rate']:.4f}")
+        counters = presentation_counters().snapshot()
+        print("presentation counters:")
+        print(
+            f"  compiled_encodes {counters['compiled_encodes']}  "
+            f"compiled_decodes {counters['compiled_decodes']}  "
+            f"chain_decodes {counters['chain_decodes']}"
+        )
+        print(
+            f"  batch_adus_encoded {counters['batch_adus_encoded']}  "
+            f"batch_adus_decoded {counters['batch_adus_decoded']}"
+        )
+        print(f"  fused_conversions {counters['fused_conversions']}")
+        print(
+            f"  bytes_encoded {counters['bytes_encoded']}  "
+            f"bytes_decoded {counters['bytes_decoded']}"
+        )
+        return 0
+    print(f"unknown presentation action {args.action!r}", file=sys.stderr)
     return 2
 
 
@@ -223,6 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="'stats' prints the datapath copy counters and rx-pool state",
     )
     buffers_parser.set_defaults(handler=_cmd_buffers)
+
+    presentation_parser = commands.add_parser(
+        "presentation", help="inspect the schema-compiled codec machinery"
+    )
+    presentation_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the codec cache and compiled-pass counters",
+    )
+    presentation_parser.set_defaults(handler=_cmd_presentation)
     return parser
 
 

@@ -38,6 +38,19 @@ from repro.presentation.abstract import (
 from repro.presentation.ber import BerCodec
 from repro.presentation.xdr import XdrCodec
 from repro.presentation.lwts import LwtsCodec
+from repro.presentation.compiler import (
+    CodecCache,
+    CodecCacheStats,
+    CodecCompiler,
+    CodecOp,
+    CompiledCodec,
+    PresentationCounters,
+    conversion_kernel,
+    conversion_permutation,
+    presentation_counters,
+    schema_fingerprint,
+    shared_codec_cache,
+)
 from repro.presentation.costs import (
     CodecCostProfile,
     TUNED_BER,
@@ -72,6 +85,17 @@ __all__ = [
     "BerCodec",
     "XdrCodec",
     "LwtsCodec",
+    "CodecCache",
+    "CodecCacheStats",
+    "CodecCompiler",
+    "CodecOp",
+    "CompiledCodec",
+    "PresentationCounters",
+    "conversion_kernel",
+    "conversion_permutation",
+    "presentation_counters",
+    "schema_fingerprint",
+    "shared_codec_cache",
     "CodecCostProfile",
     "TUNED_BER",
     "TOOLKIT_BER",

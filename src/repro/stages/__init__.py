@@ -24,7 +24,9 @@ from repro.stages.copy import CopyStage, MoveToAppStage, BufferForRetransmitStag
 from repro.stages.checksum import (
     internet_checksum,
     fletcher32,
+    fletcher32_chain,
     crc32,
+    crc32_chain,
     ChecksumComputeStage,
     ChecksumVerifyStage,
 )
@@ -38,6 +40,8 @@ from repro.stages.encrypt import (
 from repro.stages.presentation import (
     PresentationEncodeStage,
     PresentationDecodeStage,
+    PresentationConvertStage,
+    PresentationBinding,
     ByteswapStage,
 )
 from repro.stages.netio import NetworkExtractStage, NetworkInjectStage
@@ -51,7 +55,9 @@ __all__ = [
     "BufferForRetransmitStage",
     "internet_checksum",
     "fletcher32",
+    "fletcher32_chain",
     "crc32",
+    "crc32_chain",
     "ChecksumComputeStage",
     "ChecksumVerifyStage",
     "XorStreamCipher",
@@ -61,6 +67,8 @@ __all__ = [
     "WordXorStage",
     "PresentationEncodeStage",
     "PresentationDecodeStage",
+    "PresentationConvertStage",
+    "PresentationBinding",
     "ByteswapStage",
     "NetworkExtractStage",
     "NetworkInjectStage",

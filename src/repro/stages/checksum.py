@@ -83,9 +83,84 @@ def fletcher32(data: bytes) -> int:
     return (sum2 << 16) | sum1
 
 
+def fletcher32_chain(chain: BufferChain) -> int:
+    """Fletcher-32 straight off a scatter-gather chain (zero-copy).
+
+    Equals ``fletcher32(chain.linearize())`` byte for byte: the 16-bit
+    words are fed in global order (a word straddling a segment boundary
+    carries its high byte across) and the running sums fold at the same
+    global 359-word block boundaries the contiguous loop uses.
+    """
+    from repro.machine.accounting import datapath_counters
+
+    sum1 = 0xFFFF
+    sum2 = 0xFFFF
+    block = 359
+    count = 0  # words since the last fold
+    high: int | None = None  # pending high byte of a straddling word
+    length = 0
+    for mv in chain.memoryviews():
+        data = mv.tobytes()
+        length += len(data)
+        if high is not None:
+            if not data:
+                continue
+            words = [(high << 8) | data[0]]
+            rest = data[1:]
+            high = None
+        else:
+            words = []
+            rest = data
+        if len(rest) % 2:
+            high = rest[-1]
+            rest = rest[:-1]
+        if rest:
+            words.extend(
+                np.frombuffer(rest, dtype=">u2").astype(np.uint64).tolist()
+            )
+        for w in words:
+            sum1 += int(w)
+            sum2 += sum1
+            count += 1
+            if count == block:
+                sum1 = (sum1 & 0xFFFF) + (sum1 >> 16)
+                sum2 = (sum2 & 0xFFFF) + (sum2 >> 16)
+                count = 0
+    if high is not None:
+        # Trailing odd byte: zero-padded low byte, then the block fold
+        # the contiguous loop applies to its final partial chunk.
+        sum1 += high << 8
+        sum2 += sum1
+        count += 1
+    if count:
+        sum1 = (sum1 & 0xFFFF) + (sum1 >> 16)
+        sum2 = (sum2 & 0xFFFF) + (sum2 >> 16)
+    sum1 = (sum1 & 0xFFFF) + (sum1 >> 16)
+    sum2 = (sum2 & 0xFFFF) + (sum2 >> 16)
+    datapath_counters().record_read_pass(length)
+    return (sum2 << 16) | sum1
+
+
 def crc32(data: bytes) -> int:
     """CRC-32 (IEEE 802.3 polynomial)."""
     return binascii.crc32(data) & 0xFFFFFFFF
+
+
+def crc32_chain(chain: BufferChain) -> int:
+    """CRC-32 straight off a scatter-gather chain (zero-copy).
+
+    CRCs compose across segments by construction — feed each segment's
+    window into the running remainder.
+    """
+    from repro.machine.accounting import datapath_counters
+
+    crc = 0
+    length = 0
+    for mv in chain.memoryviews():
+        crc = binascii.crc32(mv, crc)
+        length += len(mv)
+    datapath_counters().record_read_pass(length)
+    return crc & 0xFFFFFFFF
 
 # Declared per-word costs.  The Internet checksum's is the Table 1
 # calibration vector; Fletcher needs one extra add; table-driven CRC pays
@@ -97,6 +172,12 @@ _ALGORITHMS = {
     "internet": (internet_checksum, CHECKSUM_COST),
     "fletcher32": (fletcher32, FLETCHER_COST),
     "crc32": (crc32, CRC32_COST),
+}
+
+_CHAIN_ALGORITHMS = {
+    "internet": internet_checksum_chain,
+    "fletcher32": fletcher32_chain,
+    "crc32": crc32_chain,
 }
 
 
@@ -124,10 +205,9 @@ class ChecksumComputeStage(PassthroughStage):
 
     def apply(self, data):
         if isinstance(data, BufferChain):
-            if self.algorithm == "internet":
-                self.last_checksum = internet_checksum_chain(data)
-            else:
-                self.last_checksum = self._function(data.linearize())
+            # Every algorithm has a segment-composable form, so verify
+            # stays a zero-copy read pass — no linearize on any path.
+            self.last_checksum = _CHAIN_ALGORITHMS[self.algorithm](data)
             return data
         self.last_checksum = self._function(data)
         return data

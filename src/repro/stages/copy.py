@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from repro.buffers.appspace import ApplicationAddressSpace, ScatterMap
 from repro.buffers.chain import BufferChain
+from repro.buffers.pool import BufferPool
+from repro.buffers.segment import Segment
 from repro.errors import StageError
 from repro.machine.accounting import datapath_counters
 from repro.machine.costs import COPY_COST
@@ -52,21 +54,34 @@ class CopyStage(Stage):
 class BufferForRetransmitStage(Stage):
     """Sender-side retransmission buffering (one of the six manipulations).
 
-    Keeps a reference copy of everything that passes through, retrievable
-    by offset for retransmission.  An ALF sender whose application
+    Keeps a reference to everything that passes through, retrievable by
+    offset for retransmission.  An ALF sender whose application
     recomputes lost data omits this stage entirely — that is one of the
     recovery options §5 requires the architecture to permit, and skipping
     the stage is exactly how its cost disappears.
+
+    On the chain datapath the save is a reference snapshot
+    (:meth:`~repro.buffers.chain.BufferChain.share` bumps segment
+    refcounts, so pool buffers cannot recycle underneath it) — no bytes
+    move until a retransmission actually asks for the unit, at which
+    point one gather pass materializes it into a pooled segment (when a
+    pool is configured and the unit fits) or a fresh region.  Both the
+    snapshot and the deferred gather land on the datapath counters.
     """
 
     name = "retransmit-buffer"
     category = "transport"
     cost = COPY_COST
 
-    def __init__(self, capacity_bytes: int | None = None):
-        self._saved: list[bytes] = []
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        pool: BufferPool | None = None,
+    ):
+        self._saved: list[bytes | BufferChain | Segment] = []
         self._total = 0
         self.capacity_bytes = capacity_bytes
+        self.pool = pool
 
     def apply(self, data):
         if (
@@ -76,9 +91,10 @@ class BufferForRetransmitStage(Stage):
             raise StageError(
                 f"retransmit buffer full ({self._total}/{self.capacity_bytes} bytes)"
             )
-        # Retransmission needs a stable reference copy — this stage is a
-        # real copy even on the chain datapath (linearize records it).
-        saved = data.linearize() if isinstance(data, BufferChain) else bytes(data)
+        if isinstance(data, BufferChain):
+            saved: bytes | BufferChain = data.share()
+        else:
+            saved = bytes(data)
         self._saved.append(saved)
         self._total += len(saved)
         return data
@@ -88,11 +104,37 @@ class BufferForRetransmitStage(Stage):
         """Bytes currently retained."""
         return self._total
 
+    def _materialize(self, index: int) -> bytes:
+        unit = self._saved[index]
+        if isinstance(unit, BufferChain):
+            length = len(unit)
+            if self.pool is not None and length <= self.pool.buffer_size:
+                # Gather into a pooled segment: the snapshot lives in
+                # recyclable memory and returns to the pool when acked.
+                segment = self.pool.allocate_segment(length)
+                unit.copy_into(segment.memoryview())
+                unit.release()
+                self._saved[index] = segment
+                return segment.tobytes()
+            out = bytearray(length)
+            unit.copy_into(memoryview(out))
+            unit.release()
+            snapshot = bytes(out)
+            self._saved[index] = snapshot
+            return snapshot
+        if isinstance(unit, Segment):
+            return unit.tobytes()
+        return unit
+
     def retrieve(self, index: int) -> bytes:
-        """The ``index``-th buffered unit (for retransmission)."""
+        """The ``index``-th buffered unit (for retransmission).
+
+        A chain snapshot pays its single gather pass here, on first
+        retrieval — acked data that is never retransmitted never copies.
+        """
         if not 0 <= index < len(self._saved):
             raise StageError(f"no buffered unit {index} (have {len(self._saved)})")
-        return self._saved[index]
+        return self._materialize(index)
 
     def release_through(self, index: int) -> None:
         """Drop units up to and including ``index`` (acked data)."""
@@ -101,8 +143,14 @@ class BufferForRetransmitStage(Stage):
         dropped = self._saved[: index + 1]
         self._saved = self._saved[index + 1 :]
         self._total -= sum(len(unit) for unit in dropped)
+        for unit in dropped:
+            if isinstance(unit, (BufferChain, Segment)):
+                unit.release()
 
     def reset(self) -> None:
+        for unit in self._saved:
+            if isinstance(unit, (BufferChain, Segment)):
+                unit.release()
         self._saved.clear()
         self._total = 0
 

@@ -22,6 +22,7 @@ from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.machine.profile import MIPS_R2000, MachineProfile
+from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.fec import FecDecoder, FecFragment
 from repro.transport.alf.sender import WIRE_CHECKSUM, wire_pipeline
 from repro.net.host import Host
@@ -68,6 +69,13 @@ class AlfReceiver:
             produced by a single linearize at the hand-off.  ``False``
             restores the layered path: join, pack to words, unpack.
             Delivered payloads are byte-identical either way.
+        presentation: a :class:`PresentationBinding` (schema + local and
+            wire codecs).  Verified ADUs are converted from the wire
+            syntax into the local syntax before delivery — fused into
+            the checksum's compiled pass when the conversion lowers to a
+            word kernel, through the compiled codecs' streaming chain
+            path otherwise.  The delivered payload is the local-syntax
+            bytes (no chain loan — the wire-form buffers are released).
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class AlfReceiver:
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         zero_copy: bool = True,
+        presentation: PresentationBinding | None = None,
     ):
         self.loop = loop
         self.host = host
@@ -95,6 +104,13 @@ class AlfReceiver:
         self.zero_copy = bool(zero_copy)
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
+        self.presentation = presentation
+        self._convert: PresentationConvertStage | None = (
+            presentation.receiver_stage() if presentation is not None else None
+        )
+        self._convert_fused = (
+            self._convert is not None and self._convert.to_word_kernel() is not None
+        )
         self._wire_plan: CompiledPlan | None = None
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -204,11 +220,18 @@ class AlfReceiver:
 
     @property
     def wire_plan(self) -> CompiledPlan:
-        """The flow's compiled wire plan (same shape as the sender's, so
-        the shared cache serves both ends from one entry)."""
+        """The flow's compiled wire plan.  Without presentation its
+        shape matches the sender's, so the shared cache serves both ends
+        from one entry; with a fusable presentation binding it is
+        [checksum, convert]: one fused loop that verifies the wire bytes
+        and emits the local-syntax form."""
         if self._wire_plan is None:
             self._wire_plan = self.plan_cache.get_or_compile(
-                wire_pipeline(), self.machine
+                wire_pipeline(
+                    self._convert if self._convert_fused else None,
+                    convert_after=True,
+                ),
+                self.machine,
             )
         return self._wire_plan
 
@@ -231,10 +254,12 @@ class AlfReceiver:
             return
         if isinstance(adu.payload, BufferChain):
             # Observer-only wire plans verify in place: one read pass
-            # over the segments, zero materialization.
-            _, observations = self.wire_plan.run_chain(adu.payload)
+            # over the segments, zero materialization.  A fused
+            # presentation plan gathers that same single pass and emits
+            # the converted local-syntax bytes alongside the checksum.
+            out, observations = self.wire_plan.run_chain(adu.payload)
         else:
-            _, observations = self.wire_plan.run(adu.payload)
+            out, observations = self.wire_plan.run(adu.payload)
         if observations[WIRE_CHECKSUM] != expected:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
@@ -242,9 +267,10 @@ class AlfReceiver:
             self._release_fragments(partial)
             return
         self._release_fragments(partial)
-        self._deliver_adu(sequence, adu)
+        local = out if self._convert_fused else None
+        self._deliver_adu(sequence, adu, local_payload=local)
 
-    def _deliver_adu(self, sequence: int, adu) -> None:
+    def _deliver_adu(self, sequence: int, adu, local_payload: bytes | None = None) -> None:
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
             self._discard_payload(adu.payload)
@@ -258,7 +284,19 @@ class AlfReceiver:
             self.out_of_order_deliveries += 1
 
         chain = adu.payload if isinstance(adu.payload, BufferChain) else None
-        if chain is not None:
+        if self._convert is not None:
+            if local_payload is None:
+                # Stage-path conversion: the compiled codec decodes the
+                # wire form straight off the chain (no linearize) and
+                # re-encodes in the local syntax.
+                local_payload = self._convert.apply(adu.payload)
+            payload = local_payload
+            if chain is not None:
+                # The wire-form buffers are spent; the delivered bytes
+                # are the converted form, so there is no chain loan.
+                chain.release()
+                chain = None
+        elif chain is not None:
             # The datapath's single copy: the verified chain becomes the
             # application's contiguous bytes here, and nowhere else.
             payload = chain.linearize()

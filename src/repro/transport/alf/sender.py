@@ -9,6 +9,7 @@ loss (an ADU whose every fragment — or whose ACK — vanished).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -24,6 +25,7 @@ from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
 from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.recovery import RecoveryMode
 from repro.transport.base import TransportStats
 
@@ -33,14 +35,28 @@ PROTOCOL = "alf"
 WIRE_CHECKSUM = "checksum-internet"
 
 
-def wire_pipeline() -> Pipeline:
+def wire_pipeline(
+    convert: PresentationConvertStage | None = None,
+    convert_after: bool = False,
+) -> Pipeline:
     """The ALF wire manipulation: the per-ADU checksum (paper §5 —
     "error detection is done on an ADU basis").
 
-    The shape is identical on both ends of a flow, so sender and
-    receiver share one cached :class:`CompiledPlan` per machine profile.
+    With a presentation ``convert`` stage the conversion joins the
+    checksum's integrated loop: the sender converts before checksumming
+    (so the checksum covers the wire bytes) and the receiver verifies
+    then converts back (``convert_after=True``).  The shape is identical
+    for every flow with the same presentation, so all of them share one
+    cached :class:`CompiledPlan` per machine profile.
     """
-    return Pipeline([ChecksumComputeStage()], name="alf-wire")
+    checksum = ChecksumComputeStage()
+    if convert is None:
+        stages = [checksum]
+    elif convert_after:
+        stages = [checksum, convert]
+    else:
+        stages = [convert, checksum]
+    return Pipeline(stages, name="alf-wire")
 
 #: A callback that regenerates a lost ADU from its sequence number.
 RecomputeFn = Callable[[int], Adu]
@@ -84,6 +100,14 @@ class AlfSender:
         machine: profile the compiled wire plan is priced on.
         plan_cache: plan cache to compile through (defaults to the
             process-wide shared cache, so all flows reuse one plan).
+        presentation: a :class:`PresentationBinding` (schema + local and
+            wire codecs).  ADUs are handed in encoded in the *local*
+            syntax; the sender converts them to the *wire* syntax fused
+            into the same compiled pass as the checksum whenever the
+            schema-compiled conversion lowers to a word kernel (fixed
+            layouts), and through the compiled codecs' streaming paths
+            otherwise.  The converted form is memoized per ADU, so
+            retransmissions pay no second conversion.
         on_complete: called when every ADU is acknowledged or abandoned.
     """
 
@@ -104,6 +128,7 @@ class AlfSender:
         zero_copy: bool = False,
         machine: MachineProfile | None = None,
         plan_cache: PlanCache | None = None,
+        presentation: PresentationBinding | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         on_complete: Callable[[], None] | None = None,
@@ -133,8 +158,18 @@ class AlfSender:
         self.zero_copy = bool(zero_copy) and fec_group is None
         self.machine = machine or MIPS_R2000
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
+        self.presentation = presentation
+        self._convert: PresentationConvertStage | None = (
+            presentation.sender_stage() if presentation is not None else None
+        )
+        # Conversion joins the checksum loop when it lowers to a word
+        # kernel; otherwise it runs on the compiled codecs' stage path.
+        self._convert_fused = (
+            self._convert is not None and self._convert.to_word_kernel() is not None
+        )
         self._wire_plan: CompiledPlan | None = None
         self._wire_checksums: dict[int, int] = {}
+        self._wire_payloads: dict[int, bytes] = {}
         self._pending: list[Adu] = []
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -187,14 +222,22 @@ class AlfSender:
             raise TransportError("sender is closed")
         if not adus:
             return
-        batch = self.wire_plan.run_batch(
-            [
+        if self._convert is not None and not self._convert_fused:
+            # Stage-path conversion first (compiled codecs, chains
+            # decoded in place), then one batched checksum pass.
+            payloads = [self._convert.apply(adu.payload) for adu in adus]
+        else:
+            payloads = [
                 adu.payload.linearize()
                 if isinstance(adu.payload, BufferChain)
                 else adu.payload
                 for adu in adus
             ]
-        )
+        batch = self.wire_plan.run_batch(payloads)
+        if self._convert is not None:
+            wire = batch.outputs if self._convert_fused else payloads
+            for adu, payload in zip(adus, wire):
+                self._wire_payloads.setdefault(adu.sequence, payload)
         for adu, checksum in zip(adus, batch.observations[WIRE_CHECKSUM]):
             self._wire_checksums.setdefault(adu.sequence, checksum)
         for adu in adus:
@@ -203,12 +246,49 @@ class AlfSender:
     @property
     def wire_plan(self) -> CompiledPlan:
         """The flow's compiled wire plan — planned once, cached across
-        flows; steady-state traffic never re-plans."""
+        flows; steady-state traffic never re-plans.  With a fusable
+        presentation binding the plan is [convert, checksum]: one fused
+        loop whose checksum covers the converted (wire) bytes."""
         if self._wire_plan is None:
             self._wire_plan = self.plan_cache.get_or_compile(
-                wire_pipeline(), self.machine
+                wire_pipeline(self._convert if self._convert_fused else None),
+                self.machine,
             )
         return self._wire_plan
+
+    def _wire_form(self, adu: Adu) -> tuple[bytes | BufferChain, int]:
+        """The ADU's on-the-wire payload and checksum, memoized.
+
+        Without a presentation binding the payload goes out as handed in
+        and only the checksum is computed (one observer pass).  With
+        one, conversion and checksum run as a single fused pass when the
+        conversion lowers; either way the wire form is remembered until
+        the ADU is acknowledged, so retransmissions pay nothing."""
+        if self._convert is None:
+            return adu.payload, self._checksum_of(adu)
+        payload = self._wire_payloads.get(adu.sequence)
+        if payload is not None:
+            return payload, self._wire_checksums[adu.sequence]
+        source = adu.payload
+        if self._convert_fused:
+            if isinstance(source, BufferChain):
+                out, observations = self.wire_plan.run_chain(source)
+            elif self.zero_copy:
+                wrapped = BufferChain.wrap(source, label=f"adu-{adu.sequence}")
+                out, observations = self.wire_plan.run_chain(wrapped)
+                wrapped.release()
+            else:
+                out, observations = self.wire_plan.run(source)
+            payload = out
+        else:
+            # Variable layout (e.g. a TLV wire syntax): convert through
+            # the compiled codecs' streaming path, then checksum.
+            payload = self._convert.apply(source)
+            _, observations = self.wire_plan.run(payload)
+        checksum = observations[WIRE_CHECKSUM]
+        self._wire_payloads[adu.sequence] = payload
+        self._wire_checksums[adu.sequence] = checksum
+        return payload, checksum
 
     def _checksum_of(self, adu: Adu) -> int:
         """The ADU's wire checksum via the compiled plan, memoized so
@@ -243,8 +323,9 @@ class AlfSender:
         self.adus_sent += 1
         self._transmit(adu)
         if self.recovery is RecoveryMode.NO_RETRANSMIT:
-            # Nothing outstanding to retransmit; drop the checksum memo.
+            # Nothing outstanding to retransmit; drop the wire-form memo.
             self._wire_checksums.pop(adu.sequence, None)
+            self._wire_payloads.pop(adu.sequence, None)
         self._arm_timer()
 
     def _pump_pending(self) -> None:
@@ -308,7 +389,9 @@ class AlfSender:
     def _wire_units(self, adu: Adu):
         """(header, payload) pairs for one ADU, FEC-encoded if enabled."""
         if self.fec_group is None:
-            checksum = self._checksum_of(adu)
+            payload, checksum = self._wire_form(adu)
+            if payload is not adu.payload:
+                adu = dataclasses.replace(adu, payload=payload)
             fragments = fragment_adu(
                 adu, self.mtu, checksum=checksum, zero_copy=self.zero_copy
             )
@@ -317,6 +400,12 @@ class AlfSender:
             return
         from repro.transport.alf.fec import encode_with_parity
 
+        if self._convert is not None:
+            # FEC parity is computed over the wire-syntax bytes the
+            # receiver will verify and convert back.
+            payload, _ = self._wire_form(adu)
+            if payload is not adu.payload:
+                adu = dataclasses.replace(adu, payload=payload)
         for unit in encode_with_parity(adu, self.mtu, self.fec_group):
             header = self._fragment_header(unit.fragment)
             header["fec"] = {
@@ -357,6 +446,7 @@ class AlfSender:
                 self.counter.record("sequence_check")
                 self._acked.add(sequence)
                 self._wire_checksums.pop(sequence, None)
+                self._wire_payloads.pop(sequence, None)
 
         for sequence in missing:
             self._repair(sequence)
@@ -391,13 +481,16 @@ class AlfSender:
             self.adus_recomputed += 1
             self.stats.retransmissions += 1
             self.tracer.emit(self.loop.now, "alf", "recompute", seq=sequence)
-            # The application regenerated the payload; checksum it fresh.
+            # The application regenerated the payload; convert and
+            # checksum it fresh.
             self._wire_checksums.pop(sequence, None)
+            self._wire_payloads.pop(sequence, None)
             self._transmit(adu)
 
     def _abandon(self, sequence: int) -> None:
         self._outstanding.pop(sequence, None)
         self._wire_checksums.pop(sequence, None)
+        self._wire_payloads.pop(sequence, None)
         self.adus_abandoned.add(sequence)
         self.tracer.emit(self.loop.now, "alf", "abandon", seq=sequence)
         self._pump_pending()

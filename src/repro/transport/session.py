@@ -29,12 +29,18 @@ from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.presentation.abstract import ASType
+from repro.presentation.base import TransferCodec
+from repro.presentation.lwts import LwtsCodec
 from repro.presentation.negotiate import ConversionPlan, LocalSyntax, negotiate
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
 from repro.stages.base import Stage
 from repro.stages.checksum import ChecksumComputeStage
-from repro.stages.presentation import ByteswapStage
+from repro.stages.presentation import (
+    ByteswapStage,
+    PresentationBinding,
+    PresentationConvertStage,
+)
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
 from repro.transport.base import DeliveredAdu
 
@@ -44,7 +50,10 @@ _flow_ids = itertools.count(1000)
 
 
 def session_wire_pipeline(
-    sender_syntax: LocalSyntax, receiver_syntax: LocalSyntax
+    sender_syntax: LocalSyntax,
+    receiver_syntax: LocalSyntax,
+    schema: ASType | None = None,
+    codec: TransferCodec | None = None,
 ) -> Pipeline:
     """The association's per-ADU wire manipulation.
 
@@ -53,7 +62,21 @@ def session_wire_pipeline(
     kernel-lowerable form, so the whole wire pass compiles to one fused
     loop and is planned exactly once per association *shape* (the plan
     cache shares it across associations and both endpoints).
+
+    With a ``schema`` the conversion is schema-compiled instead of a
+    blind byteswap: a :class:`PresentationConvertStage` from the
+    sender's local syntax to the negotiated wire ``codec`` (the
+    receiver's local syntax by default) runs *before* the checksum, so
+    the checksum covers the wire bytes — the same [convert, checksum]
+    shape the ALF sender compiles, and therefore the same cached plan.
     """
+    if schema is not None:
+        local = LwtsCodec(byte_order=sender_syntax.byte_order)
+        wire = codec or LwtsCodec(byte_order=receiver_syntax.byte_order)
+        convert = PresentationConvertStage(schema, local, wire)
+        if convert.identity:
+            return Pipeline([ChecksumComputeStage()], name="session-wire")
+        return Pipeline([convert, ChecksumComputeStage()], name="session-wire")
     stages: list[Stage] = [ChecksumComputeStage()]
     if sender_syntax.byte_order != receiver_syntax.byte_order:
         stages.append(ByteswapStage(name="presentation-byteswap"))
@@ -121,6 +144,12 @@ class SessionListener:
         zero_copy: forwarded to the ALF receivers this listener builds
             (scatter-gather reassembly with a single linearize at
             delivery).
+        presentation: fuse schema-compiled presentation conversion into
+            the association's wire plans.  The accepted session's schema
+            (from the registry) and the negotiated transfer codec become
+            a :class:`PresentationBinding` on the ALF receiver, so
+            verify + convert run as one compiled pass and delivered
+            payloads arrive in this host's local syntax.
     """
 
     def __init__(
@@ -135,6 +164,7 @@ class SessionListener:
         plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
         zero_copy: bool = True,
+        presentation: bool = False,
     ):
         self.loop = loop
         self.host = host
@@ -146,6 +176,7 @@ class SessionListener:
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
         self.zero_copy = bool(zero_copy)
+        self.presentation = bool(presentation)
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
         host.bind_protocol(PROTOCOL, self._on_packet)
@@ -178,10 +209,21 @@ class SessionListener:
             allow_direct=config.allow_direct,
         )
         session = Session(flow_id=flow_id, config=config, plan=plan)
+        schema = self.schemas[schema_name] if self.presentation else None
+        binding = None
+        if schema is not None:
+            binding = PresentationBinding(
+                schema=schema,
+                local=LwtsCodec(byte_order=self.local_syntax.byte_order),
+                wire=plan.codec,
+            )
         # Compile the association's wire manipulation once, at
         # establishment; steady-state ADUs reuse it via the cache.
         session.compiled_plan = self.plan_cache.get_or_compile(
-            session_wire_pipeline(config.local_syntax, self.local_syntax),
+            session_wire_pipeline(
+                config.local_syntax, self.local_syntax,
+                schema=schema, codec=plan.codec if schema is not None else None,
+            ),
             self.machine,
         )
         session.receiver = AlfReceiver(
@@ -193,6 +235,7 @@ class SessionListener:
             machine=self.machine,
             plan_cache=self.plan_cache,
             zero_copy=self.zero_copy,
+            presentation=binding,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -251,6 +294,12 @@ class SessionInitiator:
             builds (defaults to the process-wide cache).
         zero_copy: forwarded to the ALF sender this initiator builds
             (fragment ADUs as scatter-gather views, no slicing copies).
+        presentation: fuse schema-compiled presentation conversion into
+            the association's wire plans.  The proposed schema and the
+            negotiated transfer codec become a
+            :class:`PresentationBinding` on the ALF sender, so ADUs
+            handed in local syntax are converted to the wire syntax in
+            the same compiled pass as the checksum.
     """
 
     def __init__(
@@ -269,6 +318,7 @@ class SessionInitiator:
         plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
         zero_copy: bool = False,
+        presentation: bool = False,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -288,6 +338,7 @@ class SessionInitiator:
         self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         self.tracer = tracer or Tracer(enabled=False)
         self.zero_copy = bool(zero_copy)
+        self.presentation = bool(presentation)
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
@@ -345,10 +396,23 @@ class SessionInitiator:
             allow_direct=self.config.allow_direct,
         )
         session = Session(flow_id=self.flow_id, config=self.config, plan=plan)
+        schema = (
+            self.schemas[self.config.schema_name] if self.presentation else None
+        )
+        binding = None
+        if schema is not None:
+            binding = PresentationBinding(
+                schema=schema,
+                local=LwtsCodec(byte_order=self.config.local_syntax.byte_order),
+                wire=plan.codec,
+            )
         # Same wire-pipeline shape as the listener builds for this pair
         # of syntaxes, so both ends share one cached compiled plan.
         session.compiled_plan = self.plan_cache.get_or_compile(
-            session_wire_pipeline(self.config.local_syntax, receiver_syntax),
+            session_wire_pipeline(
+                self.config.local_syntax, receiver_syntax,
+                schema=schema, codec=plan.codec if schema is not None else None,
+            ),
             self.machine,
         )
         session.sender = AlfSender(
@@ -362,6 +426,7 @@ class SessionInitiator:
             machine=self.machine,
             plan_cache=self.plan_cache,
             zero_copy=self.zero_copy,
+            presentation=binding,
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",

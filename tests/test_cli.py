@@ -117,3 +117,23 @@ def test_buffers_stats(capsys):
     assert "rx pool" in out
     assert "hits" in out
     datapath_counters().reset()
+
+
+def test_presentation_stats(capsys):
+    from repro.presentation.abstract import ArrayOf, Int32
+    from repro.presentation.compiler import shared_codec_cache
+    from repro.presentation.lwts import LwtsCodec
+
+    shared_codec_cache().get_or_compile(ArrayOf(Int32()), LwtsCodec())
+    assert main(["presentation", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "codec cache" in out
+    assert "presentation counters" in out
+    assert "fused_conversions" in out
+
+
+def test_p3_in_catalog():
+    assert "P3" in CATALOG
+    result = CATALOG["P3"][1]()
+    assert isinstance(result, ExperimentResult)
+    assert result.measured("chain read passes per ADU, compiled-fused") == 1.0

@@ -121,3 +121,60 @@ class TestStages:
         from repro.stages.base import Facts
 
         assert Facts.VERIFIED in ChecksumVerifyStage().provides
+
+
+class TestChainChecksums:
+    """Every algorithm must checksum a chain without linearizing it."""
+
+    def _chain(self, data: bytes, cuts: list[int]) -> "BufferChain":
+        from repro.buffers.chain import BufferChain
+        from repro.buffers.segment import Segment
+
+        bounds = sorted({min(c, len(data)) for c in cuts} | {0, len(data)})
+        return BufferChain(
+            [Segment.wrap(data[a:b]) for a, b in zip(bounds, bounds[1:]) if b > a]
+        )
+
+    def test_fletcher32_chain_matches_contiguous(self):
+        import random
+
+        from repro.stages.checksum import fletcher32, fletcher32_chain
+
+        rng = random.Random(7)
+        # Cover the 359-word fold boundary, odd lengths, and odd cuts.
+        for length in [0, 1, 2, 3, 716, 717, 718, 719, 720, 1500]:
+            data = rng.randbytes(length)
+            cuts = [rng.randrange(length + 1) for _ in range(3)]
+            assert fletcher32_chain(self._chain(data, cuts)) == fletcher32(data)
+
+    def test_crc32_chain_matches_contiguous(self):
+        import random
+
+        from repro.stages.checksum import crc32, crc32_chain
+
+        rng = random.Random(8)
+        for length in [0, 1, 5, 1024]:
+            data = rng.randbytes(length)
+            assert crc32_chain(self._chain(data, [1, 7, 100])) == crc32(data)
+
+    def test_compute_stage_never_linearizes_a_chain(self):
+        import random
+
+        from repro.machine.accounting import datapath_counters
+
+        rng = random.Random(9)
+        data = rng.randbytes(999)
+        for algorithm in ["internet", "fletcher32", "crc32"]:
+            chain = self._chain(data, [100, 500])
+            stage = ChecksumComputeStage(algorithm)
+            counters = datapath_counters()
+            counters.reset()
+            out = stage.apply(chain)
+            snap = counters.snapshot()
+            counters.reset()
+            assert out is chain
+            assert snap["copies"] == 0, algorithm
+            assert snap["read_passes"] == 1, algorithm
+            contiguous = ChecksumComputeStage(algorithm)
+            contiguous.apply(data)
+            assert stage.last_checksum == contiguous.last_checksum, algorithm

@@ -105,3 +105,59 @@ class TestMoveToApp:
         stage.reset()
         with pytest.raises(StageError):
             stage.apply(b"data")
+
+
+class TestRetransmitChainSnapshots:
+    """Chains are saved by reference; the gather is paid only on the
+    first actual retransmission."""
+
+    def _chain(self, data: bytes, cut: int):
+        from repro.buffers.chain import BufferChain
+        from repro.buffers.segment import Segment
+
+        return BufferChain([Segment.wrap(data[:cut]), Segment.wrap(data[cut:])])
+
+    def test_saving_a_chain_copies_nothing(self):
+        from repro.machine.accounting import datapath_counters
+
+        stage = BufferForRetransmitStage()
+        chain = self._chain(b"abcdefgh", 3)
+        counters = datapath_counters()
+        counters.reset()
+        out = stage.apply(chain)
+        snap = counters.snapshot()
+        assert out is chain
+        assert snap["copies"] == 0
+        assert snap["zero_copy_ops"] >= 1
+        counters.reset()
+
+    def test_retrieve_materializes_once(self):
+        from repro.machine.accounting import datapath_counters
+
+        stage = BufferForRetransmitStage()
+        stage.apply(self._chain(b"abcdefgh", 5))
+        counters = datapath_counters()
+        counters.reset()
+        assert stage.retrieve(0) == b"abcdefgh"
+        first = counters.snapshot()["copies"]
+        assert stage.retrieve(0) == b"abcdefgh"
+        assert counters.snapshot()["copies"] == first  # second hit is free
+        counters.reset()
+
+    def test_pooled_snapshot_recycles_on_release(self):
+        from repro.buffers.pool import BufferPool
+
+        pool = BufferPool(n_buffers=2, buffer_size=64, label="rtx")
+        stage = BufferForRetransmitStage(pool=pool)
+        stage.apply(self._chain(b"payload-bytes", 4))
+        assert stage.retrieve(0) == b"payload-bytes"
+        assert pool.in_use == 1
+        stage.release_through(0)
+        assert pool.in_use == 0
+
+    def test_release_without_retrieve_frees_the_reference(self):
+        stage = BufferForRetransmitStage()
+        chain = self._chain(b"xyzw", 2)
+        stage.apply(chain)
+        stage.release_through(0)
+        assert stage.buffered_bytes == 0
