@@ -16,7 +16,7 @@ one-read-pass claim is verified against the substrate's own
 asserted.  BER (variable layout — compiled decode/encode, not a fused
 permutation) is reported ungated for reference.  Emits a
 machine-readable JSON record (``PRESENTATION_JSON`` line and
-``bench_presentation.json``) for the CI artifact.
+``benchmarks/out/bench_presentation.json``) for the CI artifact.
 """
 
 from __future__ import annotations
@@ -178,7 +178,9 @@ def test_bench_compiled_fused(benchmark, record, payloads, report):
     plan = make_fused_plan(PlanCache(capacity=8), CodecCache())
     benchmark(lambda: run_compiled(plan, payloads))
 
-    out = Path("bench_presentation.json")
+    out_dir = Path(__file__).resolve().parent / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / "bench_presentation.json"
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print("PRESENTATION_JSON " + json.dumps(record, sort_keys=True))
     report(experiments.compiled_presentation())

@@ -14,7 +14,7 @@ Delivered payloads are asserted byte-identical between the two.  The
 copy and memory-pass figures come from the substrate's own
 :func:`repro.machine.accounting.datapath_counters` — measured, not
 asserted.  Emits a machine-readable JSON record (``ZERO_COPY_JSON`` line
-and ``bench_zero_copy.json``) for the CI artifact.
+and ``benchmarks/out/bench_zero_copy.json``) for the CI artifact.
 """
 
 from __future__ import annotations
@@ -121,7 +121,9 @@ def test_bench_zero_copy_chain(benchmark, record):
     payloads = make_payloads(64 * 1024, 4)
     benchmark(lambda: run_transfer(payloads, zero_copy=True))
 
-    out = Path("bench_zero_copy.json")
+    out_dir = Path(__file__).resolve().parent / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / "bench_zero_copy.json"
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print("ZERO_COPY_JSON " + json.dumps(record, sort_keys=True))
 

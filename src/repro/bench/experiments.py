@@ -726,6 +726,7 @@ def all_experiments() -> list[ExperimentResult]:
         plan_cache_fast_path(),
         zero_copy_datapath(),
         compiled_presentation(),
+        secure_pipeline(),
     ]
 
 # ----------------------------------------------------------------------
@@ -1660,4 +1661,218 @@ def compiled_presentation(
         "integrated loop so the wire form and its checksum come from a "
         "single read pass over the arrival chain — outputs and checksums "
         "asserted byte-identical to the interpreted engineering",
+    )
+
+
+# ----------------------------------------------------------------------
+# P4 — the full §6 single-pass secure pipeline
+
+
+def secure_pipeline(
+    n_adus: int = 32, n_integers: int = 512
+) -> ExperimentResult:
+    """P4: convert + encrypt + checksum as one fused loop per direction.
+
+    Deterministic accounting of the complete §6 stage list: the sender
+    compiles ``[convert, encrypt, checksum]`` and the receiver
+    ``[checksum, decrypt, convert]``, each a single integrated read
+    pass.  The layered engineering pays the interpreted codec walk, a
+    separate cipher pass and a separate checksum pass per direction.
+    Outputs, checksums and the decrypted round trip are asserted
+    byte-identical; the receive side additionally drains the whole
+    stream through one batched dispatch, the receiver's
+    ``run_batch`` mirror of ``send_batch``.  (The wall-clock >= 3x
+    acceptance criterion lives in ``benchmarks/bench_secure_pipeline.py``;
+    this battery stays bit-reproducible.)
+    """
+    from repro.buffers.chain import BufferChain
+    from repro.buffers.segment import Segment
+    from repro.ilp.compiler import PlanCache
+    from repro.machine.accounting import datapath_counters
+    from repro.presentation.compiler import CodecCache
+    from repro.presentation.lwts import LwtsCodec
+    from repro.stages.encrypt import WORD_XOR_COST, WordXorStage, secure_counters
+    from repro.stages.presentation import CONVERT_COST, PresentationConvertStage
+    from repro.transport.alf.sender import wire_pipeline
+
+    profile = MIPS_R2000
+    key = 0x5A5A1234
+    schema = ArrayOf(Int32(), fixed_count=n_integers)
+    local_codec = LwtsCodec(byte_order="little")
+    wire_codec = LwtsCodec(byte_order="big")
+    values = [
+        integer_array(n_integers, seed=900 + index) for index in range(n_adus)
+    ]
+    payloads = [local_codec.encode(value, schema) for value in values]
+    total_bytes = sum(len(payload) for payload in payloads)
+
+    # Engineering 1: layered — interpreted codec walk, then a separate
+    # cipher pass, then a separate checksum pass (three traversals out;
+    # three more back in).
+    cipher = WordXorStage(key)
+    layered_wire = []
+    layered_checksums = []
+    for payload in payloads:
+        value = local_codec.decode(payload, schema)
+        converted = wire_codec.encode(value, schema)
+        ciphertext = cipher.apply(converted)
+        layered_wire.append(ciphertext)
+        layered_checksums.append(internet_checksum(ciphertext))
+    layered_back = []
+    for ciphertext, checksum in zip(layered_wire, layered_checksums):
+        assert internet_checksum(ciphertext) == checksum
+        converted = cipher.apply(ciphertext)
+        value = wire_codec.decode(converted, schema)
+        layered_back.append(local_codec.encode(value, schema))
+    assert layered_back == payloads
+
+    # Engineering 2: compiled-fused — each direction is one plan whose
+    # three kernels share a single read pass.
+    codec_cache = CodecCache()
+    plan_cache = PlanCache(capacity=8)
+
+    def sender_pipeline() -> Pipeline:
+        return wire_pipeline(
+            PresentationConvertStage(
+                schema, local_codec, wire_codec, codec_cache=codec_cache
+            ),
+            encrypt=WordXorStage(key, name="encrypt"),
+        )
+
+    def receiver_pipeline() -> Pipeline:
+        return wire_pipeline(
+            PresentationConvertStage(
+                schema, wire_codec, local_codec, codec_cache=codec_cache
+            ),
+            convert_after=True,
+            encrypt=WordXorStage(key, name="decrypt"),
+        )
+
+    sender_plan = plan_cache.get_or_compile(sender_pipeline(), profile)
+    receiver_plan = plan_cache.get_or_compile(receiver_pipeline(), profile)
+    assert len(sender_plan.groups) == 1, "sender stages did not fuse"
+    assert len(receiver_plan.groups) == 1, "receiver stages did not fuse"
+
+    secure = secure_counters()
+    secure.reset()
+    counters = datapath_counters()
+    counters.reset()
+    fused_wire = []
+    fused_checksums = []
+    for payload in payloads:
+        # Arrival shape: a multi-segment chain, as a scatter-gather
+        # source produces.
+        half = (len(payload) // 2) & ~3
+        chain = BufferChain(
+            [Segment.wrap(payload[:half]), Segment.wrap(payload[half:])]
+        )
+        output, observations = sender_plan.run_chain(chain)
+        fused_wire.append(
+            output.linearize() if isinstance(output, BufferChain) else bytes(output)
+        )
+        fused_checksums.append(observations["checksum-internet"])
+    send_snapshot = counters.snapshot()
+    counters.reset()
+    send_gather = send_snapshot["copies_by_label"].get("gather-words", 0)
+    send_reads_per_adu = send_gather / total_bytes
+
+    fused_back = []
+    for ciphertext, checksum in zip(fused_wire, fused_checksums):
+        half = (len(ciphertext) // 2) & ~3
+        chain = BufferChain(
+            [Segment.wrap(ciphertext[:half]), Segment.wrap(ciphertext[half:])]
+        )
+        output, observations = receiver_plan.run_chain(chain)
+        assert observations["checksum-internet"] == checksum
+        fused_back.append(
+            output.linearize() if isinstance(output, BufferChain) else bytes(output)
+        )
+    recv_snapshot = counters.snapshot()
+    counters.reset()
+    recv_gather = recv_snapshot["copies_by_label"].get("gather-words", 0)
+    recv_reads_per_adu = recv_gather / total_bytes
+
+    assert fused_wire == layered_wire, "fused wire form diverged"
+    assert fused_checksums == layered_checksums, "fused checksum diverged"
+    assert fused_back == payloads, "fused round trip diverged"
+
+    # One batched receive-side dispatch over the whole stream: the
+    # vectorized mirror of the sender's send_batch.
+    batch = receiver_plan.run_batch(layered_wire)
+    assert batch.outputs == payloads
+    assert batch.observations["checksum-internet"] == layered_checksums
+    secure_snapshot = secure.snapshot()
+
+    # Modelled throughputs (Table 1 pricing): three serial passes per
+    # direction against one fused loop.
+    layered_mbps = combined_serial_mbps(
+        [
+            profile.mbps_for_cost(TOOLKIT_BER.decode),
+            profile.mbps_for_cost(TOOLKIT_BER.encode),
+            profile.mbps_for_cost(WORD_XOR_COST),
+            profile.mbps_for_cost(CHECKSUM_COST),
+        ]
+    )
+    fused_mbps = profile.mbps_for_cost(
+        CHECKSUM_COST.fuse_after(WORD_XOR_COST.fuse_after(CONVERT_COST))
+    )
+
+    rows = [
+        Row(
+            "layered (convert + cipher + checksum), modelled",
+            paper=None,
+            measured=round(layered_mbps, 2),
+            unit="Mb/s",
+        ),
+        Row(
+            "fused single pass, modelled",
+            paper=None,
+            measured=round(fused_mbps, 2),
+            unit="Mb/s",
+        ),
+        Row(
+            "fused speedup, modelled",
+            paper=None,
+            measured=round(fused_mbps / layered_mbps, 2),
+            unit="x",
+        ),
+        Row(
+            "send-side read passes per ADU",
+            paper=None,
+            measured=send_reads_per_adu,
+            unit="passes",
+            extra={"fused_groups": len(sender_plan.groups)},
+        ),
+        Row(
+            "receive-side read passes per ADU",
+            paper=None,
+            measured=recv_reads_per_adu,
+            unit="passes",
+            extra={"fused_groups": len(receiver_plan.groups)},
+        ),
+        Row(
+            "cipher passes, fused vs interpreted",
+            paper=None,
+            measured=float(secure_snapshot["fused_passes"]),
+            unit="passes",
+            extra=secure_snapshot,
+        ),
+        Row(
+            "batched receive drain, modelled",
+            paper=None,
+            measured=round(batch.report.mbps(), 2),
+            unit="Mb/s",
+            extra={"adus": n_adus, "adu_bytes": 4 * n_integers},
+        ),
+    ]
+    return ExperimentResult(
+        "P4",
+        "Full §6 single-pass secure pipeline",
+        rows,
+        notes="the sender's [convert, encrypt, checksum] and the "
+        "receiver's [checksum, decrypt, convert] each compile to one "
+        "fused group — the checksum covers the ciphertext (verify "
+        "before decrypt) and every direction reads its input exactly "
+        "once; outputs, checksums and the decrypted round trip are "
+        "asserted byte-identical to the layered engineering",
     )

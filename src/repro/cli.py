@@ -48,6 +48,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "P1": ("Compile-once plan cache fast path", experiments.plan_cache_fast_path),
     "P2": ("Zero-copy datapath vs copy-per-layer", experiments.zero_copy_datapath),
     "P3": ("Compiled presentation fused in loop", experiments.compiled_presentation),
+    "P4": ("Full §6 single-pass secure pipeline", experiments.secure_pipeline),
 }
 
 
@@ -170,6 +171,26 @@ def _cmd_presentation(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_secure(args: argparse.Namespace) -> int:
+    from repro.stages.encrypt import secure_counters
+
+    if args.action == "stats":
+        counters = secure_counters().snapshot()
+        print("secure-path counters:")
+        print(
+            f"  stage_passes {counters['stage_passes']}  "
+            f"stage_bytes {counters['stage_bytes']}"
+        )
+        print(f"  fused_passes {counters['fused_passes']}")
+        print(
+            f"  chain_passes {counters['chain_passes']}  "
+            f"chain_bytes {counters['chain_bytes']}"
+        )
+        return 0
+    print(f"unknown secure action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_buffers(args: argparse.Namespace) -> int:
     from repro.buffers.pool import shared_rx_pool
     from repro.machine.accounting import datapath_counters
@@ -272,6 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="'stats' prints the codec cache and compiled-pass counters",
     )
     presentation_parser.set_defaults(handler=_cmd_presentation)
+
+    secure_parser = commands.add_parser(
+        "secure", help="inspect the fused encryption fast path"
+    )
+    secure_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the cipher-pass counters (interpreted, "
+        "fused, streaming-chain)",
+    )
+    secure_parser.set_defaults(handler=_cmd_secure)
     return parser
 
 

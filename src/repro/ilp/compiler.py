@@ -44,6 +44,7 @@ from repro.ilp.fusion import fused_group_cost, plan_fusion
 from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel, gather_words
 from repro.ilp.kernels import bytes_to_words as pack_words
 from repro.ilp.kernels import words_to_bytes as unpack_words
+from repro.machine.accounting import datapath_counters
 from repro.ilp.pipeline import Pipeline
 from repro.ilp.report import ExecutionReport, StageExecution
 from repro.machine.costs import CostVector
@@ -160,8 +161,16 @@ class BatchResult:
         return len(self.outputs)
 
 
-def _pack_batch(adus: Sequence[bytes]) -> tuple[Array, Array, Array, Array]:
+def _pack_batch(
+    adus: Sequence[bytes | BufferChain],
+) -> tuple[Array, Array, Array, Array]:
     """Pack ADUs into one (adu, word) big-endian-value array.
+
+    Rows may be ``bytes`` or scatter-gather :class:`BufferChain`s; a
+    chain row is gathered segment-by-segment straight into its slot of
+    the batch array — one pass, no intermediate linearize (recorded as
+    ``batch-gather`` on the datapath counters; the chain's references
+    are untouched).
 
     Returns ``(words, lengths, word_keep, byte_keep)``:
 
@@ -182,9 +191,20 @@ def _pack_batch(adus: Sequence[bytes]) -> tuple[Array, Array, Array, Array]:
     width = max(int(nwords.max()), 1)
 
     raw = np.zeros((n, width * 4), dtype=np.uint8)
+    chain_bytes = 0
     for i, payload in enumerate(adus):
-        if payload:
+        if isinstance(payload, BufferChain):
+            offset = 0
+            row = raw[i]
+            for mv in payload.memoryviews():
+                k = len(mv)
+                row[offset : offset + k] = np.frombuffer(mv, dtype=np.uint8)
+                offset += k
+            chain_bytes += offset
+        elif payload:
             raw[i, : len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    if chain_bytes:
+        datapath_counters().record_copy(chain_bytes, label="batch-gather")
     native = raw.view(np.uint32)
     words = native.byteswap() if _LITTLE_ENDIAN else native.copy()
 
@@ -325,40 +345,62 @@ class CompiledPlan:
             data = unpack_words(live, length)
         return data, observations
 
+    @staticmethod
+    def _group_streams(group: CompiledGroup) -> bool:
+        """Whether every kernel in ``group`` can run on the chain path:
+        observers need a ``chain_finalize``, transformers a
+        ``chain_transform``."""
+        return all(
+            (kernel.preserves_data or kernel.chain_transform is not None)
+            and (kernel.finalize is None or kernel.chain_finalize is not None)
+            for kernel in group.kernels
+        )
+
     def run_chain(
         self, chain: BufferChain
     ) -> tuple[BufferChain | bytes, dict[str, int]]:
         """Kernel fast path over a scatter-gather chain.
 
-        Groups whose kernels all *preserve the data* (observers and pure
-        moves) and can finalize straight off a chain run with **zero
-        materialization**: each observer makes one read pass over the
-        segments and the chain flows through untouched.  The first group
-        that must transform bytes gathers the chain into words once
-        (:func:`~repro.ilp.kernels.gather_words` — one pass, no
-        intermediate ``bytes``) and execution continues on the
+        Groups whose kernels are all *chain-capable* run without ever
+        gathering: observers (checksum) make one read pass over the
+        segments via ``chain_finalize``, and transforming kernels with a
+        ``chain_transform`` (encrypt/decrypt) stream segment-by-segment
+        into a fresh chain with the same geometry — the scatter-gather
+        structure survives the whole group.  As in the word loop, each
+        kernel's observation is taken on its *pre-transform* data.  The
+        first group with a chain-incapable kernel gathers the chain into
+        words once (:func:`~repro.ilp.kernels.gather_words` — one pass,
+        no intermediate ``bytes``) and execution continues on the
         materialized form.
 
         Returns (output, observations).  The output is the input chain
-        itself when no group materialized, otherwise ``bytes``; callers
-        that need contiguous bytes linearize exactly once, at delivery.
-        Observations are identical to ``run(chain.linearize())``.
+        itself when nothing transformed, a **new caller-owned chain**
+        (release it when spent; the input's references are untouched)
+        when a streaming transform ran, or ``bytes`` when a group
+        materialized.  Observations are identical to
+        ``run(chain.linearize())``.
         """
         self._require_lowered()
         observations: dict[str, int] = {}
         data: BufferChain | bytes = chain
+        owned = False  # do we own `data` (an intermediate chain we made)?
         for group in self.groups:
-            if isinstance(data, BufferChain) and all(
-                kernel.preserves_data
-                and (kernel.finalize is None or kernel.chain_finalize is not None)
-                for kernel in group.kernels
-            ):
+            if isinstance(data, BufferChain) and self._group_streams(group):
                 for kernel in group.kernels:
                     if kernel.chain_finalize is not None:
                         observations[kernel.name] = kernel.chain_finalize(data)
+                    if kernel.chain_transform is not None:
+                        transformed = kernel.chain_transform(data)
+                        if owned:
+                            data.release()
+                        data = transformed
+                        owned = True
                 continue
             if isinstance(data, BufferChain):
                 words, length = gather_words(data)
+                if owned:
+                    data.release()
+                    owned = False
             else:
                 words, length = pack_words(data)
             live = words
@@ -370,13 +412,16 @@ class CompiledPlan:
             data = unpack_words(live, length)
         return data, observations
 
-    def run_batch(self, adus: Sequence[bytes]) -> BatchResult:
+    def run_batch(self, adus: Sequence[bytes | BufferChain]) -> BatchResult:
         """Run many ADUs through the plan in one vectorized pass per kernel.
 
-        Payloads are packed into a single padded 2-D word array; each
+        Payloads — ``bytes`` or scatter-gather chains, freely mixed —
+        are packed into a single padded 2-D word array (chain rows
+        gather straight into their slot, no per-ADU linearize); each
         kernel's transform and (vectorized) finalizer then touch the
         whole batch at once.  Outputs and observations are byte- and
-        value-identical to calling :meth:`run` per ADU.
+        value-identical to calling :meth:`run` per ADU; input chains'
+        references are untouched.
         """
         self._require_lowered()
         if not adus:

@@ -31,6 +31,7 @@ from typing import Callable
 import numpy as np
 
 from repro.buffers.chain import BufferChain
+from repro.buffers.segment import Segment
 from repro.errors import StageError
 from repro.machine.accounting import datapath_counters
 from repro.machine.costs import CostVector
@@ -177,6 +178,13 @@ class WordKernel:
             directly on a :class:`BufferChain` (one read pass over the
             segments, no gather).  Only meaningful alongside
             ``preserves_data``.
+        chain_transform: optional scatter-gather form of ``transform``:
+            maps a :class:`BufferChain` to a *new* chain with the same
+            segment geometry, without linearizing (e.g.
+            :func:`xor_chain`).  Lets a transforming kernel stay on the
+            chain path, so a fragmented ADU is encrypted segment by
+            segment and the fragmentation windows survive the transform.
+            The caller owns the returned chain.
     """
 
     name: str
@@ -186,6 +194,7 @@ class WordKernel:
     batch_finalize: Callable[[Array, Array], Array] | None = None
     preserves_data: bool = False
     chain_finalize: Callable[[BufferChain], int] | None = None
+    chain_transform: Callable[[BufferChain], BufferChain] | None = None
 
 
 def copy_kernel() -> WordKernel:
@@ -207,6 +216,36 @@ def byteswap_kernel() -> WordKernel:
     )
 
 
+def xor_chain(chain: BufferChain, key: int) -> BufferChain:
+    """Word-wide XOR streamed over a chain — scatter-gather in and out.
+
+    The chain analogue of :func:`xor_kernel`'s transform: each segment is
+    XORed against the big-endian key bytes phased by the segment's
+    *global* offset (byte ``i`` of the stream meets key byte ``i % 4``),
+    so arbitrary — odd-length, word-straddling — segment boundaries
+    produce exactly the bytes of the word path's pad/XOR/truncate.  The
+    output is a fresh chain with the same segment geometry: fragmentation
+    windows taken over the input survive the transform, and the input's
+    references are untouched (the caller owns the result).
+
+    One materializing pass (the cipher must write its output somewhere);
+    recorded on the datapath counters as ``xor-chain``.
+    """
+    key_bytes = np.frombuffer((key & 0xFFFFFFFF).to_bytes(4, "big"), dtype=np.uint8)
+    out = BufferChain()
+    offset = 0
+    for mv in chain.memoryviews():
+        n = len(mv)
+        if n == 0:
+            continue
+        data = np.frombuffer(mv, dtype=np.uint8)
+        stream = key_bytes[np.arange(offset, offset + n) % 4]
+        out.append(Segment.wrap((data ^ stream).tobytes(), label="xor-chain"))
+        offset += n
+    datapath_counters().record_copy(offset, label="xor-chain")
+    return out
+
+
 def xor_kernel(key: int) -> WordKernel:
     """Word-wide XOR encryption (self-inverse)."""
     key_word = np.uint32(key & 0xFFFFFFFF)
@@ -214,6 +253,7 @@ def xor_kernel(key: int) -> WordKernel:
         name=f"xor-{key & 0xFFFFFFFF:#x}",
         cost=CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=1.0),
         transform=lambda words: words ^ key_word,
+        chain_transform=lambda chain: xor_chain(chain, key),
     )
 
 
@@ -221,12 +261,21 @@ def checksum_kernel() -> WordKernel:
     """RFC 1071 checksum as an observer kernel.
 
     The finalizer folds the 32-bit word sum into the 16-bit
-    one's-complement form; because input padding is zero bytes, the
-    padded sum equals the RFC's odd-byte rule.
+    one's-complement form.  The sum is taken over exactly the first
+    ``length`` bytes: the final partial word's pad bytes are masked out,
+    because an earlier *transforming* kernel in the same fused loop
+    (e.g. encrypt) may have written into the padding — the wire carries
+    only the true bytes, so the receiver's recomputation (which packs
+    the truncated payload with zero padding) must see the same sum.
     """
 
     def finalize(words: Array, length: int) -> int:
+        pad = (-length) % 4
         total = int(words.astype(np.uint64).sum())
+        if pad and len(words):
+            # Words hold big-endian values: the pad occupies the low
+            # 8*pad bits of the final word.  Subtract its contribution.
+            total -= int(words[-1]) & ((1 << (8 * pad)) - 1)
         # Fold 32->16 with carries.
         total = (total & 0xFFFF) + ((total >> 16) & 0xFFFF) + (total >> 32)
         while total >> 16:
@@ -235,6 +284,13 @@ def checksum_kernel() -> WordKernel:
 
     def batch_finalize(words: Array, lengths: Array) -> Array:
         totals = words.astype(np.uint64).sum(axis=1)
+        rem = lengths % 4
+        partial = np.nonzero(rem)[0]
+        if partial.size:
+            nwords = np.maximum((lengths + 3) // 4, 1)
+            last = words[partial, nwords[partial] - 1].astype(np.uint64)
+            pad_bits = (8 * (4 - rem[partial])).astype(np.uint64)
+            totals[partial] -= last & ((np.uint64(1) << pad_bits) - np.uint64(1))
         totals = (totals & 0xFFFF) + ((totals >> 16) & 0xFFFF) + (totals >> 32)
         while bool((totals >> 16).any()):
             totals = (totals & 0xFFFF) + (totals >> 16)

@@ -82,6 +82,9 @@ class BufferForRetransmitStage(Stage):
         self._total = 0
         self.capacity_bytes = capacity_bytes
         self.pool = pool
+        #: Retrievals served as a zero-copy chain over the snapshot
+        #: segment (no ``tobytes``) — the proof of the no-copy path.
+        self.zero_copy_retrievals = 0
 
     def apply(self, data):
         if (
@@ -104,7 +107,9 @@ class BufferForRetransmitStage(Stage):
         """Bytes currently retained."""
         return self._total
 
-    def _materialize(self, index: int) -> bytes:
+    def _settle(self, index: int) -> bytes | Segment:
+        """Collapse a chain snapshot into its stored form (pooled
+        segment or plain bytes), paying the single deferred gather."""
         unit = self._saved[index]
         if isinstance(unit, BufferChain):
             length = len(unit)
@@ -115,13 +120,17 @@ class BufferForRetransmitStage(Stage):
                 unit.copy_into(segment.memoryview())
                 unit.release()
                 self._saved[index] = segment
-                return segment.tobytes()
+                return segment
             out = bytearray(length)
             unit.copy_into(memoryview(out))
             unit.release()
             snapshot = bytes(out)
             self._saved[index] = snapshot
             return snapshot
+        return unit
+
+    def _materialize(self, index: int) -> bytes:
+        unit = self._settle(index)
         if isinstance(unit, Segment):
             return unit.tobytes()
         return unit
@@ -135,6 +144,28 @@ class BufferForRetransmitStage(Stage):
         if not 0 <= index < len(self._saved):
             raise StageError(f"no buffered unit {index} (have {len(self._saved)})")
         return self._materialize(index)
+
+    def retrieve_chain(self, index: int) -> BufferChain:
+        """The ``index``-th buffered unit as a zero-copy chain.
+
+        Retransmissions are served straight from the pooled snapshot
+        segment: the returned chain shares the stored segment
+        (refcounted — the store's copy survives the caller's release),
+        so a repeat retransmission moves **no** bytes.  Only the first
+        retrieval of a chain snapshot pays the gather into the pooled
+        segment; units stored as plain ``bytes`` (no pool, or oversize)
+        are wrapped without copying.  The caller releases the chain when
+        the retransmission is on the wire.
+        """
+        if not 0 <= index < len(self._saved):
+            raise StageError(f"no buffered unit {index} (have {len(self._saved)})")
+        unit = self._settle(index)
+        self.zero_copy_retrievals += 1
+        if isinstance(unit, Segment):
+            datapath_counters().record_zero_copy()
+            return BufferChain([unit.share()])
+        # BufferChain.wrap records the zero-copy op itself.
+        return BufferChain.wrap(unit, label="retransmit-snapshot")
 
     def release_through(self, index: int) -> None:
         """Drop units up to and including ``index`` (acked data)."""

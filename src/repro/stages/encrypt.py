@@ -19,6 +19,8 @@ their modelled costs are per-word XOR/rotate budgets.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import StageError
@@ -28,6 +30,58 @@ from repro.stages.base import Facts, Stage
 XOR_STREAM_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=3.0)
 CHAINED_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=6.0)
 WORD_XOR_COST = CostVector(reads_per_word=1.0, writes_per_word=1.0, alu_per_word=1.0)
+
+
+@dataclass
+class SecureCounters:
+    """Process-wide ledger for the §6 secure fast path.
+
+    Distinguishes *how* each cipher pass ran — the architectural
+    question — rather than what it computed:
+
+    * ``stage_passes``/``stage_bytes`` — interpreted
+      :meth:`WordXorStage.apply` calls (the layered path: its own
+      pack/XOR/unpack round trip);
+    * ``fused_passes`` — XOR transforms executed inside a compiled
+      integrated loop (one per :meth:`CompiledPlan.run` call, one per
+      *batch* on the batched path — the dispatch amortization is the
+      point);
+    * ``chain_passes``/``chain_bytes`` — streaming
+      :func:`~repro.ilp.kernels.xor_chain` passes over scatter-gather
+      chains (no linearize, no gather).
+    """
+
+    stage_passes: int = 0
+    stage_bytes: int = 0
+    fused_passes: int = 0
+    chain_passes: int = 0
+    chain_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        self.stage_passes = 0
+        self.stage_bytes = 0
+        self.fused_passes = 0
+        self.chain_passes = 0
+        self.chain_bytes = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict form for the CLI and benchmark JSON records."""
+        return {
+            "stage_passes": self.stage_passes,
+            "stage_bytes": self.stage_bytes,
+            "fused_passes": self.fused_passes,
+            "chain_passes": self.chain_passes,
+            "chain_bytes": self.chain_bytes,
+        }
+
+
+_COUNTERS = SecureCounters()
+
+
+def secure_counters() -> SecureCounters:
+    """The process-wide secure-path counters (``repro secure stats``)."""
+    return _COUNTERS
 
 
 def _keystream(key: int, offset: int, length: int) -> np.ndarray:
@@ -143,15 +197,40 @@ class WordXorStage(Stage):
     def apply(self, data: bytes) -> bytes:
         from repro.ilp.kernels import bytes_to_words, words_to_bytes
 
+        counters = secure_counters()
+        counters.stage_passes += 1
+        counters.stage_bytes += len(data)
         words, length = bytes_to_words(data)
         return words_to_bytes(words ^ np.uint32(self.key), length)
 
     def to_word_kernel(self):
-        """Lower to a word kernel for the compiled fast path."""
+        """Lower to a word kernel for the compiled fast path.
+
+        The kernel carries both forms: the vectorized word transform for
+        fused/batched loops and the streaming ``chain_transform``
+        (:func:`~repro.ilp.kernels.xor_chain`) that encrypts a
+        scatter-gather chain segment-by-segment without linearizing.
+        """
         from repro.ilp.kernels import WordKernel, xor_kernel
 
         kernel = xor_kernel(self.key)
-        return WordKernel(name=self.name, cost=self.cost, transform=kernel.transform)
+
+        def transform(words):
+            secure_counters().fused_passes += 1
+            return kernel.transform(words)
+
+        def chain_transform(chain):
+            counters = secure_counters()
+            counters.chain_passes += 1
+            counters.chain_bytes += len(chain)
+            return kernel.chain_transform(chain)
+
+        return WordKernel(
+            name=self.name,
+            cost=self.cost,
+            transform=transform,
+            chain_transform=chain_transform,
+        )
 
 
 class EncryptStage(Stage):

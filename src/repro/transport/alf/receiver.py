@@ -22,6 +22,7 @@ from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.machine.profile import MIPS_R2000, MachineProfile
+from repro.stages.encrypt import WordXorStage
 from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.fec import FecDecoder, FecFragment
 from repro.transport.alf.sender import WIRE_CHECKSUM, wire_pipeline
@@ -76,6 +77,21 @@ class AlfReceiver:
             word kernel, through the compiled codecs' streaming chain
             path otherwise.  The delivered payload is the local-syntax
             bytes (no chain loan — the wire-form buffers are released).
+        encryption: a :class:`WordXorStage` (or a raw 32-bit key)
+            matching the sender's: the wire plan becomes
+            ``[checksum, decrypt, convert]`` — verify the ciphertext,
+            decrypt, convert back, all in one compiled read pass.  On
+            the zero-copy path the decrypt streams over the reassembled
+            scatter-gather chain without linearizing it.
+        batch_drain: queue completed ADUs instead of verifying each on
+            arrival and drain them through :meth:`run_batch` — one
+            vectorized verify+decrypt+convert pass over the whole queue,
+            amortizing per-ADU dispatch the way the sender's
+            ``send_batch`` does.  The drain is self-scheduling (a
+            zero-delay event fires after the completing fragment's
+            burst), so delivery order and ACK behaviour are preserved
+            within a simulation timestep; corrupt ADUs are isolated
+            row-by-row without discarding the batch.
     """
 
     def __init__(
@@ -93,6 +109,8 @@ class AlfReceiver:
         tracer: Tracer | None = None,
         zero_copy: bool = True,
         presentation: PresentationBinding | None = None,
+        encryption: WordXorStage | int | None = None,
+        batch_drain: bool = False,
     ):
         self.loop = loop
         self.host = host
@@ -111,6 +129,10 @@ class AlfReceiver:
         self._convert_fused = (
             self._convert is not None and self._convert.to_word_kernel() is not None
         )
+        if isinstance(encryption, int):
+            encryption = WordXorStage(encryption, name="decrypt")
+        self._encrypt: WordXorStage | None = encryption
+        self.batch_drain = bool(batch_drain)
         self._wire_plan: CompiledPlan | None = None
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -118,10 +140,14 @@ class AlfReceiver:
 
         self.acks = SelectiveAckTracker(counter=self.counter)
         self._partial: dict[int, _PartialAdu] = {}
+        self._ready: list[tuple[int, _PartialAdu, Any, int]] = []
+        self._drain_scheduled = False
         self._delivered: set[int] = set()
         self._next_in_order = 0
         self.out_of_order_deliveries = 0
         self.fec_recoveries = 0
+        self.batch_drains = 0
+        self.batch_drained_adus = 0
 
         host.bind(PROTOCOL, flow_id, self._on_fragment)
         if ack_interval > 0:
@@ -220,20 +246,28 @@ class AlfReceiver:
 
     @property
     def wire_plan(self) -> CompiledPlan:
-        """The flow's compiled wire plan.  Without presentation its
-        shape matches the sender's, so the shared cache serves both ends
-        from one entry; with a fusable presentation binding it is
-        [checksum, convert]: one fused loop that verifies the wire bytes
-        and emits the local-syntax form."""
+        """The flow's compiled wire plan.  Without presentation or
+        cipher its shape matches the sender's, so the shared cache
+        serves both ends from one entry; with a fusable presentation
+        binding and/or encryption it is [checksum, decrypt, convert]:
+        one fused loop that verifies the wire (cipher-text) bytes,
+        decrypts, and emits the local-syntax form."""
         if self._wire_plan is None:
             self._wire_plan = self.plan_cache.get_or_compile(
                 wire_pipeline(
                     self._convert if self._convert_fused else None,
                     convert_after=True,
+                    encrypt=self._encrypt,
                 ),
                 self.machine,
             )
         return self._wire_plan
+
+    @property
+    def _plan_transforms(self) -> bool:
+        """Whether the compiled wire plan rewrites the payload (fused
+        conversion and/or decryption) rather than only observing it."""
+        return self._convert_fused or self._encrypt is not None
 
     def _complete_adu(self, sequence: int, partial: _PartialAdu) -> None:
         del self._partial[sequence]
@@ -252,29 +286,96 @@ class AlfReceiver:
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
             self._release_fragments(partial)
             return
+        if self.batch_drain:
+            # Verification is deferred to the batched drain: the whole
+            # queue runs through one CompiledPlan.run_batch call.
+            self._ready.append((sequence, partial, adu, expected))
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.loop.schedule(0.0, self._auto_drain)
+            return
         if isinstance(adu.payload, BufferChain):
             # Observer-only wire plans verify in place: one read pass
             # over the segments, zero materialization.  A fused
-            # presentation plan gathers that same single pass and emits
-            # the converted local-syntax bytes alongside the checksum.
+            # presentation/decrypt plan gathers that same single pass
+            # (or streams the decrypt over the segments) and emits the
+            # plaintext local-syntax form alongside the checksum.
             out, observations = self.wire_plan.run_chain(adu.payload)
         else:
             out, observations = self.wire_plan.run(adu.payload)
         if observations[WIRE_CHECKSUM] != expected:
             self.stats.checksum_failures += 1
             self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+            if isinstance(out, BufferChain) and out is not adu.payload:
+                out.release()
             self._discard_payload(adu.payload)
             self._release_fragments(partial)
             return
         self._release_fragments(partial)
-        local = out if self._convert_fused else None
-        self._deliver_adu(sequence, adu, local_payload=local)
+        plan_out = out if self._plan_transforms else None
+        self._deliver_adu(sequence, adu, plan_out=plan_out)
 
-    def _deliver_adu(self, sequence: int, adu, local_payload: bytes | None = None) -> None:
+    def _auto_drain(self) -> None:
+        self._drain_scheduled = False
+        self.run_batch()
+
+    def run_batch(self) -> int:
+        """Drain every completed-but-unverified ADU in one batched pass.
+
+        The queued payloads — scatter-gather chains included — pack into
+        one padded 2-D word array and the wire plan's
+        :meth:`~repro.ilp.compiler.CompiledPlan.run_batch` verifies,
+        decrypts and converts the whole queue with one vectorized pass
+        per kernel, the receive-side mirror of the sender's
+        ``send_batch``.  Partial failure is isolated per row: an ADU
+        whose checksum does not match is dropped (counted in
+        ``stats.checksum_failures``) without discarding the rest of the
+        batch.  Batched deliveries hand the application the plan's
+        output bytes (no chain loan — the fragment buffers are released
+        here).  Returns the number of ADUs delivered.
+        """
+        ready, self._ready = self._ready, []
+        if not ready:
+            return 0
+        batch = self.wire_plan.run_batch([adu.payload for _, _, adu, _ in ready])
+        checksums = batch.observations[WIRE_CHECKSUM]
+        self.batch_drains += 1
+        self.batch_drained_adus += len(ready)
+        delivered = 0
+        for (sequence, partial, adu, expected), checksum, out in zip(
+            ready, checksums, batch.outputs
+        ):
+            if checksum != expected:
+                self.stats.checksum_failures += 1
+                self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
+                self._discard_payload(adu.payload)
+                self._release_fragments(partial)
+                continue
+            self._release_fragments(partial)
+            before = len(self._delivered)
+            self._deliver_adu(sequence, adu, plan_out=out)
+            delivered += len(self._delivered) - before
+        return delivered
+
+    def _deliver_adu(
+        self,
+        sequence: int,
+        adu,
+        plan_out: bytes | BufferChain | None = None,
+    ) -> None:
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
             self._discard_payload(adu.payload)
+            if isinstance(plan_out, BufferChain) and plan_out is not adu.payload:
+                plan_out.release()
             return
+        if self._plan_transforms and plan_out is None:
+            # Direct deliveries (FEC recovery) arrive carrying verified
+            # wire-syntax bytes; run the plan now to decrypt/convert.
+            if isinstance(adu.payload, BufferChain):
+                plan_out, _ = self.wire_plan.run_chain(adu.payload)
+            else:
+                plan_out, _ = self.wire_plan.run(adu.payload)
         self._delivered.add(sequence)
         self.acks.on_adu(sequence)
         in_order = sequence == self._next_in_order
@@ -284,16 +385,27 @@ class AlfReceiver:
             self.out_of_order_deliveries += 1
 
         chain = adu.payload if isinstance(adu.payload, BufferChain) else None
-        if self._convert is not None:
-            if local_payload is None:
-                # Stage-path conversion: the compiled codec decodes the
-                # wire form straight off the chain (no linearize) and
-                # re-encodes in the local syntax.
-                local_payload = self._convert.apply(adu.payload)
-            payload = local_payload
+        if self._convert is not None and not self._convert_fused:
+            # Stage-path conversion: the compiled codec decodes the
+            # (decrypted) wire form and re-encodes in the local syntax.
+            source = adu.payload if plan_out is None else plan_out
+            payload = self._convert.apply(source)
+            if isinstance(plan_out, BufferChain):
+                plan_out.release()
             if chain is not None:
                 # The wire-form buffers are spent; the delivered bytes
                 # are the converted form, so there is no chain loan.
+                chain.release()
+                chain = None
+        elif plan_out is not None:
+            # The plan emitted the plaintext local-syntax form; the
+            # wire-form buffers are spent, so there is no chain loan.
+            if isinstance(plan_out, BufferChain):
+                payload = plan_out.linearize()
+                plan_out.release()
+            else:
+                payload = plan_out
+            if chain is not None:
                 chain.release()
                 chain = None
         elif chain is not None:
@@ -332,11 +444,13 @@ class AlfReceiver:
         self.counter.record("ack_compute")
         self.stats.acks_sent += 1
         payload = self.acks.ack_payload()
-        # ADUs with fragments present are in flight, not missing yet.
+        # ADUs with fragments present — or complete and queued for the
+        # batched drain — are in flight, not missing yet.
+        pending = {entry[0] for entry in self._ready}
         missing = [
             sequence
             for sequence in payload["missing"]
-            if sequence not in self._partial
+            if sequence not in self._partial and sequence not in pending
         ]
         ack = Packet(
             src=self.host.name,

@@ -25,6 +25,7 @@ from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
 from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.encrypt import WordXorStage
 from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.recovery import RecoveryMode
 from repro.transport.base import TransportStats
@@ -38,6 +39,7 @@ WIRE_CHECKSUM = "checksum-internet"
 def wire_pipeline(
     convert: PresentationConvertStage | None = None,
     convert_after: bool = False,
+    encrypt: WordXorStage | None = None,
 ) -> Pipeline:
     """The ALF wire manipulation: the per-ADU checksum (paper §5 —
     "error detection is done on an ADU basis").
@@ -45,17 +47,28 @@ def wire_pipeline(
     With a presentation ``convert`` stage the conversion joins the
     checksum's integrated loop: the sender converts before checksumming
     (so the checksum covers the wire bytes) and the receiver verifies
-    then converts back (``convert_after=True``).  The shape is identical
-    for every flow with the same presentation, so all of them share one
-    cached :class:`CompiledPlan` per machine profile.
+    then converts back (``convert_after=True``).  An ``encrypt`` stage
+    completes the paper's §6 stage list: the sender runs
+    ``[convert, encrypt, checksum]`` — the checksum covers the
+    *ciphertext*, so the receiver verifies before decrypting — and the
+    receiver mirrors it as ``[checksum, decrypt, convert]``.  All three
+    stages fuse (none has ordering requirements), so each direction
+    compiles to **one** integrated read pass.  The shape is identical
+    for every flow with the same presentation and cipher, so all of them
+    share one cached :class:`CompiledPlan` per machine profile.
     """
     checksum = ChecksumComputeStage()
-    if convert is None:
+    if convert_after:
         stages = [checksum]
-    elif convert_after:
-        stages = [checksum, convert]
+        if encrypt is not None:
+            stages.append(encrypt)
+        if convert is not None:
+            stages.append(convert)
     else:
-        stages = [convert, checksum]
+        stages = [] if convert is None else [convert]
+        if encrypt is not None:
+            stages.append(encrypt)
+        stages.append(checksum)
     return Pipeline(stages, name="alf-wire")
 
 #: A callback that regenerates a lost ADU from its sequence number.
@@ -108,6 +121,14 @@ class AlfSender:
             layouts), and through the compiled codecs' streaming paths
             otherwise.  The converted form is memoized per ADU, so
             retransmissions pay no second conversion.
+        encryption: a :class:`WordXorStage` (or a raw 32-bit key) fused
+            into the wire plan after conversion and before the checksum:
+            the sender's plan is ``[convert, encrypt, checksum]``, one
+            integrated read pass emitting ciphertext whose checksum
+            covers the wire bytes.  On the zero-copy path the cipher
+            streams over the scatter-gather chain segment-by-segment
+            (no linearize); the ciphertext is memoized per ADU like the
+            converted form, so retransmissions pay no second pass.
         on_complete: called when every ADU is acknowledged or abandoned.
     """
 
@@ -129,6 +150,7 @@ class AlfSender:
         machine: MachineProfile | None = None,
         plan_cache: PlanCache | None = None,
         presentation: PresentationBinding | None = None,
+        encryption: WordXorStage | int | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         on_complete: Callable[[], None] | None = None,
@@ -167,9 +189,12 @@ class AlfSender:
         self._convert_fused = (
             self._convert is not None and self._convert.to_word_kernel() is not None
         )
+        if isinstance(encryption, int):
+            encryption = WordXorStage(encryption, name="encrypt")
+        self._encrypt: WordXorStage | None = encryption
         self._wire_plan: CompiledPlan | None = None
         self._wire_checksums: dict[int, int] = {}
-        self._wire_payloads: dict[int, bytes] = {}
+        self._wire_payloads: dict[int, bytes | BufferChain] = {}
         self._pending: list[Adu] = []
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -224,18 +249,15 @@ class AlfSender:
             return
         if self._convert is not None and not self._convert_fused:
             # Stage-path conversion first (compiled codecs, chains
-            # decoded in place), then one batched checksum pass.
+            # decoded in place), then one batched encrypt+checksum pass.
             payloads = [self._convert.apply(adu.payload) for adu in adus]
         else:
-            payloads = [
-                adu.payload.linearize()
-                if isinstance(adu.payload, BufferChain)
-                else adu.payload
-                for adu in adus
-            ]
+            # Chain payloads gather straight into the batch array —
+            # no per-ADU linearize.
+            payloads = [adu.payload for adu in adus]
         batch = self.wire_plan.run_batch(payloads)
-        if self._convert is not None:
-            wire = batch.outputs if self._convert_fused else payloads
+        if self._convert is not None or self._encrypt is not None:
+            wire = batch.outputs if self._plan_transforms else payloads
             for adu, payload in zip(adus, wire):
                 self._wire_payloads.setdefault(adu.sequence, payload)
         for adu, checksum in zip(adus, batch.observations[WIRE_CHECKSUM]):
@@ -247,44 +269,60 @@ class AlfSender:
     def wire_plan(self) -> CompiledPlan:
         """The flow's compiled wire plan — planned once, cached across
         flows; steady-state traffic never re-plans.  With a fusable
-        presentation binding the plan is [convert, checksum]: one fused
-        loop whose checksum covers the converted (wire) bytes."""
+        presentation binding and/or an encryption stage the plan is
+        [convert, encrypt, checksum]: one fused loop that converts,
+        encrypts, and checksums the wire (cipher-text) bytes."""
         if self._wire_plan is None:
             self._wire_plan = self.plan_cache.get_or_compile(
-                wire_pipeline(self._convert if self._convert_fused else None),
+                wire_pipeline(
+                    self._convert if self._convert_fused else None,
+                    encrypt=self._encrypt,
+                ),
                 self.machine,
             )
         return self._wire_plan
 
+    @property
+    def _plan_transforms(self) -> bool:
+        """Whether the compiled wire plan rewrites the payload (fused
+        conversion and/or encryption) rather than only observing it."""
+        return self._convert_fused or self._encrypt is not None
+
     def _wire_form(self, adu: Adu) -> tuple[bytes | BufferChain, int]:
         """The ADU's on-the-wire payload and checksum, memoized.
 
-        Without a presentation binding the payload goes out as handed in
-        and only the checksum is computed (one observer pass).  With
-        one, conversion and checksum run as a single fused pass when the
-        conversion lowers; either way the wire form is remembered until
-        the ADU is acknowledged, so retransmissions pay nothing."""
-        if self._convert is None:
+        Without a presentation binding or cipher the payload goes out as
+        handed in and only the checksum is computed (one observer pass).
+        Otherwise conversion, encryption and checksum run as a single
+        fused pass — streamed over the scatter-gather chain on the
+        zero-copy path, so the ciphertext keeps the segment geometry —
+        and the wire form is remembered until the ADU is acknowledged,
+        so retransmissions pay nothing."""
+        if self._convert is None and self._encrypt is None:
             return adu.payload, self._checksum_of(adu)
         payload = self._wire_payloads.get(adu.sequence)
         if payload is not None:
             return payload, self._wire_checksums[adu.sequence]
         source = adu.payload
-        if self._convert_fused:
+        if self._convert is not None and not self._convert_fused:
+            # Variable layout (e.g. a TLV wire syntax): convert through
+            # the compiled codecs' streaming path first; encryption and
+            # checksum still run fused over the converted bytes.
+            source = self._convert.apply(source)
+        if self._plan_transforms:
             if isinstance(source, BufferChain):
-                out, observations = self.wire_plan.run_chain(source)
+                payload, observations = self.wire_plan.run_chain(source)
             elif self.zero_copy:
                 wrapped = BufferChain.wrap(source, label=f"adu-{adu.sequence}")
-                out, observations = self.wire_plan.run_chain(wrapped)
+                payload, observations = self.wire_plan.run_chain(wrapped)
+                if payload is wrapped:
+                    payload = source
                 wrapped.release()
             else:
-                out, observations = self.wire_plan.run(source)
-            payload = out
+                payload, observations = self.wire_plan.run(source)
         else:
-            # Variable layout (e.g. a TLV wire syntax): convert through
-            # the compiled codecs' streaming path, then checksum.
-            payload = self._convert.apply(source)
-            _, observations = self.wire_plan.run(payload)
+            payload = source
+            _, observations = self.wire_plan.run(source)
         checksum = observations[WIRE_CHECKSUM]
         self._wire_payloads[adu.sequence] = payload
         self._wire_checksums[adu.sequence] = checksum
@@ -311,6 +349,14 @@ class AlfSender:
             self._wire_checksums[adu.sequence] = checksum
         return checksum
 
+    def _drop_wire_memo(self, sequence: int) -> None:
+        """Forget an ADU's memoized wire form, releasing a memoized
+        ciphertext chain's buffer references."""
+        self._wire_checksums.pop(sequence, None)
+        payload = self._wire_payloads.pop(sequence, None)
+        if isinstance(payload, BufferChain):
+            payload.release()
+
     def _dispatch(self, adu: Adu) -> None:
         keep = adu if self.recovery is RecoveryMode.TRANSPORT_BUFFER else None
         if self.recovery is not RecoveryMode.NO_RETRANSMIT:
@@ -324,8 +370,7 @@ class AlfSender:
         self._transmit(adu)
         if self.recovery is RecoveryMode.NO_RETRANSMIT:
             # Nothing outstanding to retransmit; drop the wire-form memo.
-            self._wire_checksums.pop(adu.sequence, None)
-            self._wire_payloads.pop(adu.sequence, None)
+            self._drop_wire_memo(adu.sequence)
         self._arm_timer()
 
     def _pump_pending(self) -> None:
@@ -400,9 +445,9 @@ class AlfSender:
             return
         from repro.transport.alf.fec import encode_with_parity
 
-        if self._convert is not None:
-            # FEC parity is computed over the wire-syntax bytes the
-            # receiver will verify and convert back.
+        if self._plan_transforms or self._convert is not None:
+            # FEC parity is computed over the wire-syntax (converted,
+            # encrypted) bytes the receiver will verify and invert.
             payload, _ = self._wire_form(adu)
             if payload is not adu.payload:
                 adu = dataclasses.replace(adu, payload=payload)
@@ -445,8 +490,7 @@ class AlfSender:
             if entry is not None:
                 self.counter.record("sequence_check")
                 self._acked.add(sequence)
-                self._wire_checksums.pop(sequence, None)
-                self._wire_payloads.pop(sequence, None)
+                self._drop_wire_memo(sequence)
 
         for sequence in missing:
             self._repair(sequence)
@@ -481,16 +525,14 @@ class AlfSender:
             self.adus_recomputed += 1
             self.stats.retransmissions += 1
             self.tracer.emit(self.loop.now, "alf", "recompute", seq=sequence)
-            # The application regenerated the payload; convert and
-            # checksum it fresh.
-            self._wire_checksums.pop(sequence, None)
-            self._wire_payloads.pop(sequence, None)
+            # The application regenerated the payload; convert, encrypt
+            # and checksum it fresh.
+            self._drop_wire_memo(sequence)
             self._transmit(adu)
 
     def _abandon(self, sequence: int) -> None:
         self._outstanding.pop(sequence, None)
-        self._wire_checksums.pop(sequence, None)
-        self._wire_payloads.pop(sequence, None)
+        self._drop_wire_memo(sequence)
         self.adus_abandoned.add(sequence)
         self.tracer.emit(self.loop.now, "alf", "abandon", seq=sequence)
         self._pump_pending()

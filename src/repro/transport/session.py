@@ -30,12 +30,14 @@ from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.presentation.abstract import ASType
 from repro.presentation.base import TransferCodec
+from repro.presentation.compiler import schema_fingerprint
 from repro.presentation.lwts import LwtsCodec
 from repro.presentation.negotiate import ConversionPlan, LocalSyntax, negotiate
 from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
 from repro.stages.base import Stage
 from repro.stages.checksum import ChecksumComputeStage
+from repro.stages.encrypt import WordXorStage
 from repro.stages.presentation import (
     ByteswapStage,
     PresentationBinding,
@@ -49,11 +51,26 @@ PROTOCOL = "session"
 _flow_ids = itertools.count(1000)
 
 
+def cipher_token(encryption: WordXorStage | int | None) -> str | None:
+    """Wire identifier of a cipher configuration, for handshake checks.
+
+    A *fingerprint* of the key — never the key itself — so both ends can
+    detect a mismatched cipher config at establishment without putting
+    secrets in INIT headers.  ``None`` means cleartext.
+    """
+    if encryption is None:
+        return None
+    key = encryption.key if isinstance(encryption, WordXorStage) else encryption
+    digest = (((key & 0xFFFFFFFF) * 0x9E3779B1) + 0x7F4A7C15) & 0xFFFFFFFF
+    return f"word-xor/{digest:08x}"
+
+
 def session_wire_pipeline(
     sender_syntax: LocalSyntax,
     receiver_syntax: LocalSyntax,
     schema: ASType | None = None,
     codec: TransferCodec | None = None,
+    encrypt: WordXorStage | None = None,
 ) -> Pipeline:
     """The association's per-ADU wire manipulation.
 
@@ -69,15 +86,24 @@ def session_wire_pipeline(
     receiver's local syntax by default) runs *before* the checksum, so
     the checksum covers the wire bytes — the same [convert, checksum]
     shape the ALF sender compiles, and therefore the same cached plan.
+
+    With an ``encrypt`` stage the cipher slots between conversion and
+    checksum — the §6 sender order [convert, encrypt, checksum], still
+    one fused loop, checksum over the ciphertext.
     """
     if schema is not None:
         local = LwtsCodec(byte_order=sender_syntax.byte_order)
         wire = codec or LwtsCodec(byte_order=receiver_syntax.byte_order)
         convert = PresentationConvertStage(schema, local, wire)
-        if convert.identity:
-            return Pipeline([ChecksumComputeStage()], name="session-wire")
-        return Pipeline([convert, ChecksumComputeStage()], name="session-wire")
-    stages: list[Stage] = [ChecksumComputeStage()]
+        stages = [] if convert.identity else [convert]
+        if encrypt is not None:
+            stages.append(encrypt)
+        stages.append(ChecksumComputeStage())
+        return Pipeline(stages, name="session-wire")
+    stages: list[Stage] = []
+    if encrypt is not None:
+        stages.append(encrypt)
+    stages.append(ChecksumComputeStage())
     if sender_syntax.byte_order != receiver_syntax.byte_order:
         stages.append(ByteswapStage(name="presentation-byteswap"))
     return Pipeline(stages, name="session-wire")
@@ -150,6 +176,13 @@ class SessionListener:
             a :class:`PresentationBinding` on the ALF receiver, so
             verify + convert run as one compiled pass and delivered
             payloads arrive in this host's local syntax.
+        encryption: 32-bit cipher key this listener requires.  Fused
+            into the ALF receivers' wire plans ([checksum, decrypt,
+            convert]); INITs whose cipher id does not match this
+            configuration are rejected with a clear reason.
+        batch_drain: forwarded to the ALF receivers this listener builds
+            (queue completed ADUs and verify+decrypt+convert them in one
+            batched pass).
     """
 
     def __init__(
@@ -165,6 +198,8 @@ class SessionListener:
         tracer: Tracer | None = None,
         zero_copy: bool = True,
         presentation: bool = False,
+        encryption: int | None = None,
+        batch_drain: bool = False,
     ):
         self.loop = loop
         self.host = host
@@ -177,6 +212,8 @@ class SessionListener:
         self.tracer = tracer or Tracer(enabled=False)
         self.zero_copy = bool(zero_copy)
         self.presentation = bool(presentation)
+        self.encryption = encryption
+        self.batch_drain = bool(batch_drain)
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
         host.bind_protocol(PROTOCOL, self._on_packet)
@@ -192,6 +229,34 @@ class SessionListener:
         if schema_name not in self.schemas:
             self.rejected += 1
             self._send_reject(packet.src, flow_id, f"unknown schema {schema_name!r}")
+            return
+        # Schema *revision* check: the name alone is not identity — a
+        # field added on one side would otherwise garble every decode.
+        local_fp = schema_fingerprint(self.schemas[schema_name])
+        peer_fp = packet.header.get("schema_fp")
+        if peer_fp is not None and peer_fp != local_fp:
+            self.rejected += 1
+            self._send_reject(
+                packet.src,
+                flow_id,
+                f"schema fingerprint mismatch for {schema_name!r}: "
+                f"initiator has {peer_fp}, listener has {local_fp} "
+                "(schema revisions differ)",
+            )
+            return
+        # Cipher check: both ends must run the same cipher and key, or
+        # decrypted payloads would be garbage that still checksums.
+        local_cipher = cipher_token(self.encryption)
+        peer_cipher = packet.header.get("cipher")
+        if peer_cipher != local_cipher:
+            self.rejected += 1
+            self._send_reject(
+                packet.src,
+                flow_id,
+                f"cipher mismatch: initiator offers "
+                f"{peer_cipher or 'cleartext'}, listener requires "
+                f"{local_cipher or 'cleartext'}",
+            )
             return
         config = SessionConfig(
             schema_name=schema_name,
@@ -223,6 +288,11 @@ class SessionListener:
             session_wire_pipeline(
                 config.local_syntax, self.local_syntax,
                 schema=schema, codec=plan.codec if schema is not None else None,
+                encrypt=(
+                    WordXorStage(self.encryption, name="encrypt")
+                    if self.encryption is not None
+                    else None
+                ),
             ),
             self.machine,
         )
@@ -236,6 +306,12 @@ class SessionListener:
             plan_cache=self.plan_cache,
             zero_copy=self.zero_copy,
             presentation=binding,
+            encryption=(
+                WordXorStage(self.encryption, name="decrypt")
+                if self.encryption is not None
+                else None
+            ),
+            batch_drain=self.batch_drain,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -300,6 +376,10 @@ class SessionInitiator:
             :class:`PresentationBinding` on the ALF sender, so ADUs
             handed in local syntax are converted to the wire syntax in
             the same compiled pass as the checksum.
+        encryption: 32-bit cipher key.  Fused into the ALF sender's wire
+            plan ([convert, encrypt, checksum]); the INIT carries the
+            cipher id (a key fingerprint, never the key) so a listener
+            with a different cipher config rejects the handshake.
     """
 
     def __init__(
@@ -319,6 +399,7 @@ class SessionInitiator:
         tracer: Tracer | None = None,
         zero_copy: bool = False,
         presentation: bool = False,
+        encryption: int | None = None,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -339,6 +420,7 @@ class SessionInitiator:
         self.tracer = tracer or Tracer(enabled=False)
         self.zero_copy = bool(zero_copy)
         self.presentation = bool(presentation)
+        self.encryption = encryption
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
@@ -369,6 +451,10 @@ class SessionInitiator:
                     "kind": "init",
                     "flow_id": self.flow_id,
                     "schema": self.config.schema_name,
+                    "schema_fp": schema_fingerprint(
+                        self.schemas[self.config.schema_name]
+                    ),
+                    "cipher": cipher_token(self.encryption),
                     "recovery": self.config.recovery.value,
                     "mtu": self.config.mtu,
                     "syntax_name": self.config.local_syntax.name,
@@ -412,6 +498,11 @@ class SessionInitiator:
             session_wire_pipeline(
                 self.config.local_syntax, receiver_syntax,
                 schema=schema, codec=plan.codec if schema is not None else None,
+                encrypt=(
+                    WordXorStage(self.encryption, name="encrypt")
+                    if self.encryption is not None
+                    else None
+                ),
             ),
             self.machine,
         )
@@ -427,6 +518,11 @@ class SessionInitiator:
             plan_cache=self.plan_cache,
             zero_copy=self.zero_copy,
             presentation=binding,
+            encryption=(
+                WordXorStage(self.encryption, name="encrypt")
+                if self.encryption is not None
+                else None
+            ),
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",

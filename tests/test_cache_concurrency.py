@@ -1,0 +1,132 @@
+"""Concurrency and eviction pressure on the compile-once caches.
+
+Both the ILP :class:`PlanCache` and the presentation
+:class:`CodecCache` promise thread-safe compile-under-lock semantics:
+concurrent lookups of one key compile exactly once, the LRU bound holds
+under pressure, and every thread receives a plan/codec that produces
+correct results even while other threads are evicting it.
+"""
+
+import random
+import threading
+
+from repro.ilp.compiler import PlanCache
+from repro.ilp.pipeline import Pipeline
+from repro.machine.profile import MIPS_R2000
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.compiler import CodecCache
+from repro.presentation.lwts import LwtsCodec
+from repro.stages.checksum import ChecksumComputeStage, internet_checksum
+from repro.stages.encrypt import WordXorStage
+
+N_THREADS = 8
+N_ROUNDS = 40
+
+
+def secure_pipeline(key: int) -> Pipeline:
+    return Pipeline(
+        [WordXorStage(key, name="encrypt"), ChecksumComputeStage()],
+        name="secure",
+    )
+
+
+def run_threads(worker) -> list[Exception]:
+    errors: list[Exception] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def wrapped(tid: int) -> None:
+        try:
+            barrier.wait()
+            worker(tid)
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def test_plan_cache_compiles_each_key_once_under_contention():
+    cache = PlanCache(capacity=64)
+
+    def worker(tid: int) -> None:
+        for round_ in range(N_ROUNDS):
+            key = round_ % 4  # four distinct pipeline shapes
+            plan = cache.get_or_compile(secure_pipeline(key), MIPS_R2000)
+            data = bytes(random.Random(tid * 1000 + round_).randbytes(257))
+            out, observations = plan.run(data)
+            assert out == WordXorStage(key).apply(data)
+            assert observations["checksum-internet"] == internet_checksum(out)
+
+    assert run_threads(worker) == []
+    snapshot = cache.snapshot()
+    # Four shapes -> exactly four compiles, everything else served hot.
+    assert snapshot["misses"] == 4
+    assert snapshot["hits"] == N_THREADS * N_ROUNDS - 4
+    assert snapshot["entries"] == 4
+    assert snapshot["evictions"] == 0
+
+
+def test_plan_cache_eviction_pressure_keeps_bound_and_correctness():
+    cache = PlanCache(capacity=3)
+
+    def worker(tid: int) -> None:
+        for round_ in range(N_ROUNDS):
+            key = (tid + round_) % 8  # more shapes than capacity
+            plan = cache.get_or_compile(secure_pipeline(key), MIPS_R2000)
+            data = bytes(random.Random(round_).randbytes(100 + key))
+            out, _ = plan.run(data)
+            # An evicted-then-recompiled plan must still be correct.
+            assert out == WordXorStage(key).apply(data)
+
+    assert run_threads(worker) == []
+    snapshot = cache.snapshot()
+    assert snapshot["entries"] <= 3
+    assert snapshot["evictions"] > 0
+    assert snapshot["misses"] > 8  # recompiles after eviction
+    assert len(cache) <= 3
+
+
+def test_codec_cache_compiles_each_schema_once_under_contention():
+    cache = CodecCache(capacity=64)
+    schemas = [ArrayOf(Int32(), fixed_count=count) for count in (4, 8, 16, 32)]
+    codec = LwtsCodec(byte_order="big")
+
+    def worker(tid: int) -> None:
+        rng = random.Random(tid)
+        for round_ in range(N_ROUNDS):
+            schema = schemas[round_ % len(schemas)]
+            compiled = cache.get_or_compile(schema, codec)
+            values = [rng.randrange(-(2**31), 2**31) for _ in range(schema.fixed_count)]
+            assert codec.decode(compiled.encode(values), schema) == values
+
+    assert run_threads(worker) == []
+    snapshot = cache.snapshot()
+    assert snapshot["misses"] == len(schemas)
+    assert snapshot["hits"] == N_THREADS * N_ROUNDS - len(schemas)
+    assert snapshot["evictions"] == 0
+
+
+def test_codec_cache_eviction_pressure_keeps_bound_and_correctness():
+    cache = CodecCache(capacity=2)
+    schemas = [ArrayOf(Int32(), fixed_count=count) for count in range(1, 9)]
+    codec = LwtsCodec(byte_order="little")
+
+    def worker(tid: int) -> None:
+        rng = random.Random(100 + tid)
+        for round_ in range(N_ROUNDS):
+            schema = schemas[(tid + round_) % len(schemas)]
+            compiled = cache.get_or_compile(schema, codec)
+            values = [rng.randrange(-(2**31), 2**31) for _ in range(schema.fixed_count)]
+            assert codec.decode(compiled.encode(values), schema) == values
+
+    assert run_threads(worker) == []
+    snapshot = cache.snapshot()
+    assert snapshot["entries"] <= 2
+    assert snapshot["evictions"] > 0
+    assert snapshot["misses"] > len(schemas)

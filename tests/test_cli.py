@@ -137,3 +137,26 @@ def test_p3_in_catalog():
     result = CATALOG["P3"][1]()
     assert isinstance(result, ExperimentResult)
     assert result.measured("chain read passes per ADU, compiled-fused") == 1.0
+
+
+def test_secure_stats(capsys):
+    from repro.stages.encrypt import WordXorStage, secure_counters
+
+    secure_counters().reset()
+    WordXorStage(0xABCD).apply(b"x" * 64)
+    assert main(["secure", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "secure-path counters" in out
+    assert "stage_passes 1" in out
+    assert "stage_bytes 64" in out
+    assert "fused_passes" in out
+    assert "chain_passes" in out
+    secure_counters().reset()
+
+
+def test_p4_in_catalog():
+    assert "P4" in CATALOG
+    result = CATALOG["P4"][1]()
+    assert isinstance(result, ExperimentResult)
+    assert result.measured("send-side read passes per ADU") == 1.0
+    assert result.measured("receive-side read passes per ADU") == 1.0
