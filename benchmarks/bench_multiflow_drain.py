@@ -1,0 +1,207 @@
+"""Host-level shared drain engine — dispatch amortization across flows.
+
+Two engineerings of the receive-side drain for a host serving 64
+concurrent secure associations that share one wire-plan shape
+([checksum, decrypt, convert]):
+
+* **per-flow** — the PR-4 baseline: every flow batch-drains its own
+  reassembly queue, one :meth:`CompiledPlan.run_batch` dispatch per flow
+  per completion event.
+* **shared** — every accepted flow registers with one host-wide
+  :class:`~repro.transport.drain.SharedDrainEngine`; completions across
+  flows coalesce per drain epoch into a single ``run_batch`` over every
+  flow's rows, collected round-robin.
+
+Both engineerings run the identical simulated workload (same seeds, same
+interleaved send order); delivery is asserted byte-identical and
+exactly-once.  The headline criteria: the shared engine issues at least
+2x fewer plan dispatches and its end-to-end wall-clock is no worse.
+Emits a machine-readable JSON record (``MULTIFLOW_DRAIN_JSON`` line and
+``benchmarks/out/bench_multiflow_drain.json``) for the CI gate and
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.workloads import integer_array
+from repro.core.adu import Adu
+from repro.ilp.compiler import PlanCache
+from repro.machine.accounting import DrainCounters
+from repro.net.topology import two_hosts
+from repro.presentation.abstract import ArrayOf, Int32
+from repro.presentation.lwts import LwtsCodec
+from repro.presentation.negotiate import LocalSyntax
+from repro.transport.drain import SharedDrainEngine
+from repro.transport.session import (
+    SessionConfig,
+    SessionInitiator,
+    SessionListener,
+)
+
+N_FLOWS = 64
+N_ADUS = 4
+N_INTEGERS = 64
+KEY = 0x6B8B4567
+EPOCH = 0.005
+SCHEMAS = {"ints": ArrayOf(Int32())}
+LOCAL = LwtsCodec(byte_order="big")  # the initiators' syntax
+DELIVERED_AS = LwtsCodec(byte_order="little")  # the listener's syntax
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def run_scenario(shared: bool) -> dict[str, object]:
+    """One full simulated run; returns dispatch counts and payloads."""
+    path = two_hosts(seed=7)
+    plan_cache = PlanCache(capacity=32)
+    counters = DrainCounters()
+    engine = (
+        SharedDrainEngine(path.loop, max_delay=EPOCH, counters=counters)
+        if shared
+        else None
+    )
+    delivered: dict[int, list[bytes]] = {}
+    listener = SessionListener(
+        path.loop,
+        path.b,
+        SCHEMAS,
+        deliver=lambda fid, adu: delivered.setdefault(fid, []).append(
+            bytes(adu.payload)
+        ),
+        plan_cache=plan_cache,
+        presentation=True,
+        encryption=KEY,
+        batch_drain=not shared,
+        drain_engine=engine,
+    )
+    initiators = [
+        SessionInitiator(
+            path.loop,
+            path.a,
+            "b",
+            SessionConfig(
+                schema_name="ints",
+                local_syntax=LocalSyntax(f"init-{index}", "big"),
+            ),
+            SCHEMAS,
+            plan_cache=plan_cache,
+            presentation=True,
+            encryption=KEY,
+        )
+        for index in range(N_FLOWS)
+    ]
+    path.loop.run(until=5)
+    assert all(initiator.established for initiator in initiators)
+
+    schema = SCHEMAS["ints"]
+    for seq in range(N_ADUS):
+        for index, initiator in enumerate(initiators):
+            value = integer_array(N_INTEGERS, seed=31 * index + seq)
+            initiator.session.sender.send_adu(
+                Adu(seq, LOCAL.encode(value, schema))
+            )
+    path.loop.run(until=120)
+    if engine is not None:
+        engine.flush()
+
+    receivers = [
+        listener.sessions[initiator.flow_id].receiver
+        for initiator in initiators
+    ]
+    payloads = [delivered.get(initiator.flow_id, []) for initiator in initiators]
+    dispatches = (
+        counters.dispatches
+        if shared
+        else sum(receiver.batch_drains for receiver in receivers)
+    )
+    return {
+        "dispatches": dispatches,
+        "payloads": payloads,
+        "snapshot": counters.snapshot() if shared else None,
+        "groups": engine.group_count if engine is not None else None,
+    }
+
+
+def best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def record():
+    per_flow_s, per_flow = best_of(lambda: run_scenario(shared=False))
+    shared_s, shared = best_of(lambda: run_scenario(shared=True))
+
+    # Byte-identical, exactly-once delivery under both engineerings.
+    schema = SCHEMAS["ints"]
+    for index in range(N_FLOWS):
+        expected = [
+            DELIVERED_AS.encode(
+                integer_array(N_INTEGERS, seed=31 * index + seq), schema
+            )
+            for seq in range(N_ADUS)
+        ]
+        assert per_flow["payloads"][index] == expected, f"per-flow diverged ({index})"
+        assert shared["payloads"][index] == expected, f"shared diverged ({index})"
+
+    assert shared["groups"] == 1, "flows did not share one plan shape"
+    snapshot = shared["snapshot"]
+    return {
+        "n_flows": N_FLOWS,
+        "adus_per_flow": N_ADUS,
+        "adu_bytes": 4 * N_INTEGERS,
+        "drain_epoch_s": EPOCH,
+        "per_flow": {
+            "dispatches": per_flow["dispatches"],
+            "wall_s": per_flow_s,
+        },
+        "shared": {
+            "dispatches": shared["dispatches"],
+            "wall_s": shared_s,
+            "rows_per_dispatch": snapshot["rows_per_dispatch"],
+            "cross_flow_batches": snapshot["cross_flow_batches"],
+            "fairness_stalls": snapshot["fairness_stalls"],
+            "epochs": snapshot["epochs"],
+            "plan_groups": shared["groups"],
+        },
+        "dispatch_amortization": per_flow["dispatches"]
+        / max(shared["dispatches"], 1),
+        "wall_clock_ratio": shared_s / per_flow_s,
+    }
+
+
+def test_bench_shared_drain(benchmark, record):
+    benchmark(lambda: run_scenario(shared=True))
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    out = OUT_DIR / "bench_multiflow_drain.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print("MULTIFLOW_DRAIN_JSON " + json.dumps(record, sort_keys=True))
+
+
+def test_bench_per_flow_drain(benchmark):
+    benchmark(lambda: run_scenario(shared=False))
+
+
+def test_acceptance_multiflow_drain(record):
+    # Headline criterion: coalescing 64 flows' completions into shared
+    # epochs cuts plan dispatches at least in half.
+    assert record["dispatch_amortization"] >= 2.0, record
+    # And the amortization is not bought with wall-clock: the shared
+    # engine's end-to-end run is no slower (20% tolerance for noise).
+    assert record["wall_clock_ratio"] <= 1.2, record
+    # The rows really were cross-flow batches, fairly collected.
+    assert record["shared"]["cross_flow_batches"] >= 1
+    assert record["shared"]["rows_per_dispatch"] > 1.0

@@ -49,6 +49,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "P2": ("Zero-copy datapath vs copy-per-layer", experiments.zero_copy_datapath),
     "P3": ("Compiled presentation fused in loop", experiments.compiled_presentation),
     "P4": ("Full §6 single-pass secure pipeline", experiments.secure_pipeline),
+    "P5": ("Shared-plan cross-flow drain engine", experiments.multiflow_drain),
 }
 
 
@@ -191,6 +192,28 @@ def _cmd_secure(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.machine.accounting import drain_counters
+
+    if args.action == "stats":
+        counters = drain_counters().snapshot()
+        print("shared-drain counters:")
+        print(
+            f"  dispatches {counters['dispatches']}  "
+            f"rows_dispatched {counters['rows_dispatched']}  "
+            f"rows_per_dispatch {counters['rows_per_dispatch']:.2f}"
+        )
+        print(
+            f"  epochs {counters['epochs']}  "
+            f"cross_flow_batches {counters['cross_flow_batches']}  "
+            f"fairness_stalls {counters['fairness_stalls']}"
+        )
+        print(f"  corrupt_rows {counters['corrupt_rows']}")
+        return 0
+    print(f"unknown drain action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_buffers(args: argparse.Namespace) -> int:
     from repro.buffers.pool import shared_rx_pool
     from repro.machine.accounting import datapath_counters
@@ -304,6 +327,17 @@ def build_parser() -> argparse.ArgumentParser:
         "fused, streaming-chain)",
     )
     secure_parser.set_defaults(handler=_cmd_secure)
+
+    drain_parser = commands.add_parser(
+        "drain", help="inspect the host-level shared drain engine"
+    )
+    drain_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the cross-flow batch-drain counters "
+        "(dispatches, rows per dispatch, fairness stalls)",
+    )
+    drain_parser.set_defaults(handler=_cmd_drain)
     return parser
 
 

@@ -20,33 +20,55 @@ from repro.errors import TransportError
 
 
 class DemuxTable:
-    """Flow-id → connection-state dispatch table with accounting."""
+    """Flow-id → connection-state dispatch table with accounting.
+
+    A single-entry last-flow memo models §4's header prediction: the
+    header of a back-to-back packet for the same flow must still be
+    parsed (one ``header_parse``), but the state structure is already in
+    hand, so the hash lookup (``demux_lookup``) is skipped.  Memo hits
+    are counted in :attr:`memo_hits`; any table mutation invalidates the
+    memo.
+    """
 
     def __init__(self, counter: InstructionCounter | None = None):
         self.counter = counter or InstructionCounter()
         self._table: dict[int, Any] = {}
+        self._memo_flow: int | None = None
+        self._memo_state: Any = None
         self.lookups = 0
         self.misses = 0
+        self.memo_hits = 0
+
+    def _invalidate_memo(self) -> None:
+        self._memo_flow = None
+        self._memo_state = None
 
     def bind(self, flow_id: int, state: Any) -> None:
         """Register state for a flow."""
         if flow_id in self._table:
             raise TransportError(f"flow {flow_id} already bound")
         self._table[flow_id] = state
+        self._invalidate_memo()
 
     def unbind(self, flow_id: int) -> None:
         """Remove a flow's state."""
         self._table.pop(flow_id, None)
+        self._invalidate_memo()
 
     def lookup(self, flow_id: int) -> Any:
         """Retrieve a flow's state, charging the control path for it."""
         self.counter.record("header_parse")
-        self.counter.record("demux_lookup")
         self.lookups += 1
+        if flow_id == self._memo_flow:
+            self.memo_hits += 1
+            return self._memo_state
+        self.counter.record("demux_lookup")
         state = self._table.get(flow_id)
         if state is None:
             self.misses += 1
             raise TransportError(f"no state bound for flow {flow_id}")
+        self._memo_flow = flow_id
+        self._memo_state = state
         return state
 
     def __contains__(self, flow_id: int) -> bool:

@@ -100,6 +100,73 @@ def datapath_counters() -> DatapathCounters:
     return _DATAPATH
 
 
+@dataclass
+class DrainCounters:
+    """Dispatch-amortization counters for the host-level drain engine.
+
+    One ``run_batch`` dispatch per drain epoch per plan shape is the
+    whole point of :class:`~repro.transport.drain.SharedDrainEngine`;
+    these counters make the amortization measurable: how many dispatches
+    ran, how many ADU rows they carried, how many coalesced rows from
+    more than one flow, and how often the max-rows cap forced a group to
+    split one epoch's backlog across several dispatches (a fairness
+    stall — every flow still gets rows in each capped dispatch, but the
+    epoch needed more than one).
+    """
+
+    dispatches: int = 0
+    rows_dispatched: int = 0
+    cross_flow_batches: int = 0
+    fairness_stalls: int = 0
+    epochs: int = 0
+    corrupt_rows: int = 0
+
+    @property
+    def rows_per_dispatch(self) -> float:
+        """Mean ADU rows carried per plan dispatch (0.0 when idle)."""
+        return self.rows_dispatched / self.dispatches if self.dispatches else 0.0
+
+    def record_dispatch(self, rows: int, flows: int, capped: bool) -> None:
+        """Account one ``run_batch`` call covering ``rows`` ADUs from
+        ``flows`` distinct flows (``capped`` when max-rows split the
+        epoch)."""
+        self.dispatches += 1
+        self.rows_dispatched += rows
+        if flows > 1:
+            self.cross_flow_batches += 1
+        if capped:
+            self.fairness_stalls += 1
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        self.dispatches = 0
+        self.rows_dispatched = 0
+        self.cross_flow_batches = 0
+        self.fairness_stalls = 0
+        self.epochs = 0
+        self.corrupt_rows = 0
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict form for the CLI and benchmark JSON records."""
+        return {
+            "dispatches": self.dispatches,
+            "rows_dispatched": self.rows_dispatched,
+            "rows_per_dispatch": self.rows_per_dispatch,
+            "cross_flow_batches": self.cross_flow_batches,
+            "fairness_stalls": self.fairness_stalls,
+            "epochs": self.epochs,
+            "corrupt_rows": self.corrupt_rows,
+        }
+
+
+_DRAIN = DrainCounters()
+
+
+def drain_counters() -> DrainCounters:
+    """The process-wide counters drain engines record into by default."""
+    return _DRAIN
+
+
 @dataclass(frozen=True)
 class LedgerEntry:
     """One recorded data pass.

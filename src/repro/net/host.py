@@ -34,6 +34,11 @@ class Host:
             path.  Pool exhaustion drops the packet (counted in
             :attr:`rx_dropped`), which is the real backpressure a finite
             interface has.
+
+    Dispatch keeps a single-entry hot-flow memo (§4's header
+    prediction): back-to-back packets for the same (protocol, flow)
+    reuse the last resolved handler without re-hashing, counted in
+    :attr:`demux_memo_hits`.  Any binding change invalidates the memo.
     """
 
     def __init__(
@@ -50,9 +55,13 @@ class Host:
         self._links: dict[str, Link] = {}
         self._handlers: dict[tuple[str, int], Handler] = {}
         self._default_handlers: dict[str, Handler] = {}
+        self._memo_key: tuple[str, int] | None = None
+        self._memo_handler: Handler | None = None
         self.received = 0
         self.undeliverable = 0
         self.rx_dropped = 0
+        self.demux_memo_hits = 0
+        self.bursts = 0
 
     def add_link(self, destination: str, link: Link) -> None:
         """Use ``link`` for packets addressed to ``destination``."""
@@ -60,22 +69,36 @@ class Host:
             raise NetworkError(f"{self.name}: link to {destination!r} already set")
         self._links[destination] = link
 
+    def _invalidate_memo(self) -> None:
+        self._memo_key = None
+        self._memo_handler = None
+
     def bind(self, protocol: str, flow_id: int, handler: Handler) -> None:
         """Dispatch packets for (protocol, flow) to ``handler``."""
         key = (protocol, flow_id)
         if key in self._handlers:
             raise NetworkError(f"{self.name}: {key} already bound")
         self._handlers[key] = handler
+        self._invalidate_memo()
 
     def bind_protocol(self, protocol: str, handler: Handler) -> None:
         """Fallback handler for a protocol (any flow), e.g. listeners."""
         if protocol in self._default_handlers:
             raise NetworkError(f"{self.name}: protocol {protocol!r} already bound")
         self._default_handlers[protocol] = handler
+        self._invalidate_memo()
 
     def unbind(self, protocol: str, flow_id: int) -> None:
         """Remove a (protocol, flow) binding."""
         self._handlers.pop((protocol, flow_id), None)
+        self._invalidate_memo()
+
+    def unbind_protocol(self, protocol: str) -> None:
+        """Remove a protocol's fallback handler (inverse of
+        :meth:`bind_protocol`), so a listener can be torn down and a new
+        one bound in the same simulation."""
+        self._default_handlers.pop(protocol, None)
+        self._invalidate_memo()
 
     def send(self, packet: Packet) -> None:
         """Transmit a packet toward its destination."""
@@ -102,7 +125,14 @@ class Host:
                                  host=self.name, packet_id=packet.packet_id)
                 return
             packet.payload = chain
-        handler = self._handlers.get((packet.protocol, packet.flow_id))
+        key = (packet.protocol, packet.flow_id)
+        if key == self._memo_key:
+            # Hot-flow fast path: a packet train for one flow resolves
+            # its handler once and skips the hash lookups after that.
+            self.demux_memo_hits += 1
+            self._memo_handler(packet)
+            return
+        handler = self._handlers.get(key)
         if handler is None:
             handler = self._default_handlers.get(packet.protocol)
         if handler is None:
@@ -113,4 +143,18 @@ class Host:
                              host=self.name, protocol=packet.protocol,
                              flow_id=packet.flow_id)
             return
+        self._memo_key = key
+        self._memo_handler = handler
         handler(packet)
+
+    def receive_burst(self, packets: list[Packet]) -> None:
+        """Deliver a packet train in one call.
+
+        Links and benchmarks hand bursts here so that consecutive
+        packets for the same flow ride the hot-flow memo — one handler
+        resolution per flow run instead of per packet.
+        """
+        self.bursts += 1
+        receive = self.receive
+        for packet in packets:
+            receive(packet)

@@ -72,6 +72,7 @@ from repro.presentation.abstract import (
     Int32,
     Int64,
     OctetString,
+    Path,
     Struct,
     UInt32,
     Utf8String,
@@ -92,6 +93,7 @@ from repro.presentation.ber import (
     encode_real_content,
 )
 from repro.presentation.lwts import LwtsCodec
+from repro.presentation.namespace import ElementExtent, SyntaxMap
 from repro.presentation.xdr import XdrCodec
 
 __all__ = [
@@ -976,50 +978,58 @@ class _VariableLayout(Exception):
 
 def _fixed_layout(
     astype: ASType, padded: bool
-) -> tuple[tuple[str, int, int], ...] | None:
+) -> tuple[tuple[tuple[str, int, int], ...], tuple[Path | None, ...]] | None:
     """Per-leaf byte spans of a fixed-layout encoding, or None.
 
     Spans are ``(kind, offset, size)`` with kind ``scalar`` (byte order
     matters), ``bytes`` (opaque, order-free) or ``pad`` (must be zero).
+    The parallel tuple of paths names the leaf element each span
+    encodes (``None`` for pad spans), recorded during this same walk so
+    loss-to-element translation never needs a second one.
     """
     spans: list[tuple[str, int, int]] = []
+    paths: list[Path | None] = []
 
-    def walk(t: ASType, off: int) -> int:
+    def leaf(kind: str, off: int, size: int, path: Path | None) -> None:
+        spans.append((kind, off, size))
+        paths.append(path)
+
+    def walk(t: ASType, off: int, path: Path) -> int:
         if len(spans) > _SPAN_LIMIT:
             raise _VariableLayout
         if isinstance(t, (Boolean, Int32, UInt32)):
-            spans.append(("scalar", off, 4))
+            leaf("scalar", off, 4, path)
             return off + 4
         if isinstance(t, (Int64, Float64)):
-            spans.append(("scalar", off, 8))
+            leaf("scalar", off, 8, path)
             return off + 8
         if isinstance(t, OctetString):
             if t.fixed_length is None:
                 raise _VariableLayout
-            spans.append(("bytes", off, t.fixed_length))
+            leaf("bytes", off, t.fixed_length, path)
             off += t.fixed_length
             pad = (-t.fixed_length) % 4 if padded else 0
             if pad:
-                spans.append(("pad", off, pad))
+                leaf("pad", off, pad, None)
                 off += pad
             return off
         if isinstance(t, ArrayOf):
             if t.fixed_count is None:
                 raise _VariableLayout
-            for _ in range(t.fixed_count):
-                off = walk(t.element, off)
+            for index in range(t.fixed_count):
+                off = walk(t.element, off, path + (index,))
             return off
         if isinstance(t, Struct):
             for f in t.fields:
-                off = walk(f.type, off)
+                off = walk(f.type, off, path + (f.name,))
             return off
         raise _VariableLayout
 
     try:
-        walk(astype, 0)
+        walk(astype, 0, ())
     except _VariableLayout:
         return None
-    return tuple(spans)
+    return tuple(spans), tuple(paths)
 
 
 def conversion_permutation(
@@ -1150,9 +1160,11 @@ class CompiledCodec:
         "fixed_size",
         "byte_order",
         "layout",
+        "layout_paths",
         "ops",
         "_root",
         "_trailing",
+        "_syntax_map",
     )
 
     def __init__(
@@ -1162,6 +1174,7 @@ class CompiledCodec:
         root: _Part,
         byte_order: str | None,
         layout: tuple[tuple[str, int, int], ...] | None,
+        layout_paths: tuple[Path | None, ...] | None = None,
     ):
         self.schema = schema
         self.codec = codec
@@ -1170,9 +1183,11 @@ class CompiledCodec:
         self.fixed_size = root.fixed_size
         self.byte_order = byte_order
         self.layout = layout
+        self.layout_paths = layout_paths
         self.ops = root.ops
         self._root = root
         self._trailing = f"trailing bytes after compiled {codec.name} value"
+        self._syntax_map: SyntaxMap | None = None
 
     def __repr__(self) -> str:
         size = self.fixed_size if self.fixed_size is not None else "var"
@@ -1284,6 +1299,34 @@ class CompiledCodec:
         """Conversion to ``dst`` as a word kernel (None when impossible)."""
         return conversion_kernel(self, dst)
 
+    # -- loss-to-element translation --------------------------------------
+
+    def syntax_map(self) -> SyntaxMap | None:
+        """The fixed-layout :class:`SyntaxMap` of every ADU in this syntax.
+
+        Derived from :attr:`layout` and the element paths recorded during
+        the compile-time walk — no second schema walk and no per-ADU
+        ``encode_with_layout`` pass.  Because the layout is fixed, one map
+        serves every ADU of the schema, so a receiver can translate a lost
+        byte range straight into element paths.  Returns None for
+        variable-layout or TLV syntaxes, where extents are data-dependent.
+        """
+        if self.layout is None or self.layout_paths is None:
+            return None
+        if self._syntax_map is None:
+            extents: list[ElementExtent] = []
+            for (kind, off, size), path in zip(self.layout, self.layout_paths):
+                if path is None:
+                    # Pad spans belong to the element they pad (XDR puts
+                    # them after opaque data), matching the interpreted
+                    # codecs' extents.
+                    last = extents[-1]
+                    extents[-1] = ElementExtent(last.path, last.start, off + size)
+                    continue
+                extents.append(ElementExtent(path, off, off + size))
+            self._syntax_map = SyntaxMap(self.syntax, self.fixed_size, extents)
+        return self._syntax_map
+
 
 class CodecCompiler:
     """Compiles (schema, transfer syntax) pairs into :class:`CompiledCodec`.
@@ -1299,15 +1342,15 @@ class CodecCompiler:
             order = "<" if codec.byte_order == "little" else ">"
             root = _flat_compile(schema, order, padded=False)
             byte_order = codec.byte_order
-            layout = _fixed_layout(schema, padded=False)
+            fixed = _fixed_layout(schema, padded=False)
         elif isinstance(codec, XdrCodec):
             root = _flat_compile(schema, ">", padded=True)
             byte_order = "big"
-            layout = _fixed_layout(schema, padded=True)
+            fixed = _fixed_layout(schema, padded=True)
         elif isinstance(codec, BerCodec):
             root = _ber_compile(schema)
             byte_order = None
-            layout = None
+            fixed = None
         else:
             raise PresentationError(
                 f"no compiler for transfer syntax {codec.name!r}"
@@ -1315,9 +1358,10 @@ class CodecCompiler:
         if root.fmt is not None and root.encode_into is None:
             order = "<" if byte_order == "little" else ">"
             _finish_fmt_part(root, order)
-        if layout is not None and root.fixed_size is None:
-            layout = None
-        return CompiledCodec(schema, codec, root, byte_order, layout)
+        if fixed is not None and root.fixed_size is None:
+            fixed = None
+        layout, layout_paths = fixed if fixed is not None else (None, None)
+        return CompiledCodec(schema, codec, root, byte_order, layout, layout_paths)
 
 
 # ---------------------------------------------------------------------------

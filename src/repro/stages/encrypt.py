@@ -171,6 +171,21 @@ class ChainedBlockCipher:
         return bytes(out)
 
 
+def cipher_token(encryption: "WordXorStage | int | None") -> str | None:
+    """Wire identifier of a cipher configuration, for handshake checks.
+
+    A *fingerprint* of the key — never the key itself — so both ends can
+    detect a mismatched cipher config at establishment without putting
+    secrets in INIT headers.  ``None`` means cleartext.  The host-level
+    drain engine also keys plan-shape groups on it.
+    """
+    if encryption is None:
+        return None
+    key = encryption.key if isinstance(encryption, WordXorStage) else encryption
+    digest = (((key & 0xFFFFFFFF) * 0x9E3779B1) + 0x7F4A7C15) & 0xFFFFFFFF
+    return f"word-xor/{digest:08x}"
+
+
 class WordXorStage(Stage):
     """Word-wide constant-key XOR (self-inverse).
 

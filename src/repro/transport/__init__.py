@@ -16,6 +16,7 @@ Two transports over the same network substrate:
 from repro.transport.base import TransportStats, DeliveredAdu
 from repro.transport.tcpstyle import TcpStyleSender, TcpStyleReceiver
 from repro.transport.alf import AlfSender, AlfReceiver, RecoveryMode
+from repro.transport.drain import ReadyAdu, SharedDrainEngine
 from repro.transport.session import (
     Session,
     SessionConfig,
@@ -31,6 +32,8 @@ __all__ = [
     "AlfSender",
     "AlfReceiver",
     "RecoveryMode",
+    "ReadyAdu",
+    "SharedDrainEngine",
     "Session",
     "SessionConfig",
     "SessionInitiator",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Hashable
 
 from repro.buffers.chain import BufferChain
 from repro.control.ack import SelectiveAckTracker
@@ -22,10 +22,12 @@ from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.machine.profile import MIPS_R2000, MachineProfile
-from repro.stages.encrypt import WordXorStage
+from repro.presentation.compiler import schema_fingerprint
+from repro.stages.encrypt import WordXorStage, cipher_token
 from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.fec import FecDecoder, FecFragment
 from repro.transport.alf.sender import WIRE_CHECKSUM, wire_pipeline
+from repro.transport.drain import ReadyAdu, SharedDrainEngine
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.eventloop import EventLoop
@@ -92,6 +94,15 @@ class AlfReceiver:
             burst), so delivery order and ACK behaviour are preserved
             within a simulation timestep; corrupt ADUs are isolated
             row-by-row without discarding the batch.
+        drain_engine: a host-level
+            :class:`~repro.transport.drain.SharedDrainEngine` to drain
+            through instead of self-draining: completed ADUs queue as
+            ready rows and the engine coalesces them with every other
+            flow sharing this flow's :attr:`drain_key` into one
+            ``run_batch`` dispatch per drain epoch.  Implies the batched
+            semantics of ``batch_drain``; the engine calls back into
+            :meth:`resolve_drained` per row, so delivery, ACKs and
+            per-flow corruption accounting are unchanged.
     """
 
     def __init__(
@@ -111,6 +122,7 @@ class AlfReceiver:
         presentation: PresentationBinding | None = None,
         encryption: WordXorStage | int | None = None,
         batch_drain: bool = False,
+        drain_engine: SharedDrainEngine | None = None,
     ):
         self.loop = loop
         self.host = host
@@ -132,7 +144,8 @@ class AlfReceiver:
         if isinstance(encryption, int):
             encryption = WordXorStage(encryption, name="decrypt")
         self._encrypt: WordXorStage | None = encryption
-        self.batch_drain = bool(batch_drain)
+        self.drain_engine = drain_engine
+        self.batch_drain = bool(batch_drain) or drain_engine is not None
         self._wire_plan: CompiledPlan | None = None
         self.counter = counter or InstructionCounter()
         self.tracer = tracer or Tracer(enabled=False)
@@ -140,16 +153,19 @@ class AlfReceiver:
 
         self.acks = SelectiveAckTracker(counter=self.counter)
         self._partial: dict[int, _PartialAdu] = {}
-        self._ready: list[tuple[int, _PartialAdu, Any, int]] = []
+        self._ready: list[ReadyAdu] = []
         self._drain_scheduled = False
         self._delivered: set[int] = set()
         self._next_in_order = 0
+        self._closed = False
         self.out_of_order_deliveries = 0
         self.fec_recoveries = 0
         self.batch_drains = 0
         self.batch_drained_adus = 0
 
         host.bind(PROTOCOL, flow_id, self._on_fragment)
+        if drain_engine is not None:
+            drain_engine.register(self)
         if ack_interval > 0:
             self.loop.schedule(ack_interval, self._periodic_ack)
 
@@ -288,9 +304,13 @@ class AlfReceiver:
             return
         if self.batch_drain:
             # Verification is deferred to the batched drain: the whole
-            # queue runs through one CompiledPlan.run_batch call.
-            self._ready.append((sequence, partial, adu, expected))
-            if not self._drain_scheduled:
+            # queue runs through one CompiledPlan.run_batch call —
+            # the host-wide engine's shared dispatch when registered,
+            # this flow's own otherwise.
+            self._ready.append(ReadyAdu(sequence, partial, adu, expected))
+            if self.drain_engine is not None:
+                self.drain_engine.notify_ready(self)
+            elif not self._drain_scheduled:
                 self._drain_scheduled = True
                 self.loop.schedule(0.0, self._auto_drain)
             return
@@ -337,25 +357,100 @@ class AlfReceiver:
         ready, self._ready = self._ready, []
         if not ready:
             return 0
-        batch = self.wire_plan.run_batch([adu.payload for _, _, adu, _ in ready])
+        batch = self.wire_plan.run_batch([entry.adu.payload for entry in ready])
         checksums = batch.observations[WIRE_CHECKSUM]
         self.batch_drains += 1
-        self.batch_drained_adus += len(ready)
         delivered = 0
-        for (sequence, partial, adu, expected), checksum, out in zip(
-            ready, checksums, batch.outputs
-        ):
-            if checksum != expected:
-                self.stats.checksum_failures += 1
-                self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=sequence)
-                self._discard_payload(adu.payload)
-                self._release_fragments(partial)
-                continue
-            self._release_fragments(partial)
-            before = len(self._delivered)
-            self._deliver_adu(sequence, adu, plan_out=out)
-            delivered += len(self._delivered) - before
+        for entry, checksum, out in zip(ready, checksums, batch.outputs):
+            delivered += self.resolve_drained(entry, checksum, out)
         return delivered
+
+    # ------------------------------------------------------------------
+    # Host-level drain engine interface
+
+    @property
+    def drain_key(self) -> Hashable:
+        """What must match for two flows to share one drain dispatch.
+
+        Compiled wire-plan cache key × schema fingerprint × cipher
+        token.  The plan key already folds in the fused conversion and
+        cipher lowering tokens; the schema fingerprint additionally
+        separates stage-path (non-fused) presentation bindings whose
+        wire plans look identical, and the cipher token keeps the group
+        identity stable and human-attributable in traces.
+        """
+        binding = self.presentation
+        schema_fp = (
+            (
+                schema_fingerprint(binding.schema),
+                binding.local.name,
+                binding.wire.name,
+            )
+            if binding is not None
+            else None
+        )
+        return (self.wire_plan.key, schema_fp, cipher_token(self._encrypt))
+
+    @property
+    def pending_ready(self) -> int:
+        """Completed-but-unverified ADUs queued for the next drain."""
+        return len(self._ready)
+
+    def pop_ready(self) -> ReadyAdu:
+        """Hand the oldest ready row to the drain engine (FIFO)."""
+        return self._ready.pop(0)
+
+    def resolve_drained(self, entry: ReadyAdu, checksum: int, out) -> int:
+        """Resolve one drained row: verify, then deliver exactly once.
+
+        Called per row by both this flow's own :meth:`run_batch` and the
+        shared engine's cross-flow dispatch.  A checksum mismatch
+        penalizes only this flow (its ``stats.checksum_failures``); a
+        verified row rides the normal delivery path, whose
+        delivered-set dedupe guarantees exactly-once.  Returns ADUs
+        delivered (0 or 1).
+        """
+        self.batch_drained_adus += 1
+        if checksum != entry.expected:
+            self.stats.checksum_failures += 1
+            self.tracer.emit(self.loop.now, "alf", "bad-adu", seq=entry.sequence)
+            self._discard_payload(entry.adu.payload)
+            self._release_fragments(entry.partial)
+            return 0
+        self._release_fragments(entry.partial)
+        before = len(self._delivered)
+        self._deliver_adu(entry.sequence, entry.adu, plan_out=out)
+        return len(self._delivered) - before
+
+    def discard_ready(self) -> None:
+        """Release every queued ready row's buffer references.
+
+        Used at teardown (engine shutdown or :meth:`close`) so flows
+        with in-flight ready rows return their pooled segments.
+        """
+        ready, self._ready = self._ready, []
+        for entry in ready:
+            self._discard_payload(entry.adu.payload)
+            self._release_fragments(entry.partial)
+
+    def close(self) -> None:
+        """Tear the flow down: release buffers and unbind.
+
+        Queued ready rows and partially reassembled ADUs release their
+        fragment chains, the flow unbinds from the host, and a
+        registered drain engine drops the flow from its plan group.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.discard_ready()
+        for partial in list(self._partial.values()):
+            self._release_fragments(partial)
+        self._partial.clear()
+        if self.drain_engine is not None:
+            self.drain_engine.unregister(self)
+        self.host.unbind(PROTOCOL, self.flow_id)
 
     def _deliver_adu(
         self,
@@ -446,7 +541,7 @@ class AlfReceiver:
         payload = self.acks.ack_payload()
         # ADUs with fragments present — or complete and queued for the
         # batched drain — are in flight, not missing yet.
-        pending = {entry[0] for entry in self._ready}
+        pending = {entry.sequence for entry in self._ready}
         missing = [
             sequence
             for sequence in payload["missing"]

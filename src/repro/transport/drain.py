@@ -1,0 +1,288 @@
+"""Host-level shared-plan drain engine: cross-flow ADU batching.
+
+PRs 1–4 collapsed each flow's wire manipulation into one compiled read
+pass, and ``AlfReceiver(batch_drain=True)`` amortizes dispatch *within*
+a flow by draining its reassembly queue through a single
+:meth:`~repro.ilp.compiler.CompiledPlan.run_batch` call.  But a host
+serving many associations still pays one dispatch per flow per drain —
+per-connection processing of what §4 frames as a shared host resource.
+Once demultiplexing has tagged each ADU with its flow state, the
+*manipulation* (verify + decrypt + convert) is identical for every flow
+whose wire plan has the same shape, so nothing prevents batching rows
+from different associations into one vectorized dispatch.
+
+:class:`SharedDrainEngine` does exactly that.  Receivers register keyed
+by their :attr:`~repro.transport.alf.receiver.AlfReceiver.drain_key`
+(compiled-plan cache key × schema fingerprint × cipher token); each
+drain epoch coalesces the completed-but-unverified ADUs of *all* flows
+sharing a key into one ``run_batch`` call:
+
+* **fairness** — rows are collected round-robin across the group's
+  flows (rotating the starting flow each dispatch), so under the
+  max-rows cap no flow can monopolize a batch;
+* **flush policy** — an epoch fires on the event loop either
+  immediately when the pending backlog reaches ``max_rows`` or after
+  ``max_delay`` from the first pending row (the default 0.0 keeps the
+  per-flow drain's same-timestep delivery semantics);
+* **corruption isolation** — verification is per row; a corrupt ADU is
+  charged to its owning flow's ``stats.checksum_failures`` and released,
+  without discarding any other flow's rows;
+* **exactly-once delivery** — each verified row is routed back through
+  its owning receiver's normal delivery path, which dedupes on the
+  flow's delivered-set.
+
+Dispatch amortization is measured, not asserted:
+:class:`~repro.machine.accounting.DrainCounters` (surfaced by
+``repro drain stats``) counts dispatches, rows per dispatch, cross-flow
+batches and fairness stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.errors import TransportError
+from repro.machine.accounting import DrainCounters, drain_counters
+from repro.sim.eventloop import Event, EventLoop
+from repro.sim.trace import Tracer
+from repro.transport.alf.sender import WIRE_CHECKSUM
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.transport.alf.receiver import AlfReceiver
+
+
+@dataclass
+class ReadyAdu:
+    """One completed-but-unverified ADU queued for a batched drain.
+
+    Attributes:
+        sequence: the ADU's sequence number on its flow.
+        partial: the receiver's reassembly record (fragment buffers are
+            released when the row resolves).
+        adu: the reassembled ADU (payload may be a scatter-gather chain).
+        expected: the checksum the wire plan's observation must match.
+    """
+
+    sequence: int
+    partial: Any
+    adu: Any
+    expected: int
+
+
+@dataclass
+class _PlanGroup:
+    """The flows sharing one wire-plan shape, in registration order."""
+
+    flows: list["AlfReceiver"] = field(default_factory=list)
+    rotation: int = 0
+
+
+class SharedDrainEngine:
+    """Coalesces ready ADUs across flows into shared plan dispatches.
+
+    Args:
+        loop: the event loop drain epochs are scheduled on.
+        max_rows: cap on ADU rows per ``run_batch`` dispatch.  Reaching
+            it flushes immediately; a group whose backlog exceeds it
+            splits the epoch into several capped dispatches (counted as
+            fairness stalls), each collected round-robin.
+        max_delay: seconds a pending row may wait for more rows to
+            coalesce.  0.0 (default) drains on the next zero-delay
+            event, preserving the per-flow drain's delivery timing.
+        counters: drain ledger (defaults to the process-wide
+            :func:`~repro.machine.accounting.drain_counters`).
+        tracer: optional event tracer.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        max_rows: int = 256,
+        max_delay: float = 0.0,
+        counters: DrainCounters | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if max_rows <= 0:
+            raise TransportError(f"max_rows must be positive, got {max_rows}")
+        if max_delay < 0:
+            raise TransportError(f"max_delay must be >= 0, got {max_delay}")
+        self.loop = loop
+        self.max_rows = max_rows
+        self.max_delay = max_delay
+        self.counters = counters if counters is not None else drain_counters()
+        self.tracer = tracer or Tracer(enabled=False)
+        self._groups: dict[Hashable, _PlanGroup] = {}
+        self._keys: dict[int, Hashable] = {}  # id(receiver) -> group key
+        self._receivers: dict[int, "AlfReceiver"] = {}
+        self._flush_event: Event | None = None
+        self._flush_due: float = 0.0
+        self.delivered_total = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(self, receiver: "AlfReceiver") -> None:
+        """Add a flow; its ready rows join its plan-shape group."""
+        handle = id(receiver)
+        if handle in self._keys:
+            raise TransportError(
+                f"flow {receiver.flow_id} already registered with this engine"
+            )
+        key = receiver.drain_key
+        self._groups.setdefault(key, _PlanGroup()).flows.append(receiver)
+        self._keys[handle] = key
+        self._receivers[handle] = receiver
+        self.tracer.emit(self.loop.now, "drain", "register",
+                         flow_id=receiver.flow_id, groups=len(self._groups))
+
+    def unregister(self, receiver: "AlfReceiver") -> None:
+        """Remove a flow (its still-queued rows stay with the receiver;
+        callers that are tearing the flow down should
+        ``receiver.discard_ready()`` first)."""
+        handle = id(receiver)
+        key = self._keys.pop(handle, None)
+        if key is None:
+            return
+        self._receivers.pop(handle, None)
+        group = self._groups[key]
+        group.flows = [flow for flow in group.flows if flow is not receiver]
+        if not group.flows:
+            del self._groups[key]
+
+    @property
+    def flow_count(self) -> int:
+        """Registered flows."""
+        return len(self._keys)
+
+    @property
+    def group_count(self) -> int:
+        """Distinct wire-plan shapes currently registered."""
+        return len(self._groups)
+
+    @property
+    def pending_rows(self) -> int:
+        """Ready ADUs queued across every registered flow."""
+        return sum(
+            receiver.pending_ready for receiver in self._receivers.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Flush scheduling
+
+    def notify_ready(self, receiver: "AlfReceiver") -> None:
+        """A registered flow queued a completed ADU: (re)arm the flush.
+
+        Backlog at or past ``max_rows`` flushes on the next zero-delay
+        event; otherwise the epoch fires ``max_delay`` after the first
+        pending row (never later than an already-armed flush).
+        """
+        if id(receiver) not in self._keys:
+            raise TransportError(
+                f"flow {receiver.flow_id} is not registered with this engine"
+            )
+        delay = 0.0 if self.pending_rows >= self.max_rows else self.max_delay
+        due = self.loop.now + delay
+        if self._flush_event is not None:
+            if self._flush_due <= due:
+                return
+            self._flush_event.cancel()
+        self._flush_event = self.loop.schedule(delay, self._flush_epoch)
+        self._flush_due = due
+
+    def _flush_epoch(self) -> None:
+        self._flush_event = None
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Draining
+
+    def flush(self) -> int:
+        """Drain every group's backlog now; returns ADUs delivered.
+
+        Each group issues one ``run_batch`` dispatch per ``max_rows``
+        window, rows collected one-per-flow round-robin.  Callers may
+        invoke this directly (benchmarks do); scheduled epochs arrive
+        here too.
+        """
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        self.counters.epochs += 1
+        delivered = 0
+        for group in list(self._groups.values()):
+            delivered += self._drain_group(group)
+        self.delivered_total += delivered
+        return delivered
+
+    def _drain_group(self, group: _PlanGroup) -> int:
+        delivered = 0
+        while True:
+            backlog = [flow for flow in group.flows if flow.pending_ready]
+            if not backlog:
+                return delivered
+            start = group.rotation % len(backlog)
+            order = backlog[start:] + backlog[:start]
+            group.rotation += 1
+            rows: list[tuple["AlfReceiver", ReadyAdu]] = []
+            while len(rows) < self.max_rows:
+                took = False
+                for flow in order:
+                    if flow.pending_ready:
+                        rows.append((flow, flow.pop_ready()))
+                        took = True
+                        if len(rows) >= self.max_rows:
+                            break
+                if not took:
+                    break
+            capped = any(flow.pending_ready for flow in order)
+            delivered += self._dispatch(rows, capped)
+            if not capped:
+                return delivered
+
+    def _dispatch(
+        self, rows: list[tuple["AlfReceiver", ReadyAdu]], capped: bool
+    ) -> int:
+        plan = rows[0][0].wire_plan
+        batch = plan.run_batch([entry.adu.payload for _, entry in rows])
+        checksums = batch.observations[WIRE_CHECKSUM]
+        n_flows = len({id(receiver) for receiver, _ in rows})
+        self.counters.record_dispatch(len(rows), n_flows, capped)
+        self.tracer.emit(self.loop.now, "drain", "dispatch",
+                         rows=len(rows), flows=n_flows, capped=capped)
+        delivered = 0
+        for (receiver, entry), checksum, out in zip(rows, checksums, batch.outputs):
+            if checksum != entry.expected:
+                self.counters.corrupt_rows += 1
+            delivered += receiver.resolve_drained(entry, checksum, out)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Teardown
+
+    def shutdown(self) -> None:
+        """Stop draining and release every flow's in-flight ready rows.
+
+        Safe mid-drain: each registered receiver discards its queued
+        rows (releasing fragment and payload buffer references back to
+        their pools) and is unregistered.  The engine can be reused by
+        registering flows again.
+        """
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        for receiver in list(self._receivers.values()):
+            receiver.discard_ready()
+            self.unregister(receiver)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def snapshot(self) -> dict[str, object]:
+        """Engine state plus its counters, for benches and the CLI."""
+        data = self.counters.snapshot()
+        data["flows"] = self.flow_count
+        data["plan_groups"] = self.group_count
+        data["pending_rows"] = self.pending_rows
+        data["delivered_total"] = self.delivered_total
+        return data

@@ -37,7 +37,7 @@ from repro.sim.eventloop import EventLoop
 from repro.sim.trace import Tracer
 from repro.stages.base import Stage
 from repro.stages.checksum import ChecksumComputeStage
-from repro.stages.encrypt import WordXorStage
+from repro.stages.encrypt import WordXorStage, cipher_token
 from repro.stages.presentation import (
     ByteswapStage,
     PresentationBinding,
@@ -45,24 +45,13 @@ from repro.stages.presentation import (
 )
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
 from repro.transport.base import DeliveredAdu
+from repro.transport.drain import SharedDrainEngine
 
 PROTOCOL = "session"
 
 _flow_ids = itertools.count(1000)
 
 
-def cipher_token(encryption: WordXorStage | int | None) -> str | None:
-    """Wire identifier of a cipher configuration, for handshake checks.
-
-    A *fingerprint* of the key — never the key itself — so both ends can
-    detect a mismatched cipher config at establishment without putting
-    secrets in INIT headers.  ``None`` means cleartext.
-    """
-    if encryption is None:
-        return None
-    key = encryption.key if isinstance(encryption, WordXorStage) else encryption
-    digest = (((key & 0xFFFFFFFF) * 0x9E3779B1) + 0x7F4A7C15) & 0xFFFFFFFF
-    return f"word-xor/{digest:08x}"
 
 
 def session_wire_pipeline(
@@ -183,6 +172,16 @@ class SessionListener:
         batch_drain: forwarded to the ALF receivers this listener builds
             (queue completed ADUs and verify+decrypt+convert them in one
             batched pass).
+        shared_drain: drain every accepted flow through one host-wide
+            :class:`~repro.transport.drain.SharedDrainEngine`: flows
+            whose wire plans share a shape coalesce into one
+            ``run_batch`` dispatch per drain epoch instead of one per
+            flow.  Implies the batched semantics of ``batch_drain``.
+        drain_engine: an existing engine to register accepted flows
+            with (several listeners — or hand-built receivers — can
+            share one); implies ``shared_drain``.  When ``shared_drain``
+            is set without an engine, the listener creates one for this
+            host.
     """
 
     def __init__(
@@ -200,6 +199,8 @@ class SessionListener:
         presentation: bool = False,
         encryption: int | None = None,
         batch_drain: bool = False,
+        shared_drain: bool = False,
+        drain_engine: SharedDrainEngine | None = None,
     ):
         self.loop = loop
         self.host = host
@@ -214,8 +215,12 @@ class SessionListener:
         self.presentation = bool(presentation)
         self.encryption = encryption
         self.batch_drain = bool(batch_drain)
+        if drain_engine is None and shared_drain:
+            drain_engine = SharedDrainEngine(loop, tracer=self.tracer)
+        self.drain_engine = drain_engine
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
+        self._closed = False
         host.bind_protocol(PROTOCOL, self._on_packet)
 
     def _on_packet(self, packet: Packet) -> None:
@@ -312,6 +317,7 @@ class SessionListener:
                 else None
             ),
             batch_drain=self.batch_drain,
+            drain_engine=self.drain_engine,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -322,6 +328,19 @@ class SessionListener:
     def _deliver(self, flow_id: int, adu: DeliveredAdu) -> None:
         if self.deliver is not None:
             self.deliver(flow_id, adu)
+
+    def close(self) -> None:
+        """Tear the listener down: close every accepted flow's receiver
+        (releasing in-flight buffers, unregistering from the drain
+        engine) and unbind the session protocol so a fresh listener can
+        bind on the same host.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self.sessions.values():
+            if session.receiver is not None:
+                session.receiver.close()
+        self.host.unbind_protocol(PROTOCOL)
 
     def _send_accept(self, peer: str, flow_id: int) -> None:
         self.host.send(

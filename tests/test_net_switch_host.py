@@ -71,6 +71,72 @@ class TestHost:
         host.receive(packet(flow=1))
         assert host.undeliverable == 1
 
+    def test_unbind_protocol(self):
+        loop = EventLoop()
+        host = Host(loop, "h")
+        host.bind_protocol("t", lambda p: None)
+        host.unbind_protocol("t")
+        host.receive(packet(flow=3))
+        assert host.undeliverable == 1
+        host.unbind_protocol("t")  # idempotent
+        # The slot is free again: a fresh listener can bind.
+        got = []
+        host.bind_protocol("t", got.append)
+        host.receive(packet(flow=3))
+        assert len(got) == 1
+
+    def test_undeliverable_releases_dma_chain(self):
+        from repro.buffers import BufferPool
+
+        loop = EventLoop()
+        pool = BufferPool(8, 256, label="rx")
+        host = Host(loop, "h", rx_pool=pool)
+        host.bind_protocol("t", lambda p: None)
+        host.unbind_protocol("t")
+        for n in range(3):
+            host.receive(packet(flow=n, size=200))
+        assert host.undeliverable == 3
+        # The DMA'd payload chains went back to the pool, not leaked.
+        assert pool.snapshot()["in_use"] == 0
+        assert pool.leak_report() == []
+
+    def test_hot_flow_memo_counts_back_to_back_packets(self):
+        loop = EventLoop()
+        host = Host(loop, "h")
+        got = []
+        host.bind("t", 1, got.append)
+        host.bind("t", 2, got.append)
+        for flow in (1, 1, 1, 2, 2, 1):
+            host.receive(packet(flow=flow))
+        # Runs of the same flow resolve the handler once: 3 of the 6
+        # packets ride the memo (the second and third 1s, the second 2).
+        assert len(got) == 6
+        assert host.demux_memo_hits == 3
+
+    def test_memo_invalidated_by_binding_changes(self):
+        loop = EventLoop()
+        host = Host(loop, "h")
+        got = []
+        host.bind("t", 1, got.append)
+        host.receive(packet(flow=1))
+        host.unbind("t", 1)
+        # The memoized handler must not outlive its binding.
+        host.receive(packet(flow=1))
+        assert host.undeliverable == 1
+        assert host.demux_memo_hits == 0
+
+    def test_receive_burst_delivers_in_order(self):
+        loop = EventLoop()
+        host = Host(loop, "h")
+        got = []
+        host.bind("t", 1, got.append)
+        host.bind("t", 2, got.append)
+        train = [packet(flow=1, n=i) for i in range(4)] + [packet(flow=2, n=9)]
+        host.receive_burst(train)
+        assert [p.header["n"] for p in got] == [0, 1, 2, 3, 9]
+        assert host.bursts == 1
+        assert host.demux_memo_hits == 3
+
     def test_send_requires_link(self):
         loop = EventLoop()
         host = Host(loop, "h")

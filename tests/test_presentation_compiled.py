@@ -259,5 +259,78 @@ def test_fingerprint_distinguishes_structurally_different_schemas():
     )
 
 
+# --- loss-to-element translation from the compiled layout ---------------
+
+FIXED_SCHEMA = Struct(
+    (
+        Field("id", Int32()),
+        Field("tag", OctetString(fixed_length=5)),
+        Field("samples", ArrayOf(Float64(), fixed_count=2)),
+    )
+)
+FIXED_VALUE = {"id": 7, "tag": b"hello", "samples": [1.5, -2.5]}
+
+
+class TestSyntaxMapFromLayout:
+    def test_matches_interpreted_map_per_codec(self):
+        cache = CodecCache()
+        for codec in (LwtsCodec("little"), LwtsCodec("big"), XdrCodec()):
+            compiled = cache.get_or_compile(FIXED_SCHEMA, codec)
+            derived = compiled.syntax_map()
+            interpreted = codec.syntax_map(FIXED_VALUE, FIXED_SCHEMA)
+            assert derived is not None
+            assert derived.total_length == interpreted.total_length
+            assert [
+                (e.path, e.start, e.end) for e in derived.extents
+            ] == [(e.path, e.start, e.end) for e in interpreted.extents]
+
+    def test_lost_byte_ranges_name_the_elements(self):
+        from repro.presentation.namespace import elements_for_range
+
+        compiled = CodecCache().get_or_compile(FIXED_SCHEMA, LwtsCodec("little"))
+        syntax_map = compiled.syntax_map()
+        # id 4B @0, tag 5B @4, samples 8B each @9 and @17.
+        assert elements_for_range(syntax_map, 0, 4) == [("id",)]
+        assert elements_for_range(syntax_map, 2, 10) == [
+            ("id",), ("tag",), ("samples", 0),
+        ]
+        assert elements_for_range(syntax_map, 17, 25) == [("samples", 1)]
+        # A whole-ADU loss names everything; an empty range nothing.
+        assert len(elements_for_range(syntax_map, 0, syntax_map.total_length)) == 4
+        assert elements_for_range(syntax_map, 4, 4) == []
+
+    def test_xdr_pad_bytes_charged_to_the_padded_element(self):
+        compiled = CodecCache().get_or_compile(FIXED_SCHEMA, XdrCodec())
+        extent = compiled.syntax_map().extent_of(("tag",))
+        # 5 content bytes + 3 pad bytes: losing the pad loses the element.
+        assert extent.length == 8
+
+    def test_variable_layouts_have_no_static_map(self):
+        cache = CodecCache()
+        variable = Struct((Field("s", Utf8String()),))
+        assert cache.get_or_compile(variable, XdrCodec()).syntax_map() is None
+        # TLV extents are data-dependent even for fixed schemas.
+        assert cache.get_or_compile(FIXED_SCHEMA, BerCodec()).syntax_map() is None
+
+    def test_map_is_computed_once_and_cached(self):
+        compiled = CodecCache().get_or_compile(FIXED_SCHEMA, LwtsCodec("big"))
+        assert compiled.syntax_map() is compiled.syntax_map()
+
+    @settings(max_examples=40, deadline=None)
+    @given(schema_and_value)
+    def test_derived_map_matches_interpreted_when_fixed(self, pair):
+        schema, value = pair
+        for codec in (LwtsCodec("little"), XdrCodec()):
+            compiled = CodecCache().get_or_compile(schema, codec)
+            derived = compiled.syntax_map()
+            if derived is None:
+                continue  # variable layout: no static map exists
+            interpreted = codec.syntax_map(value, schema)
+            assert derived.total_length == interpreted.total_length
+            assert [
+                (e.path, e.start, e.end) for e in derived.extents
+            ] == [(e.path, e.start, e.end) for e in interpreted.extents]
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,339 @@
+"""Host-level shared drain engine: cross-flow batching from demux to delivery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.buffers import BufferPool
+from repro.core.adu import Adu, fragment_adu
+from repro.errors import TransportError
+from repro.machine.accounting import DrainCounters
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.topology import two_hosts
+from repro.sim.eventloop import EventLoop
+from repro.stages.checksum import internet_checksum
+from repro.stages.encrypt import WordXorStage
+from repro.transport.alf import AlfReceiver, AlfSender
+from repro.transport.alf.receiver import PROTOCOL
+from repro.transport.drain import SharedDrainEngine
+
+KEY = 0x0BADF00D
+
+
+def adu_payload(seed: int, n_bytes: int = 256) -> bytes:
+    return random.Random(seed).randbytes(n_bytes)
+
+
+def encrypted_packets(flow_id, payloads, mtu=2048, key=KEY):
+    """The wire stream an encrypting sender emits for one flow: the
+    ciphertext fragments, checksummed over the ciphertext."""
+    cipher = WordXorStage(key)
+    packets = []
+    for sequence, payload in enumerate(payloads):
+        ciphertext = cipher.apply(payload)
+        checksum = internet_checksum(ciphertext)
+        adu = Adu(sequence=sequence, payload=ciphertext, name={"i": sequence})
+        for fragment in fragment_adu(adu, mtu, checksum=checksum):
+            packets.append(
+                Packet(
+                    src="a",
+                    dst="b",
+                    protocol=PROTOCOL,
+                    flow_id=flow_id,
+                    header=AlfSender._fragment_header(fragment),
+                    payload=fragment.payload,
+                )
+            )
+    return packets
+
+
+def make_env(n_flows=3, engine_kwargs=None, receiver_kwargs=None):
+    """An engine plus ``n_flows`` registered encrypted receivers on one
+    host (fed synthetically; the loop only runs in the timing tests)."""
+    path = two_hosts(seed=2)
+    engine = SharedDrainEngine(
+        path.loop, counters=DrainCounters(), **(engine_kwargs or {})
+    )
+    delivered = {}
+    receivers = []
+    for flow_id in range(1, n_flows + 1):
+        receivers.append(
+            AlfReceiver(
+                path.loop,
+                path.b,
+                "a",
+                flow_id,
+                deliver=lambda d, fid=flow_id: delivered.setdefault(
+                    fid, {}
+                ).__setitem__(d.sequence, bytes(d.payload)),
+                zero_copy=False,
+                encryption=KEY,
+                drain_engine=engine,
+                **(receiver_kwargs or {}),
+            )
+        )
+    return path, engine, receivers, delivered
+
+
+class TestGrouping:
+    def test_same_shape_flows_share_one_group(self):
+        path, engine, receivers, _ = make_env(n_flows=3)
+        assert engine.flow_count == 3
+        assert engine.group_count == 1
+
+    def test_different_cipher_splits_groups(self):
+        path, engine, receivers, _ = make_env(n_flows=2)
+        AlfReceiver(
+            path.loop, path.b, "a", 9,
+            deliver=lambda d: None,
+            zero_copy=False,
+            drain_engine=engine,  # cleartext: different plan shape
+        )
+        assert engine.flow_count == 3
+        assert engine.group_count == 2
+
+    def test_duplicate_register_rejected(self):
+        path, engine, receivers, _ = make_env(n_flows=1)
+        with pytest.raises(TransportError):
+            engine.register(receivers[0])
+
+    def test_notify_requires_registration(self):
+        path, engine, receivers, _ = make_env(n_flows=1)
+        stranger = AlfReceiver(
+            path.loop, path.b, "a", 55,
+            deliver=lambda d: None, zero_copy=False, batch_drain=True,
+        )
+        with pytest.raises(TransportError):
+            engine.notify_ready(stranger)
+
+    def test_unregister_empties_group(self):
+        path, engine, receivers, _ = make_env(n_flows=2)
+        for receiver in receivers:
+            engine.unregister(receiver)
+        assert engine.flow_count == 0
+        assert engine.group_count == 0
+        engine.unregister(receivers[0])  # idempotent
+
+
+class TestCrossFlowDispatch:
+    def test_one_dispatch_covers_all_flows(self):
+        path, engine, receivers, delivered = make_env(n_flows=3)
+        payloads = {
+            r.flow_id: [adu_payload(10 * r.flow_id + i) for i in range(4)]
+            for r in receivers
+        }
+        for receiver in receivers:
+            for packet in encrypted_packets(receiver.flow_id, payloads[receiver.flow_id]):
+                path.b.receive(packet)
+        assert engine.pending_rows == 12
+        assert engine.flush() == 12
+        counters = engine.counters
+        assert counters.dispatches == 1
+        assert counters.rows_dispatched == 12
+        assert counters.cross_flow_batches == 1
+        assert counters.epochs == 1
+        assert counters.rows_per_dispatch == 12.0
+        assert engine.delivered_total == 12
+        for receiver in receivers:
+            rows = delivered[receiver.flow_id]
+            assert [rows[i] for i in range(4)] == payloads[receiver.flow_id]
+
+    def test_max_rows_splits_epoch_round_robin(self):
+        path, engine, receivers, delivered = make_env(
+            n_flows=2, engine_kwargs={"max_rows": 4}
+        )
+        flow_a, flow_b = receivers
+        a_payloads = [adu_payload(100 + i) for i in range(6)]
+        b_payloads = [adu_payload(200 + i) for i in range(2)]
+        for packet in encrypted_packets(flow_a.flow_id, a_payloads):
+            path.b.receive(packet)
+        for packet in encrypted_packets(flow_b.flow_id, b_payloads):
+            path.b.receive(packet)
+        assert engine.flush() == 8
+        counters = engine.counters
+        assert counters.dispatches == 2
+        # Fairness: the first (capped) dispatch interleaved both flows
+        # round-robin instead of draining the deep flow first.
+        assert counters.cross_flow_batches == 1
+        assert counters.fairness_stalls == 1
+        assert [delivered[flow_a.flow_id][i] for i in range(6)] == a_payloads
+        assert [delivered[flow_b.flow_id][i] for i in range(2)] == b_payloads
+
+    def test_exactly_once_under_duplicate_arrivals(self):
+        path, engine, receivers, delivered = make_env(n_flows=2)
+        payloads = {r.flow_id: [adu_payload(300 + r.flow_id)] for r in receivers}
+        packets = [
+            packet
+            for receiver in receivers
+            for packet in encrypted_packets(receiver.flow_id, payloads[receiver.flow_id])
+        ]
+        for packet in packets:
+            path.b.receive(packet)
+        assert engine.flush() == 2
+        # The same wire stream again: every fragment is a duplicate of a
+        # delivered ADU and must not produce a second delivery.
+        for packet in packets:
+            path.b.receive(packet.copy())
+        assert engine.flush() == 0
+        assert engine.delivered_total == 2
+        for receiver in receivers:
+            assert list(delivered[receiver.flow_id]) == [0]
+            assert receiver.stats.duplicates_discarded == 1
+
+    def test_corruption_penalizes_only_the_owning_flow(self):
+        path, engine, receivers, delivered = make_env(n_flows=2)
+        good, victim = receivers
+        good_payloads = [adu_payload(400 + i) for i in range(2)]
+        victim_payloads = [adu_payload(500 + i) for i in range(2)]
+        for packet in encrypted_packets(good.flow_id, good_payloads):
+            path.b.receive(packet)
+        victim_packets = encrypted_packets(victim.flow_id, victim_payloads)
+        # Corrupt the second ADU on the wire: advertised checksum no
+        # longer matches the ciphertext.
+        victim_packets[1].header["adu_csum"] = (
+            victim_packets[1].header["adu_csum"] + 1
+        ) & 0xFFFF
+        for packet in victim_packets:
+            path.b.receive(packet)
+        assert engine.flush() == 3
+        assert engine.counters.corrupt_rows == 1
+        assert victim.stats.checksum_failures == 1
+        assert good.stats.checksum_failures == 0
+        assert [delivered[good.flow_id][i] for i in range(2)] == good_payloads
+        assert list(delivered[victim.flow_id]) == [0]
+        assert delivered[victim.flow_id][0] == victim_payloads[0]
+
+
+class TestFlushPolicy:
+    def test_deadline_flush_waits_max_delay(self):
+        path, engine, receivers, delivered = make_env(
+            n_flows=1, engine_kwargs={"max_delay": 0.02}
+        )
+        packets = encrypted_packets(1, [adu_payload(600)])
+
+        def feed():
+            for packet in packets:
+                path.b.receive(packet)
+
+        path.loop.schedule(0.001, feed)
+        path.loop.run(until=0.01)
+        assert delivered.get(1) is None  # epoch still pending
+        assert engine.pending_rows == 1
+        path.loop.run(until=0.05)
+        assert list(delivered[1]) == [0]
+
+    def test_backlog_at_max_rows_flushes_immediately(self):
+        path, engine, receivers, delivered = make_env(
+            n_flows=1, engine_kwargs={"max_delay": 10.0, "max_rows": 2}
+        )
+        packets = encrypted_packets(1, [adu_payload(700 + i) for i in range(2)])
+
+        def feed():
+            for packet in packets:
+                path.b.receive(packet)
+
+        path.loop.schedule(0.001, feed)
+        path.loop.run(until=0.01)  # far before the 10 s deadline
+        assert sorted(delivered[1]) == [0, 1]
+
+    def test_invalid_configuration_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(TransportError):
+            SharedDrainEngine(loop, max_rows=0)
+        with pytest.raises(TransportError):
+            SharedDrainEngine(loop, max_delay=-1.0)
+
+
+class TestTeardown:
+    def make_pooled_env(self):
+        loop = EventLoop()
+        a = Host(loop, "a")
+        pool = BufferPool(64, 4096, label="rx")
+        b = Host(loop, "b", rx_pool=pool)
+        link_ab = Link(loop, random.Random(3))
+        link_ba = Link(loop, random.Random(4))
+        a.add_link("b", link_ab)
+        b.add_link("a", link_ba)
+        link_ab.connect(b.receive)
+        link_ba.connect(a.receive)
+        engine = SharedDrainEngine(loop, counters=DrainCounters())
+        receivers = [
+            AlfReceiver(
+                loop, b, "a", flow_id,
+                deliver=lambda d: None,
+                zero_copy=True,
+                encryption=KEY,
+                drain_engine=engine,
+            )
+            for flow_id in (1, 2)
+        ]
+        return b, pool, engine, receivers
+
+    def test_shutdown_mid_drain_leaves_pool_clean(self):
+        b, pool, engine, receivers = self.make_pooled_env()
+        # Ready rows queued on both flows (chains over pooled segments),
+        # plus a half-reassembled ADU on flow 1 — a drain is due but has
+        # not run when the host tears the engine down.
+        for receiver in receivers:
+            for packet in encrypted_packets(
+                receiver.flow_id, [adu_payload(800 + receiver.flow_id + i) for i in range(2)]
+            ):
+                b.receive(packet)
+        straggler = encrypted_packets(1, [adu_payload(900, n_bytes=4096)], mtu=1024)
+        for packet in straggler[:2]:  # 2 of 4 fragments: stays partial
+            b.receive(packet)
+        assert engine.pending_rows == 4
+        assert pool.snapshot()["in_use"] > 0
+        engine.shutdown()
+        assert engine.flow_count == 0
+        assert engine.pending_rows == 0
+        for receiver in receivers:
+            receiver.close()
+        assert pool.snapshot()["in_use"] == 0
+        assert pool.leak_report() == []
+
+    def test_closed_receiver_leaves_engine_and_host(self):
+        b, pool, engine, receivers = self.make_pooled_env()
+        receivers[0].close()
+        receivers[0].close()  # idempotent
+        assert engine.flow_count == 1
+        # The flow's binding is gone: its packets are now undeliverable
+        # and their DMA chains must be released, not leaked.
+        for packet in encrypted_packets(1, [adu_payload(950)]):
+            b.receive(packet)
+        assert b.undeliverable == 1
+        assert pool.snapshot()["in_use"] == 0
+        assert pool.leak_report() == []
+
+    def test_engine_reusable_after_shutdown(self):
+        path, engine, receivers, delivered = make_env(n_flows=1)
+        engine.shutdown()
+        assert engine.flow_count == 0
+        engine.register(receivers[0])
+        payloads = [adu_payload(990)]
+        for packet in encrypted_packets(1, payloads):
+            path.b.receive(packet)
+        assert engine.flush() == 1
+        assert delivered[1][0] == payloads[0]
+
+
+class TestSnapshot:
+    def test_snapshot_reports_engine_state(self):
+        path, engine, receivers, _ = make_env(n_flows=2)
+        for packet in encrypted_packets(1, [adu_payload(42)]):
+            path.b.receive(packet)
+        snap = engine.snapshot()
+        assert snap["flows"] == 2
+        assert snap["plan_groups"] == 1
+        assert snap["pending_rows"] == 1
+        assert snap["delivered_total"] == 0
+        assert snap["dispatches"] == 0
+        engine.flush()
+        snap = engine.snapshot()
+        assert snap["pending_rows"] == 0
+        assert snap["delivered_total"] == 1
+        assert snap["rows_per_dispatch"] == 1.0

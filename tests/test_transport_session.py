@@ -134,3 +134,60 @@ def test_recovery_mode_travels():
     path.loop.run(until=5)
     peer = listener.sessions[initiator.session.flow_id]
     assert peer.config.recovery is RecoveryMode.NO_RETRANSMIT
+
+
+def test_shared_drain_listener_delivers_end_to_end():
+    path = two_hosts(seed=5)
+    delivered = []
+    listener = SessionListener(
+        path.loop, path.b, SCHEMAS,
+        deliver=lambda fid, adu: delivered.append((fid, adu)),
+        shared_drain=True,
+    )
+    initiators = [
+        SessionInitiator(
+            path.loop, path.a, "b",
+            SessionConfig(schema_name="ints"), SCHEMAS,
+        )
+        for _ in range(3)
+    ]
+    path.loop.run(until=5)
+    assert all(i.established for i in initiators)
+    assert listener.drain_engine is not None
+    assert listener.drain_engine.flow_count == 3
+    payload = b"\x01\x02\x03\x04"
+    for initiator in initiators:
+        initiator.session.sender.send_adu(Adu(0, payload, {"n": 0}))
+    path.loop.run(until=10)
+    listener.drain_engine.flush()
+    assert sorted(fid for fid, _ in delivered) == sorted(
+        i.session.flow_id for i in initiators
+    )
+    assert all(adu.payload == payload for _, adu in delivered)
+
+
+def test_listener_close_frees_slot_for_rebinding():
+    path = two_hosts(seed=6)
+    listener = SessionListener(path.loop, path.b, SCHEMAS, shared_drain=True)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b", SessionConfig(schema_name="ints"), SCHEMAS,
+    )
+    path.loop.run(until=5)
+    assert initiator.established
+    listener.close()
+    assert listener.drain_engine.flow_count == 0
+    # The protocol slot is free again: a fresh listener can bind and
+    # accept a new association on the same host.
+    delivered = []
+    relisten = SessionListener(
+        path.loop, path.b, SCHEMAS,
+        deliver=lambda fid, adu: delivered.append((fid, adu)),
+    )
+    fresh = SessionInitiator(
+        path.loop, path.a, "b", SessionConfig(schema_name="ints"), SCHEMAS,
+    )
+    path.loop.run(until=15)
+    assert fresh.established
+    fresh.session.sender.send_adu(Adu(0, b"\x09\x08\x07\x06", {"n": 0}))
+    path.loop.run(until=20)
+    assert [adu.payload for _, adu in delivered] == [b"\x09\x08\x07\x06"]
