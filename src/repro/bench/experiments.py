@@ -728,6 +728,7 @@ def all_experiments() -> list[ExperimentResult]:
         compiled_presentation(),
         secure_pipeline(),
         multiflow_drain(),
+        sharded_hosts(),
     ]
 
 # ----------------------------------------------------------------------
@@ -2077,4 +2078,163 @@ def multiflow_drain(
         "asserted byte-identical and exactly-once under both "
         "engineerings, with per-row verification isolating corruption "
         "to the owning flow",
+    )
+
+
+# ----------------------------------------------------------------------
+# P6 — sharded hosts: flow-hash demux to per-shard drain workers
+
+
+def _sharded_scenario(
+    n_shards: int, n_flows: int, n_adus: int, payload_bytes: int
+) -> dict:
+    """One machine serving ``n_flows`` across ``n_shards`` workers.
+
+    Fixed flow ids (0..F-1) and the serial deterministic scheduler, so
+    the crc32 placement — and every counter below — is identical on
+    every run.  Returns deterministic counters plus the delivered
+    payload map and the teardown leak reports.
+    """
+    from repro.ilp.compiler import PlanCache
+    from repro.machine.accounting import ShardCounters
+    from repro.net.shard import ShardedHost
+
+    path = two_hosts(seed=7)
+    demux = ShardCounters()
+    sharded = ShardedHost(
+        path.b, n_shards, rng=RngStreams(7), counters=demux, protocols=("alf",)
+    )
+    plan_cache = PlanCache(capacity=8)
+    delivered: dict[int, list[tuple[int, bytes]]] = {}
+    receivers = []
+    for flow_id in range(n_flows):
+        shard = sharded.shard_for("alf", flow_id)
+        receivers.append(
+            AlfReceiver(
+                shard.loop,
+                shard.host,
+                "a",
+                flow_id,
+                deliver=lambda adu, fid=flow_id: delivered.setdefault(
+                    fid, []
+                ).append((adu.sequence, bytes(adu.payload))),
+                ack_interval=0,
+                plan_cache=plan_cache,
+                drain_engine=shard.engine,
+            )
+        )
+    senders = [
+        AlfSender(path.loop, path.a, "b", flow_id, plan_cache=plan_cache)
+        for flow_id in range(n_flows)
+    ]
+    payloads = {
+        (flow_id, seq): bytes(
+            (flow_id * 31 + seq + offset) & 0xFF for offset in range(payload_bytes)
+        )
+        for flow_id in range(n_flows)
+        for seq in range(n_adus)
+    }
+    # Each flow sends its ADUs back-to-back: the packet trains §4's
+    # header prediction is built for, so the demux memo gets the same
+    # locality the per-host hot-flow memo sees.
+    for sender in senders:
+        for seq in range(n_adus):
+            sender.send_adu(Adu(seq, payloads[(sender.flow_id, seq)]))
+    path.loop.run(until=30)
+    sharded.drain()
+    flows_per_shard = [shard.engine.flow_count for shard in sharded.shards]
+    scan_visits = sum(shard.counters.scan_visits for shard in sharded.shards)
+    dispatches = sum(shard.counters.dispatches for shard in sharded.shards)
+    for receiver in receivers:
+        receiver.close()
+    leaks = sharded.shutdown()
+    return {
+        "payloads": {
+            fid: sorted(rows) for fid, rows in delivered.items()
+        },
+        "scan_visits": scan_visits,
+        "dispatches": dispatches,
+        "delivered_total": sharded.delivered_total,
+        "flows_per_shard": flows_per_shard,
+        "demux": demux.snapshot(),
+        "leaked": sum(len(report) for report in leaks.values()),
+    }
+
+
+def sharded_hosts(
+    n_flows: int = 64, n_adus: int = 4, payload_bytes: int = 128
+) -> ExperimentResult:
+    """P6: one receive stack vs four per-shard drain workers.
+
+    The shared engine's ``notify_ready`` walks every registered flow to
+    size its backlog, so each completion costs O(flows-on-host) — the
+    per-host shared-structure cost the paper's end-system argument
+    predicts.  Sharding divides it: each worker's scan covers only its
+    own flows, so the total visit count drops toward 1/N while delivery
+    stays byte-identical and exactly-once.  All counters are
+    deterministic (serial scheduler, fixed flow ids, no wall clock).
+    """
+    single = _sharded_scenario(1, n_flows, n_adus, payload_bytes)
+    sharded = _sharded_scenario(4, n_flows, n_adus, payload_bytes)
+    assert sharded["payloads"] == single["payloads"], (
+        "sharded delivery diverged from single-shard delivery"
+    )
+    assert all(
+        len(rows) == n_adus for rows in sharded["payloads"].values()
+    ), "a flow delivered more or fewer ADUs than were sent"
+    assert single["leaked"] == sharded["leaked"] == 0
+    reduction = single["scan_visits"] / max(sharded["scan_visits"], 1)
+    rows = [
+        Row(
+            "backlog scan visits, 1 shard",
+            paper=None,
+            measured=float(single["scan_visits"]),
+            unit="flow visits",
+            extra={"flows": n_flows, "adus_per_flow": n_adus},
+        ),
+        Row(
+            "backlog scan visits, 4 shards",
+            paper=None,
+            measured=float(sharded["scan_visits"]),
+            unit="flow visits",
+            extra={"flows_per_shard": sharded["flows_per_shard"]},
+        ),
+        Row(
+            "shared-structure scan reduction",
+            paper=None,
+            measured=round(reduction, 2),
+            unit="x",
+        ),
+        Row(
+            "demux memo hit rate",
+            paper=None,
+            measured=round(sharded["demux"]["memo_hit_rate"], 3),
+            unit="fraction",
+            extra={"packets": sharded["demux"]["packets"]},
+        ),
+        Row(
+            "ADUs delivered (4 shards)",
+            paper=None,
+            measured=float(sharded["delivered_total"]),
+            unit="ADUs",
+            extra={"dispatches": sharded["dispatches"]},
+        ),
+        Row(
+            "leaked buffers after teardown",
+            paper=None,
+            measured=float(sharded["leaked"]),
+            unit="buffers",
+        ),
+    ]
+    return ExperimentResult(
+        "P6",
+        "Sharded hosts: per-shard drain workers",
+        rows,
+        notes=f"{n_flows} flows on one machine, demuxed by stable flow "
+        "hash to 4 worker shards (own loop, engine and rx pool each): "
+        "the drain engine's per-completion backlog scan shrinks from "
+        "O(flows-on-host) to O(flows-per-shard), delivery stays "
+        "byte-identical and exactly-once, and every shard tears down "
+        "to a clean leak report — counters only, so the result is "
+        "deterministic under the serial shard scheduler",
     )

@@ -50,6 +50,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "P3": ("Compiled presentation fused in loop", experiments.compiled_presentation),
     "P4": ("Full §6 single-pass secure pipeline", experiments.secure_pipeline),
     "P5": ("Shared-plan cross-flow drain engine", experiments.multiflow_drain),
+    "P6": ("Sharded hosts: per-shard drain workers", experiments.sharded_hosts),
 }
 
 
@@ -214,6 +215,26 @@ def _cmd_drain(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.machine.accounting import shard_counters
+
+    if args.action == "stats":
+        counters = shard_counters().snapshot()
+        print("shard demux counters:")
+        print(
+            f"  packets {counters['packets']}  bursts {counters['bursts']}  "
+            f"worker_services {counters['worker_services']}"
+        )
+        print(
+            f"  memo_hits {counters['memo_hits']}  "
+            f"hash_dispatches {counters['hash_dispatches']}  "
+            f"memo_hit_rate {counters['memo_hit_rate']:.2f}"
+        )
+        return 0
+    print(f"unknown shard action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_buffers(args: argparse.Namespace) -> int:
     from repro.buffers.pool import shared_rx_pool
     from repro.machine.accounting import datapath_counters
@@ -338,6 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(dispatches, rows per dispatch, fairness stalls)",
     )
     drain_parser.set_defaults(handler=_cmd_drain)
+
+    shard_parser = commands.add_parser(
+        "shard", help="inspect the sharded-host flow demux"
+    )
+    shard_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the flow-hash demux counters "
+        "(packets, memo hit rate, worker services)",
+    )
+    shard_parser.set_defaults(handler=_cmd_shard)
     return parser
 
 

@@ -44,7 +44,7 @@ from repro.ilp.fusion import fused_group_cost, plan_fusion
 from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel, gather_words
 from repro.ilp.kernels import bytes_to_words as pack_words
 from repro.ilp.kernels import words_to_bytes as unpack_words
-from repro.machine.accounting import datapath_counters
+from repro.machine.accounting import AtomicCacheStats, datapath_counters
 from repro.ilp.pipeline import Pipeline
 from repro.ilp.report import ExecutionReport, StageExecution
 from repro.machine.costs import CostVector
@@ -544,33 +544,14 @@ class PipelineCompiler:
         )
 
 
-@dataclass
-class PlanCacheStats:
-    """Hit/miss/eviction counters for one :class:`PlanCache`."""
+class PlanCacheStats(AtomicCacheStats):
+    """Hit/miss/eviction counters for one :class:`PlanCache`.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        """Total lookups served."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when idle)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        """Plain-dict form for CLI and bench reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "lookups": self.lookups,
-            "hit_rate": self.hit_rate,
-        }
+    The shared cache is read from every shard worker at once, so the
+    counters are atomic: increments go through lock-guarded record
+    methods rather than bare ``+=`` on plain ints (which can lose
+    updates between bytecodes under concurrent access).
+    """
 
 
 class PlanCache:
@@ -600,14 +581,14 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
-                self.stats.hits += 1
+                self.stats.record_hit()
                 return plan
-            self.stats.misses += 1
+            self.stats.record_miss()
             plan = PipelineCompiler(profile, speculative=speculative).compile(pipeline)
             self._plans[key] = plan
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
             return plan
 
     def __len__(self) -> int:

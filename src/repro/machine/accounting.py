@@ -9,6 +9,7 @@ each pass attributed to the stage and layer that performed it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import MachineModelError
@@ -100,6 +101,92 @@ def datapath_counters() -> DatapathCounters:
     return _DATAPATH
 
 
+class AtomicCacheStats:
+    """Thread-safe hit/miss/eviction counters for a keyed cache.
+
+    The plan and codec caches are shared *by key* across every shard
+    worker, so their counters are bumped from several threads at once.
+    A plain ``int`` attribute incremented with ``+=`` is a read-modify-
+    write that can lose updates between bytecodes; here every increment
+    and every read goes through one lock, and :meth:`as_dict` returns a
+    single consistent view (hits/misses/lookups always add up, even
+    with a concurrent ``get_or_compile`` in flight).
+    """
+
+    __slots__ = ("_lock", "_hits", "_misses", "_evictions")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def record_hit(self) -> None:
+        """Count one lookup served from cache."""
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        """Count one lookup that had to compile."""
+        with self._lock:
+            self._misses += 1
+
+    def record_eviction(self) -> None:
+        """Count one LRU entry pushed out by capacity pressure."""
+        with self._lock:
+            self._evictions += 1
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that compiled."""
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted under capacity pressure."""
+        with self._lock:
+            return self._evictions
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        with self._lock:
+            return self._hits + self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """One consistent snapshot for CLI and bench reports."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "lookups": lookups,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
+
+
 @dataclass
 class DrainCounters:
     """Dispatch-amortization counters for the host-level drain engine.
@@ -120,6 +207,11 @@ class DrainCounters:
     fairness_stalls: int = 0
     epochs: int = 0
     corrupt_rows: int = 0
+    notify_scans: int = 0
+    scan_visits: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def rows_per_dispatch(self) -> float:
@@ -130,33 +222,72 @@ class DrainCounters:
         """Account one ``run_batch`` call covering ``rows`` ADUs from
         ``flows`` distinct flows (``capped`` when max-rows split the
         epoch)."""
-        self.dispatches += 1
-        self.rows_dispatched += rows
-        if flows > 1:
-            self.cross_flow_batches += 1
-        if capped:
-            self.fairness_stalls += 1
+        with self._lock:
+            self.dispatches += 1
+            self.rows_dispatched += rows
+            if flows > 1:
+                self.cross_flow_batches += 1
+            if capped:
+                self.fairness_stalls += 1
+
+    def record_epoch(self) -> None:
+        """Account one drain epoch (a flush over every plan group)."""
+        with self._lock:
+            self.epochs += 1
+
+    def record_corrupt_row(self) -> None:
+        """Account one row whose checksum failed verification."""
+        with self._lock:
+            self.corrupt_rows += 1
+
+    def record_notify_scan(self, flows: int) -> None:
+        """Account one backlog scan over ``flows`` registered receivers.
+
+        ``notify_ready`` walks every registered flow to size the
+        backlog, so the cost of one completion scales with how many
+        flows share the engine — the shared-structure cost that
+        per-shard engines divide by the shard count.  Counting the
+        visits makes that division measurable (P6).
+        """
+        with self._lock:
+            self.notify_scans += 1
+            self.scan_visits += flows
 
     def reset(self) -> None:
         """Zero every counter (benchmarks bracket measurements with this)."""
-        self.dispatches = 0
-        self.rows_dispatched = 0
-        self.cross_flow_batches = 0
-        self.fairness_stalls = 0
-        self.epochs = 0
-        self.corrupt_rows = 0
+        with self._lock:
+            self.dispatches = 0
+            self.rows_dispatched = 0
+            self.cross_flow_batches = 0
+            self.fairness_stalls = 0
+            self.epochs = 0
+            self.corrupt_rows = 0
+            self.notify_scans = 0
+            self.scan_visits = 0
 
     def snapshot(self) -> dict[str, object]:
-        """Plain-dict form for the CLI and benchmark JSON records."""
-        return {
-            "dispatches": self.dispatches,
-            "rows_dispatched": self.rows_dispatched,
-            "rows_per_dispatch": self.rows_per_dispatch,
-            "cross_flow_batches": self.cross_flow_batches,
-            "fairness_stalls": self.fairness_stalls,
-            "epochs": self.epochs,
-            "corrupt_rows": self.corrupt_rows,
-        }
+        """One consistent plain-dict view for the CLI and bench records.
+
+        Taken under the counters' lock, so a snapshot racing an
+        in-flight dispatch never shows a torn intermediate (e.g. the
+        dispatch counted but its rows not yet added).
+        """
+        with self._lock:
+            return {
+                "dispatches": self.dispatches,
+                "rows_dispatched": self.rows_dispatched,
+                "rows_per_dispatch": (
+                    self.rows_dispatched / self.dispatches
+                    if self.dispatches
+                    else 0.0
+                ),
+                "cross_flow_batches": self.cross_flow_batches,
+                "fairness_stalls": self.fairness_stalls,
+                "epochs": self.epochs,
+                "corrupt_rows": self.corrupt_rows,
+                "notify_scans": self.notify_scans,
+                "scan_visits": self.scan_visits,
+            }
 
 
 _DRAIN = DrainCounters()
@@ -165,6 +296,79 @@ _DRAIN = DrainCounters()
 def drain_counters() -> DrainCounters:
     """The process-wide counters drain engines record into by default."""
     return _DRAIN
+
+
+@dataclass
+class ShardCounters:
+    """Front-end demux counters for :class:`~repro.net.shard.ShardedHost`.
+
+    The demux decision is §4 header prediction applied to shard
+    placement: the common case is "next packet belongs to the same flow
+    as the last one", so the front end memoizes the last flow's shard
+    and skips the hash.  ``memo_hits`` vs ``hash_dispatches`` measures
+    how often that prediction holds; ``worker_services`` counts how many
+    times a shard worker woke to service its ingress queue.
+    """
+
+    packets: int = 0
+    bursts: int = 0
+    memo_hits: int = 0
+    hash_dispatches: int = 0
+    worker_services: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_packet(self, memo_hit: bool) -> None:
+        """Account one demuxed packet (``memo_hit`` when the shard came
+        from the hot-flow memo rather than the hash)."""
+        with self._lock:
+            self.packets += 1
+            if memo_hit:
+                self.memo_hits += 1
+            else:
+                self.hash_dispatches += 1
+
+    def record_burst(self) -> None:
+        """Account one ``receive_burst`` train through the demux."""
+        with self._lock:
+            self.bursts += 1
+
+    def record_service(self) -> None:
+        """Account one shard worker pass over its ingress queue."""
+        with self._lock:
+            self.worker_services += 1
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        with self._lock:
+            self.packets = 0
+            self.bursts = 0
+            self.memo_hits = 0
+            self.hash_dispatches = 0
+            self.worker_services = 0
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent plain-dict view for the CLI and bench records."""
+        with self._lock:
+            return {
+                "packets": self.packets,
+                "bursts": self.bursts,
+                "memo_hits": self.memo_hits,
+                "hash_dispatches": self.hash_dispatches,
+                "memo_hit_rate": (
+                    self.memo_hits / self.packets if self.packets else 0.0
+                ),
+                "worker_services": self.worker_services,
+            }
+
+
+_SHARD = ShardCounters()
+
+
+def shard_counters() -> ShardCounters:
+    """The process-wide counters sharded hosts record into by default."""
+    return _SHARD
 
 
 @dataclass(frozen=True)

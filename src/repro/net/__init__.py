@@ -14,6 +14,12 @@ from repro.net.packet import Packet, HEADER_OVERHEAD_BYTES
 from repro.net.link import Link, LinkStats
 from repro.net.switch import StoreAndForwardSwitch
 from repro.net.host import Host
+from repro.net.shard import (
+    HostShard,
+    SerialShardScheduler,
+    ShardedHost,
+    shard_index,
+)
 from repro.net.atm import (
     AtmCell,
     AtmAdaptationLayer,
@@ -29,6 +35,10 @@ __all__ = [
     "LinkStats",
     "StoreAndForwardSwitch",
     "Host",
+    "HostShard",
+    "SerialShardScheduler",
+    "ShardedHost",
+    "shard_index",
     "AtmCell",
     "AtmAdaptationLayer",
     "CELL_PAYLOAD_BYTES",

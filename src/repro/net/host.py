@@ -34,6 +34,11 @@ class Host:
             path.  Pool exhaustion drops the packet (counted in
             :attr:`rx_dropped`), which is the real backpressure a finite
             interface has.
+        uplink: a host to forward sends through when this host has no
+            direct link toward the destination.  Shard worker hosts set
+            this to their sharded front end, so transport replies (ACKs)
+            egress over the front's links without every shard owning a
+            link table.
 
     Dispatch keeps a single-entry hot-flow memo (§4's header
     prediction): back-to-back packets for the same (protocol, flow)
@@ -47,11 +52,13 @@ class Host:
         name: str,
         tracer: Tracer | None = None,
         rx_pool: BufferPool | None = None,
+        uplink: "Host | None" = None,
     ):
         self.loop = loop
         self.name = name
         self.tracer = tracer or Tracer(enabled=False)
         self.rx_pool = rx_pool
+        self.uplink = uplink
         self._links: dict[str, Link] = {}
         self._handlers: dict[tuple[str, int], Handler] = {}
         self._default_handlers: dict[str, Handler] = {}
@@ -104,6 +111,9 @@ class Host:
         """Transmit a packet toward its destination."""
         link = self._links.get(packet.dst)
         if link is None:
+            if self.uplink is not None:
+                self.uplink.send(packet)
+                return
             raise NetworkError(f"{self.name}: no link toward {packet.dst!r}")
         packet.src = self.name
         link.send(packet)

@@ -1,0 +1,452 @@
+"""Sharded parallel hosts: flow-hash demux to per-shard drain workers.
+
+After PRs 1–5 the end system is the bottleneck the paper predicts — and
+our end system is *one* ``Host``, *one* ``EventLoop`` and *one*
+:class:`~repro.transport.drain.SharedDrainEngine`: every flow on a
+machine serializes through one demux loop and one drain backlog.  The
+engine's ``notify_ready`` walks every registered flow to size the
+backlog, so the cost of each completion grows with the number of flows
+sharing the host — a per-host shared-structure cost that no amount of
+per-flow optimization removes.
+
+:class:`ShardedHost` splits the machine into N worker shards, each a
+self-contained receive stack:
+
+* its own :class:`~repro.sim.eventloop.EventLoop` (drain epochs and
+  timers are shard-private — no cross-shard event contention);
+* its own :class:`~repro.transport.drain.SharedDrainEngine` with
+  private :class:`~repro.machine.accounting.DrainCounters`, so the
+  backlog scan covers only the shard's flows — the O(flows) walk
+  becomes O(flows / N);
+* its own rx :class:`~repro.buffers.pool.BufferPool`, so DMA segment
+  recycling never crosses a shard boundary;
+* its own deterministic RNG family, derived from the root seed and the
+  shard index (:meth:`~repro.sim.rng.RngStreams.derive`), so
+  multi-shard experiments replay exactly.
+
+The front end routes each packet by a stable flow hash —
+``crc32(protocol/flow_id) % N`` — and memoizes the last flow's shard
+(§4 header prediction applied to shard placement), so a packet train
+dispatches without re-hashing.  Because the shard is a pure function of
+the flow key, a flow can never migrate shards mid-stream: not across
+bursts, not across rebinds, not across close-and-reopen.
+
+Plan and codec caches are intentionally **not** sharded: compiled plans
+are immutable and shared *by key* across every worker (their counters
+are atomic — see :class:`~repro.machine.accounting.AtomicCacheStats`),
+so all shards serving the same wire-plan shape hit one cache entry.
+
+Two execution modes share the same demux and shard state:
+
+* **serial** (default): deterministic simulation.  Packets are
+  delivered inline; a :class:`SerialShardScheduler` merges the shard
+  loops into one global time order, so existing tests and experiments
+  stay exactly reproducible.
+* **threaded**: one single-thread ``ThreadPoolExecutor`` per shard.
+  The front appends packets to the shard's ingress queue and submits a
+  service pass; each worker drains its own loop independently.  Egress
+  in threaded mode should ride shard-local links (the front's links
+  belong to the front's loop); the serial mode may instead fall back to
+  the front host via ``uplink``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.buffers.pool import BufferPool
+from repro.errors import NetworkError
+from repro.machine.accounting import (
+    DrainCounters,
+    ShardCounters,
+    shard_counters,
+)
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.eventloop import EventLoop
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.transport.drain import SharedDrainEngine
+
+
+def shard_index(protocol: str, flow_id: int, n_shards: int) -> int:
+    """The home shard of a flow: stable hash of the flow key, mod N.
+
+    CRC32 rather than ``hash()`` so the placement is identical across
+    processes and immune to ``PYTHONHASHSEED`` — replayable experiments
+    need the demux itself to be deterministic.
+    """
+    if n_shards <= 0:
+        raise NetworkError(f"n_shards must be positive, got {n_shards}")
+    return zlib.crc32(f"{protocol}/{flow_id}".encode()) % n_shards
+
+
+class HostShard:
+    """One worker shard: a private loop, host, engine and rx pool.
+
+    Built by :class:`ShardedHost`; not normally constructed directly.
+    The shard's host shares the front's *name* (transport replies must
+    carry the machine's address) and uses the front as its ``uplink``,
+    so flows bound on the shard send ACKs without the shard owning a
+    link table.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        front: Host,
+        root_rng: RngStreams,
+        pool_buffers: int,
+        buffer_size: int,
+        max_rows: int,
+        max_delay: float,
+        tracer: Tracer,
+    ):
+        self.index = index
+        self.loop = EventLoop()
+        self.rng = root_rng.derive(f"shard-{index}")
+        self.rx_pool = (
+            BufferPool(
+                pool_buffers,
+                buffer_size,
+                label=f"{front.name}/shard{index}-rx",
+            )
+            if pool_buffers > 0
+            else None
+        )
+        self.host = Host(
+            self.loop,
+            front.name,
+            tracer=tracer,
+            rx_pool=self.rx_pool,
+            uplink=front,
+        )
+        # Imported here, not at module top: repro.net must stay
+        # importable below repro.transport (which imports it).
+        from repro.transport.drain import SharedDrainEngine
+
+        self.counters = DrainCounters()
+        self.engine: "SharedDrainEngine" = SharedDrainEngine(
+            self.loop,
+            max_rows=max_rows,
+            max_delay=max_delay,
+            counters=self.counters,
+            tracer=tracer,
+        )
+        self.ingress: deque[Packet] = deque()
+        self.executor: ThreadPoolExecutor | None = None
+        self.futures: list[Future] = []
+
+    def advance_to(self, time: float) -> None:
+        """Run this shard's loop up to ``time`` (clock catches up too)."""
+        if self.loop.now < time:
+            self.loop.run(until=time)
+
+    def leak_report(self) -> list[str]:
+        """Outstanding rx-pool buffers (empty when the shard is clean)."""
+        return self.rx_pool.leak_report() if self.rx_pool is not None else []
+
+
+class SerialShardScheduler:
+    """Deterministic merge of several event loops into one time order.
+
+    The serial fallback that keeps sharded simulations reproducible: at
+    each step the loop with the earliest live event runs exactly one
+    event (ties broken by registration order), so N shard loops behave
+    as one global discrete-event simulation — same semantics whether
+    the host runs 1 shard or 8.
+    """
+
+    def __init__(self, loops: list[EventLoop]):
+        if not loops:
+            raise NetworkError("scheduler needs at least one loop")
+        self.loops = list(loops)
+        self.steps = 0
+
+    def run(self, until: float | None = None) -> int:
+        """Run merged events; returns how many ran.
+
+        Args:
+            until: stop once every loop's next event is later than this
+                (each loop's clock advances to ``until``).  None runs
+                all loops to quiescence — beware self-rescheduling
+                events (periodic ACK timers) never quiesce.
+        """
+        ran = 0
+        while True:
+            best: EventLoop | None = None
+            best_time: float | None = None
+            for loop in self.loops:
+                next_time = loop.next_event_time()
+                if next_time is None:
+                    continue
+                if best_time is None or next_time < best_time:
+                    best, best_time = loop, next_time
+            if best is None or (until is not None and best_time > until):
+                break
+            best.step()
+            ran += 1
+        if until is not None:
+            for loop in self.loops:
+                if loop.now < until:
+                    loop.run(until=until)
+        self.steps += ran
+        return ran
+
+
+class ShardedHost:
+    """A host front end that demuxes flows to N worker shards.
+
+    Args:
+        front: the machine's outward-facing host (owns the links;
+            arriving packets reach the demux through protocol fallback
+            bindings on it, or by calling :meth:`receive` directly).
+        shards: worker count (N ≥ 1).
+        rng: root RNG family; each shard derives its own from the root
+            seed and its index.  Defaults to a seed-0 family.
+        threaded: run each shard on its own single-thread executor.
+            False (default) keeps the deterministic serial scheduler.
+        pool_buffers / buffer_size: size of each shard's private rx
+            pool (0 buffers disables pooling — payloads stay bytes).
+        max_rows / max_delay: forwarded to each shard's drain engine.
+        protocols: protocol names the front end claims
+            (``front.bind_protocol``) and demuxes; pass ``()`` when the
+            caller routes packets to :meth:`receive` itself.
+        counters: demux ledger (defaults to the process-wide
+            :func:`~repro.machine.accounting.shard_counters`).
+        tracer: optional event tracer shared by every shard.
+    """
+
+    def __init__(
+        self,
+        front: Host,
+        shards: int,
+        rng: RngStreams | None = None,
+        threaded: bool = False,
+        pool_buffers: int = 0,
+        buffer_size: int = 2048,
+        max_rows: int = 256,
+        max_delay: float = 0.0,
+        protocols: tuple[str, ...] = ("alf",),
+        counters: ShardCounters | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if shards <= 0:
+            raise NetworkError(f"shards must be positive, got {shards}")
+        self.front = front
+        self.threaded = bool(threaded)
+        self.tracer = tracer or Tracer(enabled=False)
+        self.counters = counters if counters is not None else shard_counters()
+        root = rng if rng is not None else RngStreams(0)
+        self.shards = [
+            HostShard(
+                index,
+                front,
+                root,
+                pool_buffers,
+                buffer_size,
+                max_rows,
+                max_delay,
+                self.tracer,
+            )
+            for index in range(shards)
+        ]
+        self.scheduler = SerialShardScheduler([shard.loop for shard in self.shards])
+        # §4 header prediction applied to placement: the last flow's
+        # shard is memoized, so a packet train skips the hash.  The
+        # memo never needs invalidation — the shard is a pure function
+        # of the flow key, so the cached answer cannot go stale.
+        self._memo_key: tuple[str, int] | None = None
+        self._memo_shard: HostShard | None = None
+        self._pump_scheduled = False
+        self._protocols = tuple(protocols)
+        self._started = False
+        self._closed = False
+        for protocol in self._protocols:
+            front.bind_protocol(protocol, self.receive)
+        if self.threaded:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Demux
+
+    def shard_for(self, protocol: str, flow_id: int) -> HostShard:
+        """The home shard of (protocol, flow) — pure, no memo traffic."""
+        return self.shards[shard_index(protocol, flow_id, len(self.shards))]
+
+    def _route(self, packet: Packet) -> HostShard:
+        key = (packet.protocol, packet.flow_id)
+        if key == self._memo_key:
+            self.counters.record_packet(memo_hit=True)
+            return self._memo_shard
+        shard = self.shard_for(packet.protocol, packet.flow_id)
+        self._memo_key = key
+        self._memo_shard = shard
+        self.counters.record_packet(memo_hit=False)
+        return shard
+
+    def receive(self, packet: Packet) -> None:
+        """Demux one packet to its home shard."""
+        self._dispatch(self._route(packet), [packet])
+
+    def receive_burst(self, packets: list[Packet]) -> None:
+        """Demux a packet train, grouping consecutive same-shard runs.
+
+        Consecutive packets for one shard are handed over as a single
+        run, so the shard's ingress sees the same burst locality the
+        front end saw (and in threaded mode one service submission can
+        cover the whole run).
+        """
+        self.counters.record_burst()
+        run_shard: HostShard | None = None
+        run: list[Packet] = []
+        for packet in packets:
+            shard = self._route(packet)
+            if shard is not run_shard and run:
+                self._dispatch(run_shard, run)
+                run = []
+            run_shard = shard
+            run.append(packet)
+        if run:
+            self._dispatch(run_shard, run)
+
+    def _dispatch(self, shard: HostShard, packets: list[Packet]) -> None:
+        if self.threaded:
+            shard.ingress.extend(packets)
+            shard.futures.append(shard.executor.submit(self._service, shard))
+            return
+        # Serial mode: deliver inline at the front's current time.  The
+        # shard's clock catches up first so flush epochs scheduled by
+        # this delivery land at the same global timestep.
+        shard.advance_to(self.front.loop.now)
+        receive = shard.host.receive
+        for packet in packets:
+            receive(packet)
+        self.counters.record_service()
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.front.loop.schedule(0.0, self._pump)
+
+    def _pump(self) -> None:
+        """Front-loop event: run shard events due at the current time."""
+        self._pump_scheduled = False
+        self.scheduler.run(until=self.front.loop.now)
+
+    def _service(self, shard: HostShard) -> None:
+        """Worker-thread pass: drain the ingress queue, run the loop."""
+        while True:
+            try:
+                packet = shard.ingress.popleft()
+            except IndexError:
+                break
+            shard.host.receive(packet)
+        # Zero-delay flush epochs are due now; a delayed-flush engine
+        # needs the window run out too.
+        shard.loop.run(until=shard.loop.now + shard.engine.max_delay)
+        self.counters.record_service()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+
+    def start(self) -> None:
+        """Spin up one single-thread executor per shard (threaded mode)."""
+        if not self.threaded or self._started:
+            return
+        for shard in self.shards:
+            shard.executor = ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix=f"{self.front.name}-shard{shard.index}",
+            )
+        self._started = True
+
+    def stop(self) -> None:
+        """Wait for in-flight service passes and stop the executors."""
+        if not self._started:
+            return
+        for shard in self.shards:
+            if shard.executor is not None:
+                shard.executor.shutdown(wait=True)
+                shard.executor = None
+            shard.futures.clear()
+        self._started = False
+
+    def drain(self, until: float | None = None) -> None:
+        """Settle every shard.
+
+        Serial mode runs the merged scheduler up to ``until`` (default:
+        the front's current time).  Threaded mode waits for every
+        submitted service pass — workers self-drain, so once the
+        futures resolve the ingress queues and flush epochs are done.
+        """
+        if self.threaded:
+            while True:
+                futures, pending = [], False
+                for shard in self.shards:
+                    futures.extend(shard.futures)
+                    shard.futures = []
+                for future in futures:
+                    future.result()
+                for shard in self.shards:
+                    if shard.ingress or shard.futures:
+                        pending = True
+                if not pending:
+                    return
+        else:
+            self.scheduler.run(
+                until=self.front.loop.now if until is None else until
+            )
+
+    def shutdown(self) -> dict[int, list[str]]:
+        """Tear every shard down; returns per-shard leak reports.
+
+        Drains outstanding work, shuts each shard's engine down (ready
+        rows release their pooled segments), unbinds the claimed
+        protocols from the front and stops the workers.  A clean
+        teardown reports an empty list for every shard.
+        """
+        if self._closed:
+            return {shard.index: shard.leak_report() for shard in self.shards}
+        self._closed = True
+        self.drain()
+        reports: dict[int, list[str]] = {}
+        for shard in self.shards:
+            shard.engine.shutdown()
+            reports[shard.index] = shard.leak_report()
+        for protocol in self._protocols:
+            self.front.unbind_protocol(protocol)
+        self.stop()
+        return reports
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def delivered_total(self) -> int:
+        """ADUs delivered by every shard's engine, summed."""
+        return sum(shard.engine.delivered_total for shard in self.shards)
+
+    def snapshot(self) -> dict[str, object]:
+        """Demux counters plus per-shard engine state, for the CLI."""
+        return {
+            "shards": len(self.shards),
+            "threaded": self.threaded,
+            "demux": self.counters.snapshot(),
+            "per_shard": [
+                {
+                    "index": shard.index,
+                    "received": shard.host.received,
+                    "engine": shard.engine.snapshot(),
+                    "pool": (
+                        shard.rx_pool.snapshot()
+                        if shard.rx_pool is not None
+                        else None
+                    ),
+                }
+                for shard in self.shards
+            ],
+        }

@@ -57,7 +57,7 @@ import numpy as np
 
 from repro.buffers.chain import BufferChain
 from repro.errors import DecodeError, PresentationError
-from repro.machine.accounting import datapath_counters
+from repro.machine.accounting import AtomicCacheStats, datapath_counters
 from repro.machine.costs import CostVector
 from repro.presentation.abstract import (
     INT32_MAX,
@@ -1368,33 +1368,12 @@ class CodecCompiler:
 # the cache (mirrors repro.ilp.compiler.PlanCache)
 
 
-@dataclass
-class CodecCacheStats:
-    """Hit/miss/eviction counters for one :class:`CodecCache`."""
+class CodecCacheStats(AtomicCacheStats):
+    """Hit/miss/eviction counters for one :class:`CodecCache`.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        """Total lookups served."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when idle)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        """Plain-dict form for CLI and bench reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "lookups": self.lookups,
-            "hit_rate": self.hit_rate,
-        }
+    Shared by key across shard workers like the plan cache, so the
+    counters are atomic (lock-guarded record methods, not bare ``+=``).
+    """
 
 
 class CodecCache:
@@ -1425,14 +1404,14 @@ class CodecCache:
             compiled = self._codecs.get(key)
             if compiled is not None:
                 self._codecs.move_to_end(key)
-                self.stats.hits += 1
+                self.stats.record_hit()
                 return compiled
-            self.stats.misses += 1
+            self.stats.record_miss()
             compiled = self._compiler.compile(schema, codec)
             self._codecs[key] = compiled
             while len(self._codecs) > self.capacity:
                 self._codecs.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
             return compiled
 
     def __len__(self) -> int:

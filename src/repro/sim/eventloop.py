@@ -107,6 +107,38 @@ class EventLoop:
         if until is not None and self.now < until:
             self.now = until
 
+    def next_event_time(self) -> float | None:
+        """Time of the earliest live event, or None when idle.
+
+        Cancelled heap heads are discarded on the way, so the answer is
+        exact.  This is what lets a
+        :class:`~repro.net.shard.SerialShardScheduler` merge several
+        loops into one global time order without running any of them.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled -= 1
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run exactly one (live) event; returns False when idle.
+
+        The single-event counterpart of :meth:`run`, used by the serial
+        shard scheduler to interleave several loops deterministically.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = event.time
+            event.callback(*event.args)
+            self.events_run += 1
+            return True
+        return False
+
     @property
     def pending(self) -> int:
         """Events still queued (including cancelled ones)."""

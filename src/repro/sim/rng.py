@@ -30,6 +30,19 @@ class RngStreams:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def derive(self, name: str) -> "RngStreams":
+        """A child family seeded from (master seed, ``name``).
+
+        Shard workers use this — ``root.derive(f"shard-{index}")`` — so
+        every shard's randomness is a pure function of the root seed and
+        the shard index: multi-shard experiments replay exactly, each
+        shard's draws are independent of every other shard's, and
+        resharding from N to M workers never perturbs the streams of a
+        shard index both configurations share.
+        """
+        digest = hashlib.sha256(f"{self.seed}/derive/{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
+
     def names(self) -> list[str]:
         """Streams created so far."""
         return sorted(self._streams)

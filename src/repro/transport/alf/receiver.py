@@ -155,6 +155,8 @@ class AlfReceiver:
         self._partial: dict[int, _PartialAdu] = {}
         self._ready: list[ReadyAdu] = []
         self._drain_scheduled = False
+        self._defer_acks = 0
+        self._ack_pending = False
         self._delivered: set[int] = set()
         self._next_in_order = 0
         self._closed = False
@@ -422,6 +424,27 @@ class AlfReceiver:
         self._deliver_adu(entry.sequence, entry.adu, plan_out=out)
         return len(self._delivered) - before
 
+    def begin_drain_dispatch(self) -> None:
+        """Start coalescing ACKs for one engine dispatch.
+
+        A cross-flow dispatch can deliver many of this flow's ADUs
+        back-to-back; sending the selective ACK once per delivery is
+        per-ADU control overhead the batch already paid to avoid.  While
+        bracketed, :meth:`_send_ack` latches instead of sending; the
+        matching :meth:`finish_drain_dispatch` emits one ACK carrying
+        the dispatch's whole delivered set.  Nests safely.
+        """
+        self._defer_acks += 1
+
+    def finish_drain_dispatch(self) -> None:
+        """End the ACK-coalescing bracket; flush the latched ACK."""
+        self._defer_acks -= 1
+        if self._defer_acks <= 0:
+            self._defer_acks = 0
+            if self._ack_pending:
+                self._ack_pending = False
+                self._send_ack()
+
     def discard_ready(self) -> None:
         """Release every queued ready row's buffer references.
 
@@ -536,6 +559,9 @@ class AlfReceiver:
         self.loop.schedule(self.ack_interval, self._periodic_ack)
 
     def _send_ack(self) -> None:
+        if self._defer_acks:
+            self._ack_pending = True
+            return
         self.counter.record("ack_compute")
         self.stats.acks_sent += 1
         payload = self.acks.ack_payload()

@@ -39,6 +39,7 @@ batches and fairness stalls.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable
 
@@ -118,37 +119,45 @@ class SharedDrainEngine:
         self._flush_event: Event | None = None
         self._flush_due: float = 0.0
         self.delivered_total = 0
+        # Reentrant because flush() reads pending_rows and notify_ready
+        # can run from delivery callbacks inside an in-flight flush.
+        # Guards registration, flushing and snapshots so a snapshot
+        # taken from another thread (a sharded front end, the CLI) never
+        # observes a half-applied epoch.
+        self._mutex = threading.RLock()
 
     # ------------------------------------------------------------------
     # Registration
 
     def register(self, receiver: "AlfReceiver") -> None:
         """Add a flow; its ready rows join its plan-shape group."""
-        handle = id(receiver)
-        if handle in self._keys:
-            raise TransportError(
-                f"flow {receiver.flow_id} already registered with this engine"
-            )
-        key = receiver.drain_key
-        self._groups.setdefault(key, _PlanGroup()).flows.append(receiver)
-        self._keys[handle] = key
-        self._receivers[handle] = receiver
-        self.tracer.emit(self.loop.now, "drain", "register",
-                         flow_id=receiver.flow_id, groups=len(self._groups))
+        with self._mutex:
+            handle = id(receiver)
+            if handle in self._keys:
+                raise TransportError(
+                    f"flow {receiver.flow_id} already registered with this engine"
+                )
+            key = receiver.drain_key
+            self._groups.setdefault(key, _PlanGroup()).flows.append(receiver)
+            self._keys[handle] = key
+            self._receivers[handle] = receiver
+            self.tracer.emit(self.loop.now, "drain", "register",
+                             flow_id=receiver.flow_id, groups=len(self._groups))
 
     def unregister(self, receiver: "AlfReceiver") -> None:
         """Remove a flow (its still-queued rows stay with the receiver;
         callers that are tearing the flow down should
         ``receiver.discard_ready()`` first)."""
-        handle = id(receiver)
-        key = self._keys.pop(handle, None)
-        if key is None:
-            return
-        self._receivers.pop(handle, None)
-        group = self._groups[key]
-        group.flows = [flow for flow in group.flows if flow is not receiver]
-        if not group.flows:
-            del self._groups[key]
+        with self._mutex:
+            handle = id(receiver)
+            key = self._keys.pop(handle, None)
+            if key is None:
+                return
+            self._receivers.pop(handle, None)
+            group = self._groups[key]
+            group.flows = [flow for flow in group.flows if flow is not receiver]
+            if not group.flows:
+                del self._groups[key]
 
     @property
     def flow_count(self) -> int:
@@ -177,18 +186,22 @@ class SharedDrainEngine:
         event; otherwise the epoch fires ``max_delay`` after the first
         pending row (never later than an already-armed flush).
         """
-        if id(receiver) not in self._keys:
-            raise TransportError(
-                f"flow {receiver.flow_id} is not registered with this engine"
-            )
-        delay = 0.0 if self.pending_rows >= self.max_rows else self.max_delay
-        due = self.loop.now + delay
-        if self._flush_event is not None:
-            if self._flush_due <= due:
-                return
-            self._flush_event.cancel()
-        self._flush_event = self.loop.schedule(delay, self._flush_epoch)
-        self._flush_due = due
+        with self._mutex:
+            if id(receiver) not in self._keys:
+                raise TransportError(
+                    f"flow {receiver.flow_id} is not registered with this engine"
+                )
+            # pending_rows walks every registered flow: the O(flows)
+            # shared-structure scan that per-shard engines divide by N.
+            self.counters.record_notify_scan(len(self._receivers))
+            delay = 0.0 if self.pending_rows >= self.max_rows else self.max_delay
+            due = self.loop.now + delay
+            if self._flush_event is not None:
+                if self._flush_due <= due:
+                    return
+                self._flush_event.cancel()
+            self._flush_event = self.loop.schedule(delay, self._flush_epoch)
+            self._flush_due = due
 
     def _flush_epoch(self) -> None:
         self._flush_event = None
@@ -205,15 +218,16 @@ class SharedDrainEngine:
         invoke this directly (benchmarks do); scheduled epochs arrive
         here too.
         """
-        if self._flush_event is not None:
-            self._flush_event.cancel()
-            self._flush_event = None
-        self.counters.epochs += 1
-        delivered = 0
-        for group in list(self._groups.values()):
-            delivered += self._drain_group(group)
-        self.delivered_total += delivered
-        return delivered
+        with self._mutex:
+            if self._flush_event is not None:
+                self._flush_event.cancel()
+                self._flush_event = None
+            self.counters.record_epoch()
+            delivered = 0
+            for group in list(self._groups.values()):
+                delivered += self._drain_group(group)
+            self.delivered_total += delivered
+            return delivered
 
     def _drain_group(self, group: _PlanGroup) -> int:
         delivered = 0
@@ -246,15 +260,30 @@ class SharedDrainEngine:
         plan = rows[0][0].wire_plan
         batch = plan.run_batch([entry.adu.payload for _, entry in rows])
         checksums = batch.observations[WIRE_CHECKSUM]
-        n_flows = len({id(receiver) for receiver, _ in rows})
-        self.counters.record_dispatch(len(rows), n_flows, capped)
+        receivers: list["AlfReceiver"] = []
+        seen: set[int] = set()
+        for receiver, _ in rows:
+            if id(receiver) not in seen:
+                seen.add(id(receiver))
+                receivers.append(receiver)
+        self.counters.record_dispatch(len(rows), len(receivers), capped)
         self.tracer.emit(self.loop.now, "drain", "dispatch",
-                         rows=len(rows), flows=n_flows, capped=capped)
+                         rows=len(rows), flows=len(receivers), capped=capped)
+        # Bracket delivery so each flow coalesces its acks: one ACK per
+        # flow per dispatch instead of one per delivered ADU.
+        for receiver in receivers:
+            receiver.begin_drain_dispatch()
         delivered = 0
-        for (receiver, entry), checksum, out in zip(rows, checksums, batch.outputs):
-            if checksum != entry.expected:
-                self.counters.corrupt_rows += 1
-            delivered += receiver.resolve_drained(entry, checksum, out)
+        try:
+            for (receiver, entry), checksum, out in zip(
+                rows, checksums, batch.outputs
+            ):
+                if checksum != entry.expected:
+                    self.counters.record_corrupt_row()
+                delivered += receiver.resolve_drained(entry, checksum, out)
+        finally:
+            for receiver in receivers:
+                receiver.finish_drain_dispatch()
         return delivered
 
     # ------------------------------------------------------------------
@@ -268,21 +297,29 @@ class SharedDrainEngine:
         their pools) and is unregistered.  The engine can be reused by
         registering flows again.
         """
-        if self._flush_event is not None:
-            self._flush_event.cancel()
-            self._flush_event = None
-        for receiver in list(self._receivers.values()):
-            receiver.discard_ready()
-            self.unregister(receiver)
+        with self._mutex:
+            if self._flush_event is not None:
+                self._flush_event.cancel()
+                self._flush_event = None
+            for receiver in list(self._receivers.values()):
+                receiver.discard_ready()
+                self.unregister(receiver)
 
     # ------------------------------------------------------------------
     # Introspection
 
     def snapshot(self) -> dict[str, object]:
-        """Engine state plus its counters, for benches and the CLI."""
-        data = self.counters.snapshot()
-        data["flows"] = self.flow_count
-        data["plan_groups"] = self.group_count
-        data["pending_rows"] = self.pending_rows
-        data["delivered_total"] = self.delivered_total
-        return data
+        """Engine state plus its counters, for benches and the CLI.
+
+        Taken under the engine mutex, so a snapshot requested while a
+        ``_flush_epoch`` is in flight waits for the epoch to finish and
+        reports a consistent view (counters, pending backlog and
+        delivered totals from the same instant) instead of a torn one.
+        """
+        with self._mutex:
+            data = self.counters.snapshot()
+            data["flows"] = self.flow_count
+            data["plan_groups"] = self.group_count
+            data["pending_rows"] = self.pending_rows
+            data["delivered_total"] = self.delivered_total
+            return data

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import TransportError
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
@@ -46,6 +46,9 @@ from repro.stages.presentation import (
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
 from repro.transport.base import DeliveredAdu
 from repro.transport.drain import SharedDrainEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.net.shard import ShardedHost
 
 PROTOCOL = "session"
 
@@ -182,6 +185,19 @@ class SessionListener:
             share one); implies ``shared_drain``.  When ``shared_drain``
             is set without an engine, the listener creates one for this
             host.
+        shards: run accepted flows on a
+            :class:`~repro.net.shard.ShardedHost` with this many worker
+            shards: each accepted receiver is built on its flow's home
+            shard (that shard's loop, host and drain engine), so the
+            machine's flows divide across N independent receive stacks
+            instead of serializing through one.  The listener creates
+            and owns the sharded host (serial deterministic mode) and
+            tears it down in :meth:`close`.  Mutually amplifying with
+            ``shared_drain`` — each shard has its own engine, so
+            ``shared_drain`` is implied per shard.
+        sharded: an existing :class:`~repro.net.shard.ShardedHost` to
+            place accepted flows on (the caller keeps ownership);
+            overrides ``shards``.
     """
 
     def __init__(
@@ -201,6 +217,8 @@ class SessionListener:
         batch_drain: bool = False,
         shared_drain: bool = False,
         drain_engine: SharedDrainEngine | None = None,
+        shards: int = 0,
+        sharded: "ShardedHost | None" = None,
     ):
         self.loop = loop
         self.host = host
@@ -218,6 +236,15 @@ class SessionListener:
         if drain_engine is None and shared_drain:
             drain_engine = SharedDrainEngine(loop, tracer=self.tracer)
         self.drain_engine = drain_engine
+        self._owns_sharded = False
+        if sharded is None and shards > 0:
+            from repro.net.shard import ShardedHost
+
+            sharded = ShardedHost(
+                host, shards, tracer=self.tracer, protocols=("alf",)
+            )
+            self._owns_sharded = True
+        self.sharded = sharded
         self.sessions: dict[int, Session] = {}
         self.rejected = 0
         self._closed = False
@@ -301,9 +328,18 @@ class SessionListener:
             ),
             self.machine,
         )
+        rx_loop, rx_host, rx_engine = self.loop, self.host, self.drain_engine
+        if self.sharded is not None:
+            # The flow lives on its home shard: that shard's loop runs
+            # its timers, its host demuxes its fragments, its engine
+            # drains its ADUs.  The shard clock catches up to the
+            # handshake time first so nothing is scheduled in the past.
+            shard = self.sharded.shard_for("alf", flow_id)
+            shard.advance_to(self.loop.now)
+            rx_loop, rx_host, rx_engine = shard.loop, shard.host, shard.engine
         session.receiver = AlfReceiver(
-            self.loop,
-            self.host,
+            rx_loop,
+            rx_host,
             packet.src,
             flow_id,
             deliver=lambda adu, fid=flow_id: self._deliver(fid, adu),
@@ -317,7 +353,7 @@ class SessionListener:
                 else None
             ),
             batch_drain=self.batch_drain,
-            drain_engine=self.drain_engine,
+            drain_engine=rx_engine,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -340,6 +376,8 @@ class SessionListener:
         for session in self.sessions.values():
             if session.receiver is not None:
                 session.receiver.close()
+        if self._owns_sharded and self.sharded is not None:
+            self.sharded.shutdown()
         self.host.unbind_protocol(PROTOCOL)
 
     def _send_accept(self, peer: str, flow_id: int) -> None:

@@ -130,3 +130,49 @@ def test_codec_cache_eviction_pressure_keeps_bound_and_correctness():
     assert snapshot["entries"] <= 2
     assert snapshot["evictions"] > 0
     assert snapshot["misses"] > len(schemas)
+
+
+def test_cache_stats_counters_lose_no_updates_under_contention():
+    """The raw counter object shards bump concurrently: every recorded
+    hit/miss/eviction must survive, and a snapshot must be internally
+    consistent (hits + misses == lookups) at any moment."""
+    from repro.machine.accounting import AtomicCacheStats
+
+    stats = AtomicCacheStats()
+    per_thread = 5000
+
+    def worker(tid: int) -> None:
+        for i in range(per_thread):
+            stats.record_hit()
+            if i % 2 == 0:
+                stats.record_miss()
+            if i % 5 == 0:
+                stats.record_eviction()
+            if i % 100 == 0:
+                view = stats.as_dict()
+                assert view["lookups"] == view["hits"] + view["misses"]
+
+    assert run_threads(worker) == []
+    assert stats.hits == N_THREADS * per_thread
+    assert stats.misses == N_THREADS * (per_thread // 2)
+    assert stats.evictions == N_THREADS * (per_thread // 5)
+    assert stats.lookups == stats.hits + stats.misses
+    stats.reset()
+    assert stats.as_dict()["lookups"] == 0
+
+
+def test_plan_cache_shared_by_key_across_shard_engines():
+    """One plan cache serving several shard drain engines: every shard
+    compiles the shared shape once, then hits, with exact counters."""
+    cache = PlanCache(capacity=8)
+
+    def worker(tid: int) -> None:
+        for _ in range(N_ROUNDS):
+            plan = cache.get_or_compile(secure_pipeline(0xFEED), MIPS_R2000)
+            out, _ = plan.run(b"\x00" * 64)
+            assert out == WordXorStage(0xFEED).apply(b"\x00" * 64)
+
+    assert run_threads(worker) == []
+    snapshot = cache.snapshot()
+    assert snapshot["misses"] == 1
+    assert snapshot["hits"] == N_THREADS * N_ROUNDS - 1

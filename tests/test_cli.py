@@ -160,3 +160,28 @@ def test_p4_in_catalog():
     assert isinstance(result, ExperimentResult)
     assert result.measured("send-side read passes per ADU") == 1.0
     assert result.measured("receive-side read passes per ADU") == 1.0
+
+
+def test_shard_stats(capsys):
+    from repro.machine.accounting import shard_counters
+    from repro.net.host import Host
+    from repro.net.shard import ShardedHost
+    from repro.sim.eventloop import EventLoop
+
+    shard_counters().reset()
+    sharded = ShardedHost(Host(EventLoop(), "b"), 2, protocols=())
+    from repro.net.packet import Packet
+
+    for _ in range(3):  # one hash dispatch, then two memo hits
+        sharded.receive(
+            Packet(
+                src="a", dst="b", protocol="noop", flow_id=1,
+                header={"adu_seq": 0}, payload=b"",
+            )
+        )
+    assert main(["shard", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "shard demux counters" in out
+    assert "memo_hits 2" in out
+    assert "hash_dispatches 1" in out
+    shard_counters().reset()

@@ -337,3 +337,73 @@ class TestSnapshot:
         assert snap["pending_rows"] == 0
         assert snap["delivered_total"] == 1
         assert snap["rows_per_dispatch"] == 1.0
+
+
+class TestConcurrentSnapshot:
+    def test_snapshot_waits_for_inflight_flush(self):
+        """A reader must never observe a half-mutated backlog.
+
+        The flush thread blocks *inside* a deliver callback (mid
+        ``_flush_epoch``, engine mutex held); only then does the reader
+        thread call ``snapshot()``.  A correct engine holds the reader
+        until the epoch completes, so the snapshot always reflects the
+        post-flush state — never pending rows that are already being
+        dispatched.  Ordering is driven entirely by events, no sleeps.
+        """
+        import threading
+
+        path = two_hosts(seed=9)
+        engine = SharedDrainEngine(path.loop, counters=DrainCounters())
+        in_deliver = threading.Event()
+        release = threading.Event()
+
+        def deliver(adu):
+            in_deliver.set()
+            assert release.wait(timeout=5.0)
+
+        AlfReceiver(
+            path.loop, path.b, "a", 1,
+            deliver=deliver,
+            zero_copy=False,
+            encryption=KEY,
+            drain_engine=engine,
+        )
+        for packet in encrypted_packets(1, [adu_payload(4321)]):
+            path.b.receive(packet)
+        assert engine.pending_rows == 1
+
+        snap: dict[str, object] = {}
+
+        def read_snapshot():
+            in_deliver.wait(timeout=5.0)
+            snap.update(engine.snapshot())
+
+        flusher = threading.Thread(target=engine.flush)
+        reader = threading.Thread(target=read_snapshot)
+        flusher.start()
+        reader.start()
+        # The flush is now parked inside deliver with the mutex held;
+        # the reader is at (or past) the snapshot call.  Release the
+        # flush and let both finish.
+        assert in_deliver.wait(timeout=5.0)
+        release.set()
+        flusher.join(timeout=5.0)
+        reader.join(timeout=5.0)
+        assert not flusher.is_alive() and not reader.is_alive()
+        assert snap["pending_rows"] == 0
+        assert snap["delivered_total"] == 1
+        assert snap["dispatches"] == 1
+
+    def test_notify_scan_counters_are_deterministic(self):
+        path, engine, receivers, _ = make_env(n_flows=3)
+        payloads = {r.flow_id: [adu_payload(60 + r.flow_id)] for r in receivers}
+        for receiver in receivers:
+            for packet in encrypted_packets(receiver.flow_id, payloads[receiver.flow_id]):
+                path.b.receive(packet)
+        counters = engine.counters
+        # One backlog scan per completed ADU, each walking all 3 flows.
+        assert counters.notify_scans == 3
+        assert counters.scan_visits == 9
+        snap = counters.snapshot()
+        assert snap["notify_scans"] == 3
+        assert snap["scan_visits"] == 9

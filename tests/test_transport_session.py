@@ -191,3 +191,43 @@ def test_listener_close_frees_slot_for_rebinding():
     fresh.session.sender.send_adu(Adu(0, b"\x09\x08\x07\x06", {"n": 0}))
     path.loop.run(until=20)
     assert [adu.payload for _, adu in delivered] == [b"\x09\x08\x07\x06"]
+
+
+def test_sharded_listener_delivers_and_tears_down_clean():
+    path = two_hosts(seed=7)
+    delivered = []
+    listener = SessionListener(
+        path.loop, path.b, SCHEMAS,
+        deliver=lambda fid, adu: delivered.append((fid, adu)),
+        shards=2,
+    )
+    assert listener.sharded is not None
+    assert len(listener.sharded.shards) == 2
+    initiators = [
+        SessionInitiator(
+            path.loop, path.a, "b",
+            SessionConfig(schema_name="ints"), SCHEMAS,
+        )
+        for _ in range(4)
+    ]
+    path.loop.run(until=5)
+    assert all(i.established for i in initiators)
+    payload = b"\x01\x02\x03\x04"
+    for initiator in initiators:
+        initiator.session.sender.send_adu(Adu(0, payload, {"n": 0}))
+    path.loop.run(until=10)
+    listener.sharded.drain()
+    assert sorted(fid for fid, _ in delivered) == sorted(
+        i.session.flow_id for i in initiators
+    )
+    assert all(adu.payload == payload for _, adu in delivered)
+    # Each flow's receiver lives on its home shard's engine.
+    assert sum(s.engine.flow_count for s in listener.sharded.shards) == 4
+    for initiator in initiators:
+        home = listener.sharded.shard_for("alf", initiator.session.flow_id)
+        assert home.engine.delivered_total > 0 or home.engine.flow_count > 0
+    sharded = listener.sharded
+    listener.close()
+    # The listener owns the sharded host: close shut every shard down.
+    assert all(s.engine.flow_count == 0 for s in sharded.shards)
+    assert all(s.leak_report() == [] for s in sharded.shards)
