@@ -56,23 +56,31 @@ DELIVERED_AS = LwtsCodec(byte_order="little")  # the listener's syntax
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
 
-def run_scenario(shared: bool) -> dict[str, object]:
+def run_scenario(shared: bool, adaptive: bool = False) -> dict[str, object]:
     """One full simulated run; returns dispatch counts and payloads."""
     path = two_hosts(seed=7)
     plan_cache = PlanCache(capacity=32)
     counters = DrainCounters()
     engine = (
-        SharedDrainEngine(path.loop, max_delay=EPOCH, counters=counters)
+        SharedDrainEngine(
+            path.loop,
+            max_delay=EPOCH,
+            adaptive=adaptive,
+            ramp_rows=8,
+            counters=counters,
+        )
         if shared
         else None
     )
+    deliver_times: dict[int, list[float]] = {}
     delivered: dict[int, list[bytes]] = {}
     listener = SessionListener(
         path.loop,
         path.b,
         SCHEMAS,
-        deliver=lambda fid, adu: delivered.setdefault(fid, []).append(
-            bytes(adu.payload)
+        deliver=lambda fid, adu: (
+            delivered.setdefault(fid, []).append(bytes(adu.payload)),
+            deliver_times.setdefault(fid, []).append(path.loop.now),
         ),
         plan_cache=plan_cache,
         presentation=True,
@@ -100,8 +108,21 @@ def run_scenario(shared: bool) -> dict[str, object]:
     assert all(initiator.established for initiator in initiators)
 
     schema = SCHEMAS["ints"]
+    # Idle-regime probe: one lone ADU on an otherwise quiet host.  A
+    # fixed epoch holds it for the full ``max_delay``; an adaptive
+    # epoch flushes it immediately.  (The probe is flow 0's seq 0 —
+    # skipped below so every flow still delivers each seq exactly once.)
+    probe_sent = path.loop.now
+    initiators[0].session.sender.send_adu(
+        Adu(0, LOCAL.encode(integer_array(N_INTEGERS, seed=0), schema))
+    )
+    path.loop.run(until=probe_sent + 4 * EPOCH)
+    probe_times = deliver_times.get(initiators[0].flow_id, [])
+    idle_latency = probe_times[0] - probe_sent if probe_times else None
     for seq in range(N_ADUS):
         for index, initiator in enumerate(initiators):
+            if index == 0 and seq == 0:
+                continue
             value = integer_array(N_INTEGERS, seed=31 * index + seq)
             initiator.session.sender.send_adu(
                 Adu(seq, LOCAL.encode(value, schema))
@@ -125,6 +146,7 @@ def run_scenario(shared: bool) -> dict[str, object]:
         "payloads": payloads,
         "snapshot": counters.snapshot() if shared else None,
         "groups": engine.group_count if engine is not None else None,
+        "idle_latency_s": idle_latency,
     }
 
 
@@ -143,8 +165,9 @@ def best_of(fn, repeats: int = 3) -> tuple[float, object]:
 def record():
     per_flow_s, per_flow = best_of(lambda: run_scenario(shared=False))
     shared_s, shared = best_of(lambda: run_scenario(shared=True))
+    adaptive = run_scenario(shared=True, adaptive=True)
 
-    # Byte-identical, exactly-once delivery under both engineerings.
+    # Byte-identical, exactly-once delivery under all engineerings.
     schema = SCHEMAS["ints"]
     for index in range(N_FLOWS):
         expected = [
@@ -155,6 +178,7 @@ def record():
         ]
         assert per_flow["payloads"][index] == expected, f"per-flow diverged ({index})"
         assert shared["payloads"][index] == expected, f"shared diverged ({index})"
+        assert adaptive["payloads"][index] == expected, f"adaptive diverged ({index})"
 
     assert shared["groups"] == 1, "flows did not share one plan shape"
     snapshot = shared["snapshot"]
@@ -175,6 +199,15 @@ def record():
             "fairness_stalls": snapshot["fairness_stalls"],
             "epochs": snapshot["epochs"],
             "plan_groups": shared["groups"],
+            "idle_latency_s": shared["idle_latency_s"],
+        },
+        # The adaptive knob's two regimes on the same workload: a lone
+        # idle ADU flushes immediately (vs. waiting out the fixed
+        # epoch), while the backlogged bulk still batches cross-flow.
+        "adaptive": {
+            "dispatches": adaptive["dispatches"],
+            "rows_per_dispatch": adaptive["snapshot"]["rows_per_dispatch"],
+            "idle_latency_s": adaptive["idle_latency_s"],
         },
         "dispatch_amortization": per_flow["dispatches"]
         / max(shared["dispatches"], 1),
@@ -205,3 +238,10 @@ def test_acceptance_multiflow_drain(record):
     # The rows really were cross-flow batches, fairly collected.
     assert record["shared"]["cross_flow_batches"] >= 1
     assert record["shared"]["rows_per_dispatch"] > 1.0
+    # Adaptive epochs: the idle probe flushes a full fixed epoch sooner
+    # than under the fixed knob, and backlog still batches cross-flow.
+    assert (
+        record["shared"]["idle_latency_s"] - record["adaptive"]["idle_latency_s"]
+        >= EPOCH * 0.9
+    ), record
+    assert record["adaptive"]["rows_per_dispatch"] > 1.0, record

@@ -235,6 +235,35 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.machine.accounting import shard_counters, train_counters
+
+    if args.action == "stats":
+        trains = train_counters().snapshot()
+        print("link train counters:")
+        print(
+            f"  trains {trains['trains']}  "
+            f"train_packets {trains['train_packets']}  "
+            f"packets_per_train {trains['packets_per_train']:.2f}"
+        )
+        if trains["train_len_hist"]:
+            hist = "  ".join(
+                f"<={bucket}: {count}"
+                for bucket, count in trains["train_len_hist"].items()
+            )
+            print(f"  train_len_hist {hist}")
+        demux = shard_counters().snapshot()
+        print("front-end train demux:")
+        print(
+            f"  demux_runs {demux['demux_runs']}  "
+            f"probes_saved {demux['probes_saved']}  "
+            f"train_packets {demux['train_packets']}"
+        )
+        return 0
+    print(f"unknown train action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_buffers(args: argparse.Namespace) -> int:
     from repro.buffers.pool import shared_rx_pool
     from repro.machine.accounting import datapath_counters
@@ -370,6 +399,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(packets, memo hit rate, worker services)",
     )
     shard_parser.set_defaults(handler=_cmd_shard)
+
+    train_parser = commands.add_parser(
+        "train", help="inspect the packet-train delivery path"
+    )
+    train_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the link train counters (trains, packets "
+        "per train, length histogram) and the front end's run-demux "
+        "amortization",
+    )
+    train_parser.set_defaults(handler=_cmd_train)
     return parser
 
 

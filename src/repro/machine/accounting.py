@@ -298,6 +298,11 @@ def drain_counters() -> DrainCounters:
     return _DRAIN
 
 
+def _train_bucket(n_packets: int) -> int:
+    """Power-of-two histogram bucket for a train of ``n_packets``."""
+    return 1 << (n_packets - 1).bit_length() if n_packets > 1 else 1
+
+
 @dataclass
 class ShardCounters:
     """Front-end demux counters for :class:`~repro.net.shard.ShardedHost`.
@@ -307,13 +312,25 @@ class ShardCounters:
     as the last one", so the front end memoizes the last flow's shard
     and skips the hash.  ``memo_hits`` vs ``hash_dispatches`` measures
     how often that prediction holds; ``worker_services`` counts how many
-    times a shard worker woke to service its ingress queue.
+    times a shard worker woke to service its ingress ring.
+
+    Packet trains add run-level accounting: when the front demuxes a
+    whole train in one pass, consecutive same-flow packets form a *run*
+    that costs one placement probe total.  ``demux_runs`` counts the
+    probes actually made, ``probes_saved`` the per-packet probes a
+    packet-at-a-time front would have paid on top, and
+    ``train_len_hist`` buckets train lengths (power-of-two buckets) so
+    the amortization per train is visible, not just the aggregate.
     """
 
     packets: int = 0
     bursts: int = 0
+    train_packets: int = 0
+    train_len_hist: dict[int, int] = field(default_factory=dict)
     memo_hits: int = 0
     hash_dispatches: int = 0
+    demux_runs: int = 0
+    probes_saved: int = 0
     worker_services: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -324,18 +341,44 @@ class ShardCounters:
         from the hot-flow memo rather than the hash)."""
         with self._lock:
             self.packets += 1
+            self.demux_runs += 1
             if memo_hit:
                 self.memo_hits += 1
             else:
                 self.hash_dispatches += 1
 
-    def record_burst(self) -> None:
+    def record_run(self, n_packets: int, memo_hit: bool) -> None:
+        """Account one same-flow run of ``n_packets`` inside a train.
+
+        The run's first packet pays the single placement probe (a memo
+        compare or the hash); the rest ride the run for free — they are
+        counted as memo hits so the per-packet rates stay comparable
+        with packet-at-a-time demux, and as ``probes_saved`` so the
+        train amortization is measurable on its own.
+        """
+        with self._lock:
+            self.packets += n_packets
+            self.demux_runs += 1
+            self.probes_saved += n_packets - 1
+            self.memo_hits += n_packets - 1
+            if memo_hit:
+                self.memo_hits += 1
+            else:
+                self.hash_dispatches += 1
+
+    def record_burst(self, n_packets: int = 0) -> None:
         """Account one ``receive_burst`` train through the demux."""
         with self._lock:
             self.bursts += 1
+            if n_packets > 0:
+                self.train_packets += n_packets
+                bucket = _train_bucket(n_packets)
+                self.train_len_hist[bucket] = (
+                    self.train_len_hist.get(bucket, 0) + 1
+                )
 
     def record_service(self) -> None:
-        """Account one shard worker pass over its ingress queue."""
+        """Account one shard worker pass over its ingress ring."""
         with self._lock:
             self.worker_services += 1
 
@@ -344,8 +387,12 @@ class ShardCounters:
         with self._lock:
             self.packets = 0
             self.bursts = 0
+            self.train_packets = 0
+            self.train_len_hist.clear()
             self.memo_hits = 0
             self.hash_dispatches = 0
+            self.demux_runs = 0
+            self.probes_saved = 0
             self.worker_services = 0
 
     def snapshot(self) -> dict[str, object]:
@@ -354,11 +401,15 @@ class ShardCounters:
             return {
                 "packets": self.packets,
                 "bursts": self.bursts,
+                "train_packets": self.train_packets,
+                "train_len_hist": dict(sorted(self.train_len_hist.items())),
                 "memo_hits": self.memo_hits,
                 "hash_dispatches": self.hash_dispatches,
                 "memo_hit_rate": (
                     self.memo_hits / self.packets if self.packets else 0.0
                 ),
+                "demux_runs": self.demux_runs,
+                "probes_saved": self.probes_saved,
                 "worker_services": self.worker_services,
             }
 
@@ -369,6 +420,70 @@ _SHARD = ShardCounters()
 def shard_counters() -> ShardCounters:
     """The process-wide counters sharded hosts record into by default."""
     return _SHARD
+
+
+@dataclass
+class TrainCounters:
+    """Link-level packet-train ledger.
+
+    A link in train mode pays its delivery control cost (one scheduled
+    event, one upcall into the host) once per *train* instead of once
+    per packet — the paper's burst amortization applied to the wire.
+    These counters make that measurable: how many trains links
+    delivered, how many packets rode them, and the length distribution
+    (power-of-two buckets).  ``packets_delivered - trains`` is the
+    number of per-packet delivery upcalls the aggregation removed.
+    """
+
+    trains: int = 0
+    train_packets: int = 0
+    train_len_hist: dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def packets_per_train(self) -> float:
+        """Mean packets carried per delivered train (0.0 when idle)."""
+        with self._lock:
+            return self.train_packets / self.trains if self.trains else 0.0
+
+    def record_train(self, n_packets: int) -> None:
+        """Account one link train delivery carrying ``n_packets``."""
+        with self._lock:
+            self.trains += 1
+            self.train_packets += n_packets
+            bucket = _train_bucket(n_packets)
+            self.train_len_hist[bucket] = (
+                self.train_len_hist.get(bucket, 0) + 1
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        with self._lock:
+            self.trains = 0
+            self.train_packets = 0
+            self.train_len_hist.clear()
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent plain-dict view for the CLI and bench records."""
+        with self._lock:
+            return {
+                "trains": self.trains,
+                "train_packets": self.train_packets,
+                "packets_per_train": (
+                    self.train_packets / self.trains if self.trains else 0.0
+                ),
+                "train_len_hist": dict(sorted(self.train_len_hist.items())),
+            }
+
+
+_TRAIN = TrainCounters()
+
+
+def train_counters() -> TrainCounters:
+    """The process-wide counters links record train deliveries into."""
+    return _TRAIN
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,7 @@ class Host:
         self.rx_dropped = 0
         self.demux_memo_hits = 0
         self.bursts = 0
+        self.burst_packets = 0
 
     def add_link(self, destination: str, link: Link) -> None:
         """Use ``link`` for packets addressed to ``destination``."""
@@ -118,9 +119,8 @@ class Host:
         packet.src = self.name
         link.send(packet)
 
-    def receive(self, packet: Packet) -> None:
-        """Deliver an arriving packet to its bound handler."""
-        self.received += 1
+    def _dma(self, packet: Packet) -> bool:
+        """DMA a byte payload into pooled buffers; False drops the packet."""
         if (
             self.rx_pool is not None
             and not isinstance(packet.payload, BufferChain)
@@ -133,8 +133,24 @@ class Host:
                 self.rx_dropped += 1
                 self.tracer.emit(self.loop.now, "host", "rx-pool-drop",
                                  host=self.name, packet_id=packet.packet_id)
-                return
+                return False
             packet.payload = chain
+        return True
+
+    def _drop_undeliverable(self, packet: Packet) -> None:
+        """Count and release one packet no handler claims."""
+        self.undeliverable += 1
+        if isinstance(packet.payload, BufferChain):
+            packet.payload.release()
+        self.tracer.emit(self.loop.now, "host", "undeliverable",
+                         host=self.name, protocol=packet.protocol,
+                         flow_id=packet.flow_id)
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver an arriving packet to its bound handler."""
+        self.received += 1
+        if not self._dma(packet):
+            return
         key = (packet.protocol, packet.flow_id)
         if key == self._memo_key:
             # Hot-flow fast path: a packet train for one flow resolves
@@ -146,12 +162,7 @@ class Host:
         if handler is None:
             handler = self._default_handlers.get(packet.protocol)
         if handler is None:
-            self.undeliverable += 1
-            if isinstance(packet.payload, BufferChain):
-                packet.payload.release()
-            self.tracer.emit(self.loop.now, "host", "undeliverable",
-                             host=self.name, protocol=packet.protocol,
-                             flow_id=packet.flow_id)
+            self._drop_undeliverable(packet)
             return
         self._memo_key = key
         self._memo_handler = handler
@@ -160,11 +171,45 @@ class Host:
     def receive_burst(self, packets: list[Packet]) -> None:
         """Deliver a packet train in one call.
 
-        Links and benchmarks hand bursts here so that consecutive
-        packets for the same flow ride the hot-flow memo — one handler
-        resolution per flow run instead of per packet.
+        Links in train mode and the sharded front end hand bursts here
+        so that consecutive packets for the same flow form a *run*
+        resolving the handler once, not per packet.  A poisoned packet
+        mid-burst — no handler bound for its flow — releases its DMA
+        chain and the rest of the burst keeps flowing; the run's cached
+        handler is revalidated against the memo, so a flow closed by an
+        earlier delivery in the same burst cannot be called stale.
         """
         self.bursts += 1
-        receive = self.receive
+        self.burst_packets += len(packets)
+        run_key: tuple[str, int] | None = None
+        handler: Handler | None = None
         for packet in packets:
-            receive(packet)
+            self.received += 1
+            key = (packet.protocol, packet.flow_id)
+            # A run continues only while the memo agrees: any binding
+            # change inside the burst invalidates the memo, which
+            # forces re-resolution exactly as packet-at-a-time would.
+            if key == run_key and key == self._memo_key:
+                self.demux_memo_hits += 1
+                if self._dma(packet):
+                    self._memo_handler(packet)
+                continue
+            run_key = key
+            if key == self._memo_key:
+                self.demux_memo_hits += 1
+                handler = self._memo_handler
+            else:
+                handler = self._handlers.get(key)
+                if handler is None:
+                    handler = self._default_handlers.get(packet.protocol)
+                if handler is not None:
+                    self._memo_key = key
+                    self._memo_handler = handler
+            if handler is None:
+                # Undeliverable packets skip the DMA (nothing downstream
+                # would ever release the chain) but must release a chain
+                # the wire already handed over — and the burst goes on.
+                self._drop_undeliverable(packet)
+                continue
+            if self._dma(packet):
+                handler(packet)

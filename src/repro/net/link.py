@@ -8,18 +8,30 @@ models all three, plus bandwidth serialization and propagation delay.
 A link is unidirectional; build two for a full-duplex path (the topology
 helpers do).  Delivery is a callback, so links compose with hosts,
 switches and the ATM layer alike.
+
+**Packet trains** (§4 burst amortization): with ``max_train > 1`` the
+link aggregates packets whose arrivals fall inside ``train_window``
+seconds of the train's first arrival into one *train*, delivered as a
+single ``receive_burst`` upcall instead of one event per packet.  The
+failure processes stay strictly per-packet — loss, corruption, reorder
+and duplication are drawn in the exact same RNG order as
+packet-at-a-time delivery, so a seeded run delivers byte-identical data
+in either mode.  Reordered packets and duplicates leave the train and
+ride their own delayed delivery, preserving the packet-mode timing of
+both failure modes.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.buffers.chain import BufferChain
 from repro.errors import NetworkError
+from repro.machine.accounting import train_counters
 from repro.net.packet import Packet
-from repro.sim.eventloop import EventLoop
+from repro.sim.eventloop import Event, EventLoop
 from repro.sim.trace import Tracer
 
 
@@ -35,6 +47,18 @@ class LinkStats:
     corrupted: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    trains: int = 0
+    train_packets: int = 0
+
+
+@dataclass
+class _OpenTrain:
+    """A train still accepting packets (closes on window or max_train)."""
+
+    packets: list[Packet] = field(default_factory=list)
+    close_event: Event | None = None
+    close_time: float = 0.0
+    last_arrival: float = 0.0
 
 
 class Link:
@@ -55,6 +79,12 @@ class Link:
         reorder_extra_delay: how long a reordered packet is held, as a
             multiple of the propagation delay.
         mtu: maximum payload a packet may carry on this link.
+        max_train: packets per delivered train.  1 (default) keeps
+            packet-at-a-time delivery; > 1 enables train mode — packets
+            aggregate until the train is full or the window closes.
+        train_window: seconds after a train's first arrival during
+            which later arrivals may join it.  A full train (or one
+            whose window closed) is delivered as one ``receive_burst``.
         name: label for traces.
     """
 
@@ -70,6 +100,8 @@ class Link:
         corrupt_rate: float = 0.0,
         reorder_extra_delay: float = 2.0,
         mtu: int | None = None,
+        max_train: int = 1,
+        train_window: float = 0.0,
         name: str = "link",
         tracer: Tracer | None = None,
     ):
@@ -77,6 +109,10 @@ class Link:
             raise NetworkError("bandwidth_bps must be positive")
         if propagation_delay < 0:
             raise NetworkError("propagation_delay must be >= 0")
+        if max_train < 1:
+            raise NetworkError(f"max_train must be >= 1, got {max_train}")
+        if train_window < 0:
+            raise NetworkError(f"train_window must be >= 0, got {train_window}")
         for rate_name, rate in (
             ("loss_rate", loss_rate),
             ("reorder_rate", reorder_rate),
@@ -95,15 +131,45 @@ class Link:
         self.corrupt_rate = corrupt_rate
         self.reorder_extra_delay = reorder_extra_delay
         self.mtu = mtu
+        self.max_train = max_train
+        self.train_window = train_window
         self.name = name
         self.tracer = tracer or Tracer(enabled=False)
         self.stats = LinkStats()
         self._receiver: Callable[[Packet], None] | None = None
+        self._burst_receiver: Callable[[list[Packet]], None] | None = None
         self._busy_until = 0.0
+        self._open_train: _OpenTrain | None = None
 
-    def connect(self, receiver: Callable[[Packet], None]) -> None:
-        """Attach the delivery callback (a host, switch or AAL)."""
+    def connect(
+        self,
+        receiver: Callable[[Packet], None],
+        burst_receiver: Callable[[list[Packet]], None] | None = None,
+    ) -> None:
+        """Attach the delivery callback (a host, switch or AAL).
+
+        ``burst_receiver`` is the train entry point (one call per
+        delivered train).  When not given and ``receiver`` is a bound
+        ``receive`` method whose owner exposes ``receive_burst`` — a
+        host, a sharded front end, a switch — that burst entry is used
+        automatically, so the topology helpers need no changes.  With
+        neither, trains fall back to per-packet upcalls (aggregation
+        still amortizes the delivery events).
+        """
         self._receiver = receiver
+        if burst_receiver is None:
+            owner = getattr(receiver, "__self__", None)
+            if (
+                owner is not None
+                and getattr(receiver, "__name__", "") == "receive"
+            ):
+                burst_receiver = getattr(owner, "receive_burst", None)
+        self._burst_receiver = burst_receiver
+
+    @property
+    def train_mode(self) -> bool:
+        """Whether this link aggregates deliveries into trains."""
+        return self.max_train > 1
 
     def send(self, packet: Packet) -> None:
         """Transmit a packet, applying serialization, delay and failures."""
@@ -155,22 +221,84 @@ class Link:
             self.tracer.emit(self.loop.now, "link", "corrupted",
                              link=self.name, packet_id=packet.packet_id)
 
-        if self.rng.random() < self.reorder_rate:
+        reordered = self.rng.random() < self.reorder_rate
+        if reordered:
             self.stats.reordered += 1
             arrival_delay += self.propagation_delay * self.reorder_extra_delay
             self.tracer.emit(self.loop.now, "link", "reordered", link=self.name,
                              packet_id=packet.packet_id)
 
-        self.loop.schedule(arrival_delay, self._deliver, packet)
+        if self.train_mode and not reordered:
+            # A reordered packet left its train by definition; everyone
+            # else boards the open train (or opens the next one).
+            self._board_train(packet, arrival_delay)
+        else:
+            self.loop.schedule(arrival_delay, self._deliver, packet)
 
         if self.rng.random() < self.duplicate_rate:
             self.stats.duplicated += 1
             duplicate = packet.copy()
             self.tracer.emit(self.loop.now, "link", "duplicated", link=self.name,
                              packet_id=packet.packet_id)
+            # Duplicates ride alone even in train mode: they arrive a
+            # propagation delay late, past the train they came from.
             self.loop.schedule(
                 arrival_delay + self.propagation_delay, self._deliver, duplicate
             )
+
+    # ------------------------------------------------------------------
+    # Train aggregation
+
+    def _board_train(self, packet: Packet, arrival_delay: float) -> None:
+        """Add one surviving packet to the open train, opening/closing
+        trains as the aggregation window and ``max_train`` dictate."""
+        arrival = self.loop.now + arrival_delay
+        train = self._open_train
+        if train is not None and arrival <= train.close_time:
+            train.packets.append(packet)
+            train.last_arrival = max(train.last_arrival, arrival)
+            if len(train.packets) >= self.max_train:
+                # Full: leave no later than the last member's arrival.
+                train.close_event.cancel()
+                self._open_train = None
+                self.loop.schedule_at(
+                    train.last_arrival, self._deliver_train, train.packets
+                )
+            return
+        # This packet opens a new train; a previous still-open train
+        # keeps its scheduled close (its event owns the packet list).
+        train = _OpenTrain(
+            packets=[packet],
+            close_time=arrival + self.train_window,
+            last_arrival=arrival,
+        )
+        train.close_event = self.loop.schedule_at(
+            train.close_time, self._close_train, train
+        )
+        self._open_train = train
+
+    def _close_train(self, train: _OpenTrain) -> None:
+        """Window expiry: the train leaves with whatever it aggregated."""
+        if self._open_train is train:
+            self._open_train = None
+        self._deliver_train(train.packets)
+
+    def _deliver_train(self, packets: list[Packet]) -> None:
+        """Hand one train to the receiver as a single burst upcall."""
+        self.stats.trains += 1
+        self.stats.train_packets += len(packets)
+        train_counters().record_train(len(packets))
+        for packet in packets:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += packet.wire_size
+        self.tracer.emit(self.loop.now, "link", "train", link=self.name,
+                         packets=len(packets))
+        if self._burst_receiver is not None:
+            self._burst_receiver(packets)
+            return
+        assert self._receiver is not None  # checked in send()
+        for packet in packets:
+            self._receiver(packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1

@@ -31,6 +31,16 @@ dispatches without re-hashing.  Because the shard is a pure function of
 the flow key, a flow can never migrate shards mid-stream: not across
 bursts, not across rebinds, not across close-and-reopen.
 
+**Train demux** (§4 burst amortization): :meth:`ShardedHost.receive_burst`
+walks a whole train in one pass, charging one placement-memo probe per
+*flow-run* (consecutive packets of one flow) instead of one per packet,
+and accumulates one :class:`Burst` descriptor per shard per train.  In
+threaded mode that burst is appended to the shard's :class:`BurstRing`
+— replacing the old per-packet ingress deque — and the worker pops
+bursts whole, delivering each through the shard host's own
+``receive_burst``.  Control cost per train: one ring append and one
+service submission per touched shard, however long the train.
+
 Plan and codec caches are intentionally **not** sharded: compiled plans
 are immutable and shared *by key* across every worker (their counters
 are atomic — see :class:`~repro.machine.accounting.AtomicCacheStats`),
@@ -43,7 +53,7 @@ Two execution modes share the same demux and shard state:
   loops into one global time order, so existing tests and experiments
   stay exactly reproducible.
 * **threaded**: one single-thread ``ThreadPoolExecutor`` per shard.
-  The front appends packets to the shard's ingress queue and submits a
+  The front appends burst descriptors to the shard's ring and submits a
   service pass; each worker drains its own loop independently.  Egress
   in threaded mode should ride shard-local links (the front's links
   belong to the front's loop); the serial mode may instead fall back to
@@ -52,9 +62,10 @@ Two execution modes share the same demux and shard state:
 
 from __future__ import annotations
 
+import threading
 import zlib
-from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.buffers.pool import BufferPool
@@ -86,6 +97,95 @@ def shard_index(protocol: str, flow_id: int, n_shards: int) -> int:
     return zlib.crc32(f"{protocol}/{flow_id}".encode()) % n_shards
 
 
+@dataclass
+class Burst:
+    """One shard's slice of a delivered train: a run of packets handed
+    across the front→worker boundary as a single descriptor."""
+
+    packets: list[Packet] = field(default_factory=list)
+
+
+class BurstRing:
+    """A lock-guarded ring of :class:`Burst` descriptors.
+
+    The front→worker handoff queue: the front end appends one
+    descriptor per shard per train (however many packets the train
+    carried), and the shard worker pops bursts whole — so the queue
+    traffic, and the lock traffic with it, is per *train*, not per
+    packet.  The ring is bounded but never drops: a full ring doubles
+    in place (counted in :attr:`expansions`), because the shard owns
+    the only consumer and backpressure belongs to the rx pool, not the
+    handoff.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise NetworkError(f"capacity must be positive, got {capacity}")
+        self._slots: list[Burst | None] = [None] * capacity
+        self._head = 0
+        self._tail = 0
+        self._count = 0
+        self._lock = threading.Lock()
+        self.pushes = 0
+        self.pops = 0
+        self.packets = 0
+        self.expansions = 0
+        self.max_depth = 0
+
+    def push(self, burst: Burst) -> None:
+        """Append one burst descriptor (grows when full, never drops)."""
+        with self._lock:
+            if self._count == len(self._slots):
+                self._grow()
+            self._slots[self._tail] = burst
+            self._tail = (self._tail + 1) % len(self._slots)
+            self._count += 1
+            self.pushes += 1
+            self.packets += len(burst.packets)
+            if self._count > self.max_depth:
+                self.max_depth = self._count
+
+    def _grow(self) -> None:
+        old = self._slots
+        size = len(old)
+        fresh: list[Burst | None] = [None] * (size * 2)
+        for offset in range(self._count):
+            fresh[offset] = old[(self._head + offset) % size]
+        self._slots = fresh
+        self._head = 0
+        self._tail = self._count
+        self.expansions += 1
+
+    def pop(self) -> Burst | None:
+        """Take the oldest burst, or None when the ring is empty."""
+        with self._lock:
+            if self._count == 0:
+                return None
+            burst = self._slots[self._head]
+            self._slots[self._head] = None
+            self._head = (self._head + 1) % len(self._slots)
+            self._count -= 1
+            self.pops += 1
+            return burst
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict[str, int]:
+        """Ring counters, for the sharded host's snapshot."""
+        with self._lock:
+            return {
+                "depth": self._count,
+                "capacity": len(self._slots),
+                "pushes": self.pushes,
+                "pops": self.pops,
+                "packets": self.packets,
+                "expansions": self.expansions,
+                "max_depth": self.max_depth,
+            }
+
+
 class HostShard:
     """One worker shard: a private loop, host, engine and rx pool.
 
@@ -105,6 +205,8 @@ class HostShard:
         buffer_size: int,
         max_rows: int,
         max_delay: float,
+        adaptive: bool,
+        ring_capacity: int,
         tracer: Tracer,
     ):
         self.index = index
@@ -135,10 +237,11 @@ class HostShard:
             self.loop,
             max_rows=max_rows,
             max_delay=max_delay,
+            adaptive=adaptive,
             counters=self.counters,
             tracer=tracer,
         )
-        self.ingress: deque[Packet] = deque()
+        self.ring = BurstRing(ring_capacity)
         self.executor: ThreadPoolExecutor | None = None
         self.futures: list[Future] = []
 
@@ -214,6 +317,10 @@ class ShardedHost:
         pool_buffers / buffer_size: size of each shard's private rx
             pool (0 buffers disables pooling — payloads stay bytes).
         max_rows / max_delay: forwarded to each shard's drain engine.
+        adaptive: forwarded to each shard's drain engine — epochs deepen
+            under backlog and collapse to immediate flush when idle.
+        ring_capacity: initial burst-ring slots per shard (the ring
+            grows on overflow rather than dropping).
         protocols: protocol names the front end claims
             (``front.bind_protocol``) and demuxes; pass ``()`` when the
             caller routes packets to :meth:`receive` itself.
@@ -232,6 +339,8 @@ class ShardedHost:
         buffer_size: int = 2048,
         max_rows: int = 256,
         max_delay: float = 0.0,
+        adaptive: bool = False,
+        ring_capacity: int = 64,
         protocols: tuple[str, ...] = ("alf",),
         counters: ShardCounters | None = None,
         tracer: Tracer | None = None,
@@ -252,6 +361,8 @@ class ShardedHost:
                 buffer_size,
                 max_rows,
                 max_delay,
+                adaptive,
+                ring_capacity,
                 self.tracer,
             )
             for index in range(shards)
@@ -265,6 +376,7 @@ class ShardedHost:
         self._memo_shard: HostShard | None = None
         self._pump_scheduled = False
         self._protocols = tuple(protocols)
+        self._claimed = frozenset(self._protocols) or None
         self._started = False
         self._closed = False
         for protocol in self._protocols:
@@ -278,6 +390,17 @@ class ShardedHost:
     def shard_for(self, protocol: str, flow_id: int) -> HostShard:
         """The home shard of (protocol, flow) — pure, no memo traffic."""
         return self.shards[shard_index(protocol, flow_id, len(self.shards))]
+
+    def attach_link(self, link) -> None:
+        """Point a link's delivery at this front end, trains included.
+
+        Per-packet delivery goes through the front host's normal demux
+        (so unclaimed protocols still reach their own handlers); a
+        train-mode link hands whole trains to :meth:`receive_burst`, so
+        the one-pass shard demux sees the same aggregation the link
+        built.
+        """
+        link.connect(self.front.receive, burst_receiver=self.receive_burst)
 
     def _route(self, packet: Packet) -> HostShard:
         key = (packet.protocol, packet.flow_id)
@@ -295,38 +418,75 @@ class ShardedHost:
         self._dispatch(self._route(packet), [packet])
 
     def receive_burst(self, packets: list[Packet]) -> None:
-        """Demux a packet train, grouping consecutive same-shard runs.
+        """Demux a packet train in one pass: one burst per shard.
 
-        Consecutive packets for one shard are handed over as a single
-        run, so the shard's ingress sees the same burst locality the
-        front end saw (and in threaded mode one service submission can
-        cover the whole run).
+        The train is walked once, charging one placement-memo probe per
+        flow-run (consecutive packets of one flow) rather than one per
+        packet — the saved probes are counted in the demux ledger.  All
+        of a shard's packets across the train, consecutive or not, land
+        in a single :class:`Burst` descriptor, so a train touching K
+        shards costs K handoffs however many packets it carried.
         """
-        self.counters.record_burst()
+        if not packets:
+            return
+        self.counters.record_burst(len(packets))
+        per_shard: dict[int, list[Packet]] = {}
+        touched: list[HostShard] = []
+        run_key: tuple[str, int] | None = None
         run_shard: HostShard | None = None
-        run: list[Packet] = []
+        run_len = 0
+        run_memo_hit = False
+        claimed = self._claimed
         for packet in packets:
-            shard = self._route(packet)
-            if shard is not run_shard and run:
-                self._dispatch(run_shard, run)
-                run = []
-            run_shard = shard
-            run.append(packet)
-        if run:
-            self._dispatch(run_shard, run)
+            key = (packet.protocol, packet.flow_id)
+            if key == run_key:
+                run_len += 1
+                per_shard[run_shard.index].append(packet)
+                continue
+            if run_len:
+                self.counters.record_run(run_len, run_memo_hit)
+            if claimed is not None and packet.protocol not in claimed:
+                # A train arriving off a link may interleave protocols
+                # this front never claimed; those packets take the front
+                # host's ordinary per-packet demux instead.
+                run_key = None
+                run_len = 0
+                self.front.receive(packet)
+                continue
+            run_key = key
+            run_len = 1
+            run_memo_hit = key == self._memo_key
+            if run_memo_hit:
+                run_shard = self._memo_shard
+            else:
+                run_shard = self.shard_for(packet.protocol, packet.flow_id)
+                self._memo_key = key
+                self._memo_shard = run_shard
+            bucket = per_shard.get(run_shard.index)
+            if bucket is None:
+                bucket = per_shard[run_shard.index] = []
+                touched.append(run_shard)
+            bucket.append(packet)
+        if run_len:
+            self.counters.record_run(run_len, run_memo_hit)
+        for shard in touched:
+            self._dispatch(shard, per_shard[shard.index])
 
     def _dispatch(self, shard: HostShard, packets: list[Packet]) -> None:
         if self.threaded:
-            shard.ingress.extend(packets)
+            # One ring append and one service submission per burst —
+            # the per-train (not per-packet) front→worker handoff.
+            shard.ring.push(Burst(packets))
             shard.futures.append(shard.executor.submit(self._service, shard))
             return
         # Serial mode: deliver inline at the front's current time.  The
         # shard's clock catches up first so flush epochs scheduled by
         # this delivery land at the same global timestep.
         shard.advance_to(self.front.loop.now)
-        receive = shard.host.receive
-        for packet in packets:
-            receive(packet)
+        if len(packets) == 1:
+            shard.host.receive(packets[0])
+        else:
+            shard.host.receive_burst(packets)
         self.counters.record_service()
         if not self._pump_scheduled:
             self._pump_scheduled = True
@@ -338,17 +498,25 @@ class ShardedHost:
         self.scheduler.run(until=self.front.loop.now)
 
     def _service(self, shard: HostShard) -> None:
-        """Worker-thread pass: drain the ingress queue, run the loop."""
+        """Worker-thread pass: pop whole bursts off the ring, run the loop."""
+        serviced = False
         while True:
-            try:
-                packet = shard.ingress.popleft()
-            except IndexError:
+            burst = shard.ring.pop()
+            if burst is None:
                 break
-            shard.host.receive(packet)
+            serviced = True
+            if len(burst.packets) == 1:
+                shard.host.receive(burst.packets[0])
+            else:
+                shard.host.receive_burst(burst.packets)
         # Zero-delay flush epochs are due now; a delayed-flush engine
-        # needs the window run out too.
-        shard.loop.run(until=shard.loop.now + shard.engine.max_delay)
-        self.counters.record_service()
+        # needs its window run out too.  The settle horizon comes from
+        # the engine itself: an adaptive engine's effective delay can
+        # exceed the configured max_delay, so running to max_delay
+        # would return with armed epochs stranded in the future.
+        shard.loop.run(until=shard.loop.now + shard.engine.flush_horizon)
+        if serviced:
+            self.counters.record_service()
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -381,7 +549,7 @@ class ShardedHost:
         Serial mode runs the merged scheduler up to ``until`` (default:
         the front's current time).  Threaded mode waits for every
         submitted service pass — workers self-drain, so once the
-        futures resolve the ingress queues and flush epochs are done.
+        futures resolve the burst rings and flush epochs are done.
         """
         if self.threaded:
             while True:
@@ -392,7 +560,7 @@ class ShardedHost:
                 for future in futures:
                     future.result()
                 for shard in self.shards:
-                    if shard.ingress or shard.futures:
+                    if len(shard.ring) or shard.futures:
                         pending = True
                 if not pending:
                     return
@@ -440,6 +608,7 @@ class ShardedHost:
                 {
                     "index": shard.index,
                     "received": shard.host.received,
+                    "ring": shard.ring.snapshot(),
                     "engine": shard.engine.snapshot(),
                     "pool": (
                         shard.rx_pool.snapshot()

@@ -33,12 +33,17 @@ def two_hosts(
     duplicate_rate: float = 0.0,
     corrupt_rate: float = 0.0,
     reverse_loss_rate: float | None = None,
+    max_train: int = 1,
+    train_window: float = 0.0,
     trace: bool = False,
 ) -> DuplexPath:
     """A duplex path: hosts ``a`` and ``b`` joined by symmetric links.
 
     The reverse (b→a) direction, which usually carries only ACKs, gets
     ``reverse_loss_rate`` when given, else the forward loss rate.
+    ``max_train`` / ``train_window`` put the *forward* link in packet-
+    train mode (the reverse direction carries sparse ACKs, which gain
+    nothing from aggregation).
     """
     loop = EventLoop()
     rng = RngStreams(seed)
@@ -54,6 +59,8 @@ def two_hosts(
         reorder_rate=reorder_rate,
         duplicate_rate=duplicate_rate,
         corrupt_rate=corrupt_rate,
+        max_train=max_train,
+        train_window=train_window,
         name="a->b",
         tracer=tracer,
     )

@@ -29,7 +29,23 @@ sharing a key into one ``run_batch`` call:
   without discarding any other flow's rows;
 * **exactly-once delivery** — each verified row is routed back through
   its owning receiver's normal delivery path, which dedupes on the
-  flow's delivered-set.
+  flow's delivered-set;
+* **adaptive epochs** (``adaptive=True``) — the engine tracks offered
+  load as a leaky integrator of pending rows: every ready notification
+  adds ``ewma_alpha`` × its pending backlog to the pressure, and the
+  pressure halves each ``max_delay`` of silence.  The flush policy
+  scales with it — sustained arrivals earn longer windows (up to
+  ``adaptive_boost`` × the configured ``max_delay``) so more rows
+  coalesce per dispatch, while an idle engine collapses to an
+  immediate flush: burst amortization when there are bursts, per-ADU
+  latency when there are not.  Two orderings matter.  Each
+  notification computes its flush delay *before* folding itself into
+  the pressure, so the first lone ADU after silence always flushes
+  immediately.  And the signal integrates *arrivals* rather than
+  averaging queue depth or dispatch size — either of those
+  self-extinguishes, because an engine stuck flushing immediately only
+  ever sees depth-1 queues and size-1 dispatches no matter how fast
+  rows pour in.
 
 Dispatch amortization is measured, not asserted:
 :class:`~repro.machine.accounting.DrainCounters` (surfaced by
@@ -91,6 +107,18 @@ class SharedDrainEngine:
         max_delay: seconds a pending row may wait for more rows to
             coalesce.  0.0 (default) drains on the next zero-delay
             event, preserving the per-flow drain's delivery timing.
+        adaptive: scale the flush policy with the backlog EWMA (see
+            module docstring).  False (default) keeps the fixed
+            ``max_rows`` / ``max_delay`` policy byte-for-byte.
+        adaptive_boost: ceiling on how far backlog may stretch the
+            effective delay, as a multiple of ``max_delay``.
+        ramp_rows: pressure at which the effective delay reaches the
+            configured ``max_delay`` (and effective rows reach
+            ``max_rows``).  Defaults to ``min(64, max_rows)`` — a
+            dispatch-size scale, deliberately independent of a possibly
+            huge ``max_rows`` cap.
+        ewma_alpha: weight each notification's pending backlog adds to
+            the pressure integrator.
         counters: drain ledger (defaults to the process-wide
             :func:`~repro.machine.accounting.drain_counters`).
         tracer: optional event tracer.
@@ -101,6 +129,10 @@ class SharedDrainEngine:
         loop: EventLoop,
         max_rows: int = 256,
         max_delay: float = 0.0,
+        adaptive: bool = False,
+        adaptive_boost: float = 8.0,
+        ramp_rows: int | None = None,
+        ewma_alpha: float = 0.5,
         counters: DrainCounters | None = None,
         tracer: Tracer | None = None,
     ):
@@ -108,9 +140,25 @@ class SharedDrainEngine:
             raise TransportError(f"max_rows must be positive, got {max_rows}")
         if max_delay < 0:
             raise TransportError(f"max_delay must be >= 0, got {max_delay}")
+        if adaptive_boost < 1.0:
+            raise TransportError(
+                f"adaptive_boost must be >= 1, got {adaptive_boost}"
+            )
+        if ramp_rows is not None and ramp_rows <= 0:
+            raise TransportError(f"ramp_rows must be positive, got {ramp_rows}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise TransportError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
         self.loop = loop
         self.max_rows = max_rows
         self.max_delay = max_delay
+        self.adaptive = bool(adaptive)
+        self.adaptive_boost = adaptive_boost
+        self.ramp_rows = ramp_rows if ramp_rows is not None else min(64, max_rows)
+        self.ewma_alpha = ewma_alpha
+        self._backlog_ewma = 0.0
+        self._ewma_stamp = loop.now
         self.counters = counters if counters is not None else drain_counters()
         self.tracer = tracer or Tracer(enabled=False)
         self._groups: dict[Hashable, _PlanGroup] = {}
@@ -177,6 +225,75 @@ class SharedDrainEngine:
         )
 
     # ------------------------------------------------------------------
+    # Adaptive epochs
+
+    def _observe_backlog(self, pending: int) -> None:
+        """Fold one backlog observation into the pressure integrator.
+
+        Old pressure halves every ``max_delay`` seconds of silence, so
+        an engine that stops seeing rows forgets its burst and returns
+        to immediate flushing — without any timer of its own.  Settle
+        time is logarithmic in the peak: pressure P falls under one row
+        after ``log2(P)`` quiet epochs.
+        """
+        now = self.loop.now
+        if self.max_delay > 0.0:
+            elapsed = now - self._ewma_stamp
+            if elapsed > 0.0:
+                self._backlog_ewma *= 0.5 ** (elapsed / self.max_delay)
+        self._ewma_stamp = now
+        self._backlog_ewma += self.ewma_alpha * pending
+
+    @property
+    def backlog_ewma(self) -> float:
+        """The pressure integrator as of now (decay applied, not stored)."""
+        ewma = self._backlog_ewma
+        if self.max_delay > 0.0:
+            elapsed = self.loop.now - self._ewma_stamp
+            if elapsed > 0.0:
+                ewma *= 0.5 ** (elapsed / self.max_delay)
+        return ewma
+
+    @property
+    def effective_max_delay(self) -> float:
+        """The epoch window the current backlog earns.
+
+        Idle engines (EWMA under one row) flush immediately; pressure
+        ramps the window linearly to ``max_delay`` at ``ramp_rows`` and
+        on past it, capped at ``adaptive_boost`` × ``max_delay``.
+        """
+        if not self.adaptive:
+            return self.max_delay
+        ewma = self.backlog_ewma
+        if ewma < 1.0:
+            return 0.0
+        return self.max_delay * min(self.adaptive_boost, ewma / self.ramp_rows)
+
+    @property
+    def effective_max_rows(self) -> int:
+        """The dispatch cap the current backlog earns (floor 1/16th)."""
+        if not self.adaptive:
+            return self.max_rows
+        floor = max(1, self.max_rows // 16)
+        scaled = int(self.max_rows * self.backlog_ewma / self.ramp_rows)
+        return max(floor, min(self.max_rows, scaled))
+
+    @property
+    def flush_horizon(self) -> float:
+        """How far a worker must run its loop to settle this engine.
+
+        At least the current effective delay, and never less than the
+        remaining wait of an already-armed flush — an adaptive engine's
+        effective delay can exceed ``max_delay``, so settling against
+        the configured value would strand armed epochs.
+        """
+        with self._mutex:
+            horizon = self.effective_max_delay
+            if self._flush_event is not None:
+                horizon = max(horizon, self._flush_due - self.loop.now)
+            return max(horizon, 0.0)
+
+    # ------------------------------------------------------------------
     # Flush scheduling
 
     def notify_ready(self, receiver: "AlfReceiver") -> None:
@@ -194,7 +311,17 @@ class SharedDrainEngine:
             # pending_rows walks every registered flow: the O(flows)
             # shared-structure scan that per-shard engines divide by N.
             self.counters.record_notify_scan(len(self._receivers))
-            delay = 0.0 if self.pending_rows >= self.max_rows else self.max_delay
+            pending = self.pending_rows
+            delay = (
+                0.0
+                if pending >= self.effective_max_rows
+                else self.effective_max_delay
+            )
+            if self.adaptive:
+                # Observed AFTER computing the delay: the first row
+                # after silence flushes immediately, and only *then*
+                # starts re-building pressure.
+                self._observe_backlog(pending)
             due = self.loop.now + delay
             if self._flush_event is not None:
                 if self._flush_due <= due:
@@ -224,12 +351,13 @@ class SharedDrainEngine:
                 self._flush_event = None
             self.counters.record_epoch()
             delivered = 0
+            row_cap = self.effective_max_rows
             for group in list(self._groups.values()):
-                delivered += self._drain_group(group)
+                delivered += self._drain_group(group, row_cap)
             self.delivered_total += delivered
             return delivered
 
-    def _drain_group(self, group: _PlanGroup) -> int:
+    def _drain_group(self, group: _PlanGroup, row_cap: int) -> int:
         delivered = 0
         while True:
             backlog = [flow for flow in group.flows if flow.pending_ready]
@@ -239,13 +367,13 @@ class SharedDrainEngine:
             order = backlog[start:] + backlog[:start]
             group.rotation += 1
             rows: list[tuple["AlfReceiver", ReadyAdu]] = []
-            while len(rows) < self.max_rows:
+            while len(rows) < row_cap:
                 took = False
                 for flow in order:
                     if flow.pending_ready:
                         rows.append((flow, flow.pop_ready()))
                         took = True
-                        if len(rows) >= self.max_rows:
+                        if len(rows) >= row_cap:
                             break
                 if not took:
                     break
@@ -322,4 +450,9 @@ class SharedDrainEngine:
             data["plan_groups"] = self.group_count
             data["pending_rows"] = self.pending_rows
             data["delivered_total"] = self.delivered_total
+            data["adaptive"] = self.adaptive
+            if self.adaptive:
+                data["backlog_ewma"] = self.backlog_ewma
+                data["effective_max_rows"] = self.effective_max_rows
+                data["effective_max_delay"] = self.effective_max_delay
             return data
