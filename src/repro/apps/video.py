@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.control.timestamp import JitterEstimator, PlayoutBuffer
 from repro.core.adu import Adu
 from repro.errors import ApplicationError
+from repro.integrity import IntegrityPolicy
 from repro.net.topology import two_hosts
 from repro.sim.rng import RngStreams
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
@@ -54,6 +55,7 @@ class VideoStreamResult:
     playout_offset: float
     retransmissions: int
     fec_recoveries: int = 0
+    tolerant_tiles: int = 0
 
     @property
     def frame_completion_rate(self) -> float:
@@ -83,6 +85,9 @@ def stream_video(
     propagation_delay: float = 0.02,
     playout_offset: float = 0.08,
     fec_group: int | None = None,
+    corrupt_rate: float = 0.0,
+    corrupt_span: tuple[int, int] | None = None,
+    integrity: IntegrityPolicy | None = None,
     seed: int = 0,
 ) -> VideoStreamResult:
     """Stream ``n_frames`` of tiled video over a lossy path.
@@ -94,6 +99,13 @@ def stream_video(
     — more usefully for media — the whole stream can run with a smaller
     MTU so every tile is FEC-protected (zero-RTT repair keeps the
     playout deadline).
+
+    ``integrity`` runs the flow under a selective-integrity policy: a
+    tolerant policy (e.g. ``SPANS`` covering only each tile's header
+    region) lets tiles whose pixel bytes were damaged in flight —
+    ``corrupt_rate`` / ``corrupt_span`` model that PHY — still arrive
+    on time as flagged deliveries (counted in ``tolerant_tiles``)
+    instead of being discarded, the ALF "ignore" option media wants.
     """
     if n_frames <= 0 or tiles_x <= 0 or tiles_y <= 0:
         raise ApplicationError("frame/tile counts must be positive")
@@ -103,6 +115,8 @@ def stream_video(
         reorder_rate=reorder_rate,
         bandwidth_bps=bandwidth_bps,
         propagation_delay=propagation_delay,
+        corrupt_rate=corrupt_rate,
+        corrupt_span=corrupt_span,
     )
     rng = RngStreams(seed).stream("video-content")
     tiles_per_frame = tiles_x * tiles_y
@@ -115,7 +129,12 @@ def stream_video(
     jitter = JitterEstimator()
     playout = PlayoutBuffer(playout_offset)
 
+    tolerant_tiles = 0
+
     def on_tile(delivered: DeliveredAdu) -> None:
+        nonlocal tolerant_tiles
+        if delivered.corrupt_spans:
+            tolerant_tiles += 1
         name = delivered.name
         report = frames[name["frame"]]
         sent_at = name["timestamp"]
@@ -136,6 +155,7 @@ def stream_video(
         deliver=on_tile,
         ack_interval=0.0,  # no retransmission: ACKs are pointless
         expected_adus=n_frames * tiles_per_frame,
+        integrity=integrity,
     )
     # With FEC the tile is split into a few transmission units plus
     # parity, so a single unit loss repairs instantly — no deadline risk.
@@ -144,6 +164,7 @@ def stream_video(
         path.loop, path.a, "b", 1, mtu=mtu,
         recovery=RecoveryMode.NO_RETRANSMIT,
         fec_group=fec_group,
+        integrity=integrity,
     )
 
     sequence = 0
@@ -176,4 +197,5 @@ def stream_video(
         playout_offset=playout_offset,
         retransmissions=sender.stats.retransmissions,
         fec_recoveries=receiver.fec_recoveries,
+        tolerant_tiles=tolerant_tiles,
     )

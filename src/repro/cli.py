@@ -51,6 +51,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "P4": ("Full §6 single-pass secure pipeline", experiments.secure_pipeline),
     "P5": ("Shared-plan cross-flow drain engine", experiments.multiflow_drain),
     "P6": ("Sharded hosts: per-shard drain workers", experiments.sharded_hosts),
+    "P7": ("Selective integrity: coverage-span checksums", experiments.selective_integrity),
 }
 
 
@@ -264,6 +265,32 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_integrity(args: argparse.Namespace) -> int:
+    from repro.integrity import coverage_mask_cache_size
+    from repro.machine.accounting import integrity_counters
+
+    if args.action == "stats":
+        counters = integrity_counters().snapshot()
+        print("selective-integrity counters:")
+        print(
+            f"  covered_bytes {counters['covered_bytes']}  "
+            f"skipped_bytes {counters['skipped_bytes']}  "
+            f"skip_fraction {counters['skip_fraction']:.4f}"
+        )
+        print(
+            f"  tolerant_deliveries {counters['tolerant_deliveries']}  "
+            f"corrupt_flagged {counters['corrupt_flagged']}"
+        )
+        print(
+            f"  policy_hits {counters['policy_hits']}  "
+            f"policy_misses {counters['policy_misses']}  "
+            f"mask_cache_entries {coverage_mask_cache_size()}"
+        )
+        return 0
+    print(f"unknown integrity action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_buffers(args: argparse.Namespace) -> int:
     from repro.buffers.pool import shared_rx_pool
     from repro.machine.accounting import datapath_counters
@@ -411,6 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
         "amortization",
     )
     train_parser.set_defaults(handler=_cmd_train)
+
+    integrity_parser = commands.add_parser(
+        "integrity", help="inspect the selective-integrity coverage path"
+    )
+    integrity_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the coverage-fold counters (covered vs "
+        "skipped bytes, tolerant deliveries, policy mask-cache hits)",
+    )
+    integrity_parser.set_defaults(handler=_cmd_integrity)
     return parser
 
 

@@ -44,7 +44,11 @@ from repro.ilp.fusion import fused_group_cost, plan_fusion
 from repro.ilp.kernels import _LITTLE_ENDIAN, Array, WordKernel, gather_words
 from repro.ilp.kernels import bytes_to_words as pack_words
 from repro.ilp.kernels import words_to_bytes as unpack_words
-from repro.machine.accounting import AtomicCacheStats, datapath_counters
+from repro.machine.accounting import (
+    AtomicCacheStats,
+    datapath_counters,
+    integrity_counters,
+)
 from repro.ilp.pipeline import Pipeline
 from repro.ilp.report import ExecutionReport, StageExecution
 from repro.machine.costs import CostVector
@@ -233,6 +237,30 @@ def _unpack_batch(words: Array, lengths: Array) -> list[bytes]:
     return [flat[i, : int(length)].tobytes() for i, length in enumerate(lengths)]
 
 
+def _observer_limit(groups: Sequence[CompiledGroup]) -> int | None:
+    """Byte prefix a pure-observer plan needs, or None for the whole ADU.
+
+    The compile-time condition for the covered-gather fast path: every
+    kernel preserves the data (no transform will run) *and* every
+    finalizer declares a :attr:`~repro.ilp.kernels.WordKernel.coverage_limit`.
+    The limit is the furthest byte any finalizer can read — a
+    ``headers_only`` integrity policy yields its prefix length, ``none``
+    yields 0, and the batch executor packs only that much of each row.
+    """
+    limit = 0
+    for group in groups:
+        if group.kernels is None:
+            return None
+        for kernel in group.kernels:
+            if not kernel.preserves_data:
+                return None
+            if kernel.finalize is not None:
+                if kernel.coverage_limit is None:
+                    return None
+                limit = max(limit, kernel.coverage_limit)
+    return limit
+
+
 class CompiledPlan:
     """An immutable, reusable execution plan for one pipeline shape.
 
@@ -248,6 +276,7 @@ class CompiledPlan:
         "speculative_facts",
         "pipeline_name",
         "n_stages",
+        "_observer_limit",
     )
 
     def __init__(
@@ -266,6 +295,7 @@ class CompiledPlan:
         # reports carry it (per-ADU reports use the live pipeline's).
         self.pipeline_name = pipeline_name
         self.n_stages = len(key.stages)
+        self._observer_limit = _observer_limit(groups)
 
     @property
     def n_loops(self) -> int:
@@ -426,6 +456,8 @@ class CompiledPlan:
         self._require_lowered()
         if not adus:
             raise PipelineError("run_batch needs at least one ADU")
+        if self._observer_limit is not None:
+            return self._run_batch_covered(adus, self._observer_limit)
         words, lengths, word_keep, byte_keep = _pack_batch(adus)
         observations: dict[str, list[int]] = {}
         n = len(adus)
@@ -455,6 +487,60 @@ class CompiledPlan:
             outputs=outputs,
             observations=observations,
             report=self._batch_report(lengths),
+        )
+
+    def _run_batch_covered(
+        self, adus: Sequence[bytes | BufferChain], limit: int
+    ) -> BatchResult:
+        """Observer-only batch with the gather truncated to ``limit`` bytes.
+
+        No kernel will transform, so each output *is* its input's bytes
+        (chains linearize once — the same single materialization the
+        delivery path would otherwise perform).  Only the covered prefix
+        of each row is packed for the finalizers: a ``headers_only``
+        policy folds a few words per ADU, a ``none`` policy folds
+        nothing, and the payload body never crosses the pack.  Bytes the
+        truncation never packed are charged to the integrity counters as
+        skipped.
+        """
+        outputs: list[bytes] = []
+        heads: list[bytes] = []
+        skipped = 0
+        for payload in adus:
+            if isinstance(payload, BufferChain):
+                data = payload.linearize()
+            elif isinstance(payload, bytes):
+                data = payload
+            else:
+                data = bytes(payload)
+            outputs.append(data)
+            head = data[:limit] if len(data) > limit else data
+            skipped += len(data) - len(head)
+            heads.append(head)
+        if skipped:
+            integrity_counters().record_skipped(skipped)
+        words, lengths, _word_keep, _byte_keep = _pack_batch(heads)
+        observations: dict[str, list[int]] = {}
+        n = len(heads)
+        for group in self.groups:
+            for kernel in group.kernels:
+                if kernel.finalize is None:
+                    continue
+                if kernel.batch_finalize is not None:
+                    values = kernel.batch_finalize(words, lengths)
+                    observations[kernel.name] = [int(v) for v in values]
+                else:
+                    observations[kernel.name] = [
+                        kernel.finalize(words[i, :], int(lengths[i]))
+                        for i in range(n)
+                    ]
+        true_lengths = np.fromiter(
+            (len(out) for out in outputs), dtype=np.int64, count=n
+        )
+        return BatchResult(
+            outputs=outputs,
+            observations=observations,
+            report=self._batch_report(true_lengths),
         )
 
     def _batch_report(self, lengths: Array) -> ExecutionReport:

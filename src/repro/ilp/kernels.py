@@ -185,6 +185,12 @@ class WordKernel:
             chain path, so a fragmented ADU is encrypted segment by
             segment and the fragmentation windows survive the transform.
             The caller owns the returned chain.
+        coverage_limit: highest byte offset the finalizer can read, or
+            None when it needs the whole payload.  A plan whose kernels
+            all preserve data *and* all declare a limit lets the batch
+            executor truncate its gather to the limit — a
+            ``headers_only`` integrity policy drops the full-payload
+            read pass entirely.
     """
 
     name: str
@@ -195,6 +201,7 @@ class WordKernel:
     preserves_data: bool = False
     chain_finalize: Callable[[BufferChain], int] | None = None
     chain_transform: Callable[[BufferChain], BufferChain] | None = None
+    coverage_limit: int | None = None
 
 
 def copy_kernel() -> WordKernel:
@@ -257,7 +264,130 @@ def xor_kernel(key: int) -> WordKernel:
     )
 
 
-def checksum_kernel() -> WordKernel:
+def coverage_checksum_chain(chain: BufferChain, policy) -> int:
+    """Covered RFC 1071 checksum straight off a chain — zero-copy.
+
+    The selective form of :func:`checksum_chain`: only the bytes inside
+    the policy's covered spans are folded (one vectorized slice per
+    span-segment intersection), composed across segment boundaries by
+    the parity of each byte's *global* offset.  Equals
+    ``internet_checksum`` of the linearized chain with every uncovered
+    byte zeroed.  The read pass charged to the datapath counters is the
+    covered byte count — uncovered bytes are never read.
+    """
+    from repro.machine.accounting import integrity_counters
+
+    spans = policy.effective_spans
+    total = 0
+    offset = 0
+    covered = 0
+    for mv in chain.memoryviews():
+        n = len(mv)
+        end = offset + n
+        arr: Array | None = None
+        for lo, hi in spans:
+            start = max(lo, offset)
+            stop = min(hi, end)
+            if stop <= start:
+                continue
+            if arr is None:
+                arr = np.frombuffer(mv, dtype=np.uint8)
+            part = arr[start - offset : stop - offset].astype(np.uint64)
+            if start % 2 == 0:
+                high, low = part[0::2], part[1::2]
+            else:
+                low, high = part[0::2], part[1::2]
+            total += (int(high.sum()) << 8) + int(low.sum())
+            covered += stop - start
+        offset = end
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    integrity_counters().record_fold(covered, offset - covered)
+    datapath_counters().record_read_pass(covered)
+    return (~total) & 0xFFFF
+
+
+def _coverage_checksum_kernel(policy) -> WordKernel:
+    """RFC 1071 checksum restricted to a policy's covered spans.
+
+    The masked-coverage identity makes this cheap: zero bytes contribute
+    nothing to a one's-complement sum, so the covered checksum equals
+    the full checksum of the data with uncovered bytes zeroed — and the
+    fold can therefore *skip* the uncovered words instead of zeroing
+    them.  The compiled (policy, width) index/mask arrays come from
+    :func:`repro.integrity.coverage_masks`; the fancy-indexed gather
+    ``words[:, indices] & masks`` touches only covered columns.
+
+    Pad handling mirrors :func:`checksum_kernel`: a covered span may
+    run past the row's true length into the final partial word, whose
+    pad lanes can hold upstream-transform pollution — their current
+    contribution is subtracted, which also cancels pack-time zeros.
+    """
+    from repro.integrity import coverage_masks
+    from repro.machine.accounting import integrity_counters
+
+    def finalize(words: Array, length: int) -> int:
+        width = len(words)
+        indices, masks, full = coverage_masks(policy, width)
+        if indices.size:
+            total = int((words[indices].astype(np.uint64) & masks).sum())
+        else:
+            total = 0
+        pad = (-length) % 4
+        if pad and width:
+            lane = int(full[width - 1])
+            if lane:
+                total -= int(words[width - 1]) & lane & ((1 << (8 * pad)) - 1)
+        covered = policy.covered_bytes(length)
+        integrity_counters().record_fold(covered, length - covered)
+        datapath_counters().record_read_pass(covered)
+        total = (total & 0xFFFF) + ((total >> 16) & 0xFFFF) + (total >> 32)
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        return (~total) & 0xFFFF
+
+    def batch_finalize(words: Array, lengths: Array) -> Array:
+        n, width = words.shape
+        indices, masks, full = coverage_masks(policy, width)
+        if indices.size:
+            totals = (words[:, indices].astype(np.uint64) & masks).sum(axis=1)
+        else:
+            totals = np.zeros(n, dtype=np.uint64)
+        rem = lengths % 4
+        partial = np.nonzero(rem)[0]
+        if partial.size:
+            nwords = np.maximum((lengths + 3) // 4, 1)
+            last_col = nwords[partial] - 1
+            lane = full[last_col].astype(np.uint64)
+            last = words[partial, last_col].astype(np.uint64)
+            pad_bits = (8 * (4 - rem[partial])).astype(np.uint64)
+            totals[partial] -= last & lane & ((np.uint64(1) << pad_bits) - np.uint64(1))
+        covered = np.zeros(n, dtype=np.int64)
+        for lo, hi in policy.effective_spans:
+            covered += np.minimum(lengths, hi) - np.minimum(lengths, lo)
+        covered_total = int(covered.sum())
+        integrity_counters().record_fold(
+            covered_total, int(lengths.sum()) - covered_total
+        )
+        datapath_counters().record_read_pass(covered_total)
+        totals = (totals & 0xFFFF) + ((totals >> 16) & 0xFFFF) + (totals >> 32)
+        while bool((totals >> 16).any()):
+            totals = (totals & 0xFFFF) + (totals >> 16)
+        return (~totals) & np.uint64(0xFFFF)
+
+    return WordKernel(
+        name="checksum",
+        cost=CostVector(reads_per_word=1.0, alu_per_word=2.0),
+        transform=lambda words: words,
+        finalize=finalize,
+        batch_finalize=batch_finalize,
+        preserves_data=True,
+        chain_finalize=lambda chain: coverage_checksum_chain(chain, policy),
+        coverage_limit=policy.coverage_limit,
+    )
+
+
+def checksum_kernel(coverage=None) -> WordKernel:
     """RFC 1071 checksum as an observer kernel.
 
     The finalizer folds the 32-bit word sum into the 16-bit
@@ -267,7 +397,16 @@ def checksum_kernel() -> WordKernel:
     (e.g. encrypt) may have written into the padding — the wire carries
     only the true bytes, so the receiver's recomputation (which packs
     the truncated payload with zero padding) must see the same sum.
+
+    With ``coverage`` (an :class:`~repro.integrity.IntegrityPolicy`) the
+    fold is restricted to the policy's covered spans — see
+    :func:`_coverage_checksum_kernel`.  Explicit policies (``full``
+    included) also charge their covered bytes to the integrity counters
+    and the datapath read-pass ledger; the default kernel keeps its
+    original, uninstrumented behaviour.
     """
+    if coverage is not None:
+        return _coverage_checksum_kernel(coverage)
 
     def finalize(words: Array, length: int) -> int:
         pad = (-length) % 4

@@ -486,6 +486,96 @@ def train_counters() -> TrainCounters:
     return _TRAIN
 
 
+@dataclass
+class IntegrityCounters:
+    """Selective-integrity ledger (SAP coverage policies).
+
+    A coverage-span checksum reads only the covered bytes of each ADU;
+    ``covered_bytes`` / ``skipped_bytes`` split every folded ADU's
+    payload along that line, making the "uncovered bytes are never
+    read" claim a measurable quantity rather than a code comment.
+    ``tolerant_deliveries`` counts ADUs handed to the application with
+    a ``corrupt_spans`` flag — ALF's "ignore" recovery mode in action —
+    and ``corrupt_flagged`` the spans those deliveries carried.
+    Coverage masks compile once per (policy, word width);
+    ``policy_hits`` / ``policy_misses`` track that cache.
+    """
+
+    covered_bytes: int = 0
+    skipped_bytes: int = 0
+    tolerant_deliveries: int = 0
+    corrupt_flagged: int = 0
+    policy_hits: int = 0
+    policy_misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_fold(self, covered: int, skipped: int) -> None:
+        """Account one checksummed ADU: bytes folded vs bytes skipped."""
+        with self._lock:
+            self.covered_bytes += covered
+            self.skipped_bytes += skipped
+
+    def record_skipped(self, n_bytes: int) -> None:
+        """Account bytes a truncated gather never even packed."""
+        with self._lock:
+            self.skipped_bytes += n_bytes
+
+    def record_tolerant_delivery(self, n_spans: int) -> None:
+        """Account one corrupt-but-flagged delivery carrying ``n_spans``."""
+        with self._lock:
+            self.tolerant_deliveries += 1
+            self.corrupt_flagged += n_spans
+
+    def record_policy_lookup(self, hit: bool) -> None:
+        """Account one coverage-mask cache lookup."""
+        with self._lock:
+            if hit:
+                self.policy_hits += 1
+            else:
+                self.policy_misses += 1
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of checksummed bytes the coverage let us skip."""
+        with self._lock:
+            total = self.covered_bytes + self.skipped_bytes
+            return self.skipped_bytes / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        with self._lock:
+            self.covered_bytes = 0
+            self.skipped_bytes = 0
+            self.tolerant_deliveries = 0
+            self.corrupt_flagged = 0
+            self.policy_hits = 0
+            self.policy_misses = 0
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent plain-dict view for the CLI and bench records."""
+        with self._lock:
+            total = self.covered_bytes + self.skipped_bytes
+            return {
+                "covered_bytes": self.covered_bytes,
+                "skipped_bytes": self.skipped_bytes,
+                "skip_fraction": (self.skipped_bytes / total if total else 0.0),
+                "tolerant_deliveries": self.tolerant_deliveries,
+                "corrupt_flagged": self.corrupt_flagged,
+                "policy_hits": self.policy_hits,
+                "policy_misses": self.policy_misses,
+            }
+
+
+_INTEGRITY = IntegrityCounters()
+
+
+def integrity_counters() -> IntegrityCounters:
+    """The process-wide selective-integrity counters."""
+    return _INTEGRITY
+
+
 @dataclass(frozen=True)
 class LedgerEntry:
     """One recorded data pass.

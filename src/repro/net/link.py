@@ -75,7 +75,18 @@ class Link:
         duplicate_rate: probability a packet is delivered twice.
         corrupt_rate: probability one payload byte is bit-flipped in
             flight — delivered, not dropped, so end-to-end error
-            detection (not the network) must catch it.
+            detection (not the network) must catch it.  A corrupted
+            packet carries a ``"phy_corrupt"`` header hint naming the
+            damaged ``(lo, hi)`` byte range — the PHY-layer damage
+            report selective-integrity receivers use to flag tolerant
+            deliveries.
+        corrupt_span: optional ``(lo, hi)`` payload byte range the flip
+            is placed in (deterministic placement for experiments that
+            must hit — or miss — a checksum policy's covered spans).
+            Clamped per packet to the payload length; ``None`` (default)
+            draws the position over the whole payload.  The draw
+            count and order are identical either way, so a seeded run's
+            other failure processes are unperturbed.
         reorder_extra_delay: how long a reordered packet is held, as a
             multiple of the propagation delay.
         mtu: maximum payload a packet may carry on this link.
@@ -98,6 +109,7 @@ class Link:
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        corrupt_span: tuple[int, int] | None = None,
         reorder_extra_delay: float = 2.0,
         mtu: int | None = None,
         max_train: int = 1,
@@ -121,6 +133,13 @@ class Link:
         ):
             if not 0.0 <= rate <= 1.0:
                 raise NetworkError(f"{rate_name} must be in [0, 1], got {rate}")
+        if corrupt_span is not None:
+            lo, hi = corrupt_span
+            if not 0 <= lo < hi:
+                raise NetworkError(
+                    f"corrupt_span must satisfy 0 <= lo < hi, got {corrupt_span}"
+                )
+            corrupt_span = (int(lo), int(hi))
         self.loop = loop
         self.rng = rng
         self.bandwidth_bps = bandwidth_bps
@@ -129,6 +148,7 @@ class Link:
         self.reorder_rate = reorder_rate
         self.duplicate_rate = duplicate_rate
         self.corrupt_rate = corrupt_rate
+        self.corrupt_span = corrupt_span
         self.reorder_extra_delay = reorder_extra_delay
         self.mtu = mtu
         self.max_train = max_train
@@ -215,11 +235,24 @@ class Link:
                 packet.payload.release()
             else:
                 mutated = bytearray(packet.payload)
-            position = self.rng.randrange(len(mutated))
+            if self.corrupt_span is not None:
+                lo = min(self.corrupt_span[0], len(mutated) - 1)
+                hi = min(self.corrupt_span[1], len(mutated))
+                position = self.rng.randrange(lo, max(hi, lo + 1))
+            else:
+                position = self.rng.randrange(len(mutated))
             mutated[position] ^= 1 << self.rng.randrange(8)
             packet.payload = bytes(mutated)
+            # The PHY's damage report: receivers running a tolerant
+            # integrity policy use it to flag (rather than discard)
+            # ADUs whose damage fell outside the covered spans.  The
+            # header is copied so duplicates/retransmissions sharing
+            # the original dict are unaffected.
+            packet.header = dict(packet.header)
+            packet.header["phy_corrupt"] = (position, position + 1)
             self.tracer.emit(self.loop.now, "link", "corrupted",
-                             link=self.name, packet_id=packet.packet_id)
+                             link=self.name, packet_id=packet.packet_id,
+                             position=position)
 
         reordered = self.rng.random() < self.reorder_rate
         if reordered:

@@ -32,6 +32,7 @@ def two_hosts(
     reorder_rate: float = 0.0,
     duplicate_rate: float = 0.0,
     corrupt_rate: float = 0.0,
+    corrupt_span: tuple[int, int] | None = None,
     reverse_loss_rate: float | None = None,
     max_train: int = 1,
     train_window: float = 0.0,
@@ -43,7 +44,10 @@ def two_hosts(
     ``reverse_loss_rate`` when given, else the forward loss rate.
     ``max_train`` / ``train_window`` put the *forward* link in packet-
     train mode (the reverse direction carries sparse ACKs, which gain
-    nothing from aggregation).
+    nothing from aggregation).  ``corrupt_span`` pins the forward
+    link's bit flips to a payload byte range — the deterministic
+    placement selective-integrity experiments use to land damage
+    inside (or outside) a policy's covered spans.
     """
     loop = EventLoop()
     rng = RngStreams(seed)
@@ -59,6 +63,7 @@ def two_hosts(
         reorder_rate=reorder_rate,
         duplicate_rate=duplicate_rate,
         corrupt_rate=corrupt_rate,
+        corrupt_span=corrupt_span,
         max_train=max_train,
         train_window=train_window,
         name="a->b",

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.buffers.chain import BufferChain
 from repro.errors import StageError
+from repro.integrity import IntegrityPolicy, integrity_token
 from repro.machine.costs import CHECKSUM_COST, CostVector
 from repro.stages.base import Facts, PassthroughStage
 
@@ -50,6 +51,21 @@ def internet_checksum_chain(chain: BufferChain) -> int:
     from repro.ilp.kernels import checksum_chain
 
     return checksum_chain(chain)
+
+
+def coverage_internet_checksum(data: bytes, policy: IntegrityPolicy) -> int:
+    """RFC 1071 checksum restricted to a policy's covered spans.
+
+    This is the *definitional* form: the covered checksum equals the
+    full checksum of ``data`` with every uncovered byte zeroed (zero
+    bytes contribute nothing to a one's-complement sum).  The compiled
+    kernels compute the same value without reading the uncovered bytes;
+    property tests pin them to this reference.
+    """
+    masked = bytearray(len(data))
+    for lo, hi in policy.clipped(len(data)):
+        masked[lo:hi] = data[lo:hi]
+    return internet_checksum(bytes(masked))
 
 
 def verify_internet_checksum(data: bytes, checksum: int) -> bool:
@@ -188,22 +204,52 @@ class ChecksumComputeStage(PassthroughStage):
     be fused with any neighbour — per the paper it is the one
     manipulation that can even join network extraction — so it requires
     only that the data exists.
+
+    ``coverage`` restricts the checksum to an
+    :class:`~repro.integrity.IntegrityPolicy`'s covered spans (internet
+    algorithm only — the one's-complement sum is the only one of the
+    three with a masked-coverage identity).  The policy fingerprint
+    enters :meth:`lowering_token`, so plans compiled for different
+    coverage never alias in the plan cache even though the stage name —
+    the observation key the transports read — stays the same.
     """
 
     category = "transport"
     provides = frozenset()
 
-    def __init__(self, algorithm: str = "internet", name: str | None = None):
+    def __init__(
+        self,
+        algorithm: str = "internet",
+        name: str | None = None,
+        coverage: IntegrityPolicy | None = None,
+    ):
         if algorithm not in _ALGORITHMS:
             known = ", ".join(sorted(_ALGORITHMS))
             raise StageError(f"unknown checksum {algorithm!r}; known: {known}")
+        if coverage is not None and algorithm != "internet":
+            raise StageError(
+                f"coverage policies need the internet checksum, not {algorithm!r}"
+            )
         function, cost = _ALGORITHMS[algorithm]
         super().__init__(name=name or f"checksum-{algorithm}", cost=cost)
         self.algorithm = algorithm
+        self.coverage = coverage
         self._function = function
         self.last_checksum: int | None = None
 
+    def lowering_token(self):
+        """Plan-cache identity: algorithm plus coverage fingerprint."""
+        return ("checksum", self.algorithm, integrity_token(self.coverage))
+
     def apply(self, data):
+        if self.coverage is not None and not self.coverage.is_full:
+            if isinstance(data, BufferChain):
+                from repro.ilp.kernels import coverage_checksum_chain
+
+                self.last_checksum = coverage_checksum_chain(data, self.coverage)
+            else:
+                self.last_checksum = coverage_internet_checksum(data, self.coverage)
+            return data
         if isinstance(data, BufferChain):
             # Every algorithm has a segment-composable form, so verify
             # stays a zero-copy read pass — no linearize on any path.
@@ -222,7 +268,7 @@ class ChecksumComputeStage(PassthroughStage):
             return None
         from repro.ilp.kernels import WordKernel, checksum_kernel
 
-        kernel = checksum_kernel()
+        kernel = checksum_kernel(self.coverage)
         return WordKernel(
             name=self.name,
             cost=self.cost,
@@ -231,6 +277,7 @@ class ChecksumComputeStage(PassthroughStage):
             batch_finalize=kernel.batch_finalize,
             preserves_data=True,
             chain_finalize=kernel.chain_finalize,
+            coverage_limit=kernel.coverage_limit,
         )
 
     def reset(self) -> None:
@@ -247,8 +294,15 @@ class ChecksumVerifyStage(ChecksumComputeStage):
     provides = frozenset({Facts.VERIFIED})
     requires = frozenset({Facts.EXTRACTED})
 
-    def __init__(self, algorithm: str = "internet", name: str | None = None):
-        super().__init__(algorithm, name=name or f"verify-{algorithm}")
+    def __init__(
+        self,
+        algorithm: str = "internet",
+        name: str | None = None,
+        coverage: IntegrityPolicy | None = None,
+    ):
+        super().__init__(
+            algorithm, name=name or f"verify-{algorithm}", coverage=coverage
+        )
         self.expected: int | None = None
         self.failures = 0
 

@@ -21,6 +21,8 @@ from repro.control.instructions import InstructionCounter
 from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
+from repro.integrity import IntegrityPolicy, integrity_token
+from repro.machine.accounting import integrity_counters
 from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.presentation.compiler import schema_fingerprint
 from repro.stages.encrypt import WordXorStage, cipher_token
@@ -46,6 +48,9 @@ class _PartialAdu:
     fragments: dict[int, AduFragment] = field(default_factory=dict)
     first_seen: float = 0.0
     fec: FecDecoder | None = None
+    # Fragment-relative (lo, hi) corruption hints from the PHY, keyed by
+    # fragment index; mapped to ADU offsets when the ADU completes.
+    corrupt_hints: dict[int, tuple[int, int]] = field(default_factory=dict)
 
 
 class AlfReceiver:
@@ -103,6 +108,17 @@ class AlfReceiver:
             semantics of ``batch_drain``; the engine calls back into
             :meth:`resolve_drained` per row, so delivery, ACKs and
             per-flow corruption accounting are unchanged.
+        integrity: an :class:`~repro.integrity.IntegrityPolicy`
+            matching the sender's.  The wire plan's checksum covers
+            only the policy's spans, and — the receive half of the
+            bargain — damage the PHY flags in an *uncovered* region no
+            longer kills the ADU: the checksum still matches, so the
+            row delivers with :attr:`DeliveredAdu.corrupt_spans` naming
+            the suspect ranges (the paper's ALF "ignore" recovery
+            mode).  Damage inside a covered span still fails
+            verification and is discarded for retransmission.  The
+            policy fingerprint extends :attr:`drain_key`, so flows with
+            different coverage never share a drain dispatch.
     """
 
     def __init__(
@@ -123,6 +139,7 @@ class AlfReceiver:
         encryption: WordXorStage | int | None = None,
         batch_drain: bool = False,
         drain_engine: SharedDrainEngine | None = None,
+        integrity: IntegrityPolicy | None = None,
     ):
         self.loop = loop
         self.host = host
@@ -144,6 +161,7 @@ class AlfReceiver:
         if isinstance(encryption, int):
             encryption = WordXorStage(encryption, name="decrypt")
         self._encrypt: WordXorStage | None = encryption
+        self.integrity = integrity
         self.drain_engine = drain_engine
         self.batch_drain = bool(batch_drain) or drain_engine is not None
         self._wire_plan: CompiledPlan | None = None
@@ -231,6 +249,13 @@ class AlfReceiver:
             self._discard_payload(fragment.payload)
             return
         partial.fragments[fragment.index] = fragment
+        hint = header.get("phy_corrupt")
+        if hint is not None:
+            # The PHY's damage hint is fragment-relative; remember it
+            # against the fragment we kept so _adu_corrupt_spans can
+            # rebase it once every fragment length is known.
+            lo, hi = hint
+            partial.corrupt_hints[fragment.index] = (int(lo), int(hi))
 
         if len(partial.fragments) == partial.total:
             self._complete_adu(sequence, partial)
@@ -276,6 +301,7 @@ class AlfReceiver:
                     self._convert if self._convert_fused else None,
                     convert_after=True,
                     encrypt=self._encrypt,
+                    integrity=self.integrity,
                 ),
                 self.machine,
             )
@@ -287,9 +313,40 @@ class AlfReceiver:
         conversion and/or decryption) rather than only observing it."""
         return self._convert_fused or self._encrypt is not None
 
+    def _adu_corrupt_spans(self, partial: _PartialAdu) -> tuple[tuple[int, int], ...]:
+        """Rebase the PHY's fragment-relative damage hints to ADU offsets.
+
+        Only spans falling (at least partly) *outside* the integrity
+        policy's coverage are returned — those are the ones a matching
+        checksum says nothing about.  A hint wholly inside a covered
+        span needs no flag: if the damage is real the checksum fails and
+        the row is discarded; if it matches anyway the hint was false.
+        Returns () without a tolerant policy.
+        """
+        if not partial.corrupt_hints:
+            return ()
+        policy = self.integrity
+        if policy is None or not policy.tolerant:
+            return ()
+        offsets: dict[int, int] = {}
+        base = 0
+        for index in sorted(partial.fragments):
+            offsets[index] = base
+            base += len(partial.fragments[index].payload)
+        spans = []
+        for index, (lo, hi) in sorted(partial.corrupt_hints.items()):
+            start = offsets.get(index)
+            if start is None:  # hint for a fragment we never kept
+                continue
+            span = (start + lo, start + hi)
+            if not policy.covers(*span):
+                spans.append(span)
+        return tuple(spans)
+
     def _complete_adu(self, sequence: int, partial: _PartialAdu) -> None:
         del self._partial[sequence]
         expected = next(iter(partial.fragments.values())).adu_checksum
+        corrupt_spans = self._adu_corrupt_spans(partial)
         try:
             # Structural checks only; the checksum runs through the
             # compiled wire plan below.  On the zero-copy path the ADU
@@ -309,7 +366,9 @@ class AlfReceiver:
             # queue runs through one CompiledPlan.run_batch call —
             # the host-wide engine's shared dispatch when registered,
             # this flow's own otherwise.
-            self._ready.append(ReadyAdu(sequence, partial, adu, expected))
+            self._ready.append(
+                ReadyAdu(sequence, partial, adu, expected, corrupt_spans)
+            )
             if self.drain_engine is not None:
                 self.drain_engine.notify_ready(self)
             elif not self._drain_scheduled:
@@ -335,7 +394,9 @@ class AlfReceiver:
             return
         self._release_fragments(partial)
         plan_out = out if self._plan_transforms else None
-        self._deliver_adu(sequence, adu, plan_out=plan_out)
+        self._deliver_adu(
+            sequence, adu, plan_out=plan_out, corrupt_spans=corrupt_spans
+        )
 
     def _auto_drain(self) -> None:
         self._drain_scheduled = False
@@ -375,11 +436,12 @@ class AlfReceiver:
         """What must match for two flows to share one drain dispatch.
 
         Compiled wire-plan cache key × schema fingerprint × cipher
-        token.  The plan key already folds in the fused conversion and
-        cipher lowering tokens; the schema fingerprint additionally
-        separates stage-path (non-fused) presentation bindings whose
-        wire plans look identical, and the cipher token keeps the group
-        identity stable and human-attributable in traces.
+        token × integrity-policy fingerprint.  The plan key already
+        folds in the fused conversion, cipher and checksum-coverage
+        lowering tokens; the schema fingerprint additionally separates
+        stage-path (non-fused) presentation bindings whose wire plans
+        look identical, and the cipher and integrity tokens keep the
+        group identity stable and human-attributable in traces.
         """
         binding = self.presentation
         schema_fp = (
@@ -391,7 +453,12 @@ class AlfReceiver:
             if binding is not None
             else None
         )
-        return (self.wire_plan.key, schema_fp, cipher_token(self._encrypt))
+        return (
+            self.wire_plan.key,
+            schema_fp,
+            cipher_token(self._encrypt),
+            integrity_token(self.integrity),
+        )
 
     @property
     def pending_ready(self) -> int:
@@ -421,7 +488,12 @@ class AlfReceiver:
             return 0
         self._release_fragments(entry.partial)
         before = len(self._delivered)
-        self._deliver_adu(entry.sequence, entry.adu, plan_out=out)
+        self._deliver_adu(
+            entry.sequence,
+            entry.adu,
+            plan_out=out,
+            corrupt_spans=entry.corrupt_spans,
+        )
         return len(self._delivered) - before
 
     def begin_drain_dispatch(self) -> None:
@@ -480,6 +552,7 @@ class AlfReceiver:
         sequence: int,
         adu,
         plan_out: bytes | BufferChain | None = None,
+        corrupt_spans: tuple[tuple[int, int], ...] = (),
     ) -> None:
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
@@ -533,6 +606,13 @@ class AlfReceiver:
         else:
             payload = adu.payload
         self.stats.bytes_delivered += len(payload)
+        if corrupt_spans:
+            # ALF "ignore" mode: the covered checksum matched, so the
+            # damage sits in bytes the policy chose not to protect —
+            # deliver, flagged, instead of forcing a retransmission.
+            integrity_counters().record_tolerant_delivery(len(corrupt_spans))
+            self.tracer.emit(self.loop.now, "alf", "tolerant-deliver",
+                             seq=sequence, spans=len(corrupt_spans))
         self.tracer.emit(self.loop.now, "alf", "deliver-adu",
                          seq=sequence, in_order=in_order)
         self.deliver(
@@ -543,6 +623,7 @@ class AlfReceiver:
                 arrival_time=self.loop.now,
                 in_order=in_order,
                 chain=chain,
+                corrupt_spans=corrupt_spans,
             )
         )
         if chain is not None:

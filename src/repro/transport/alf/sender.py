@@ -19,6 +19,7 @@ from repro.core.adu import Adu, fragment_adu
 from repro.errors import TransportError
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.ilp.pipeline import Pipeline
+from repro.integrity import IntegrityPolicy
 from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.net.host import Host
 from repro.net.packet import Packet
@@ -40,6 +41,7 @@ def wire_pipeline(
     convert: PresentationConvertStage | None = None,
     convert_after: bool = False,
     encrypt: WordXorStage | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> Pipeline:
     """The ALF wire manipulation: the per-ADU checksum (paper §5 —
     "error detection is done on an ADU basis").
@@ -56,8 +58,13 @@ def wire_pipeline(
     compiles to **one** integrated read pass.  The shape is identical
     for every flow with the same presentation and cipher, so all of them
     share one cached :class:`CompiledPlan` per machine profile.
+
+    ``integrity`` compiles a coverage policy into the checksum stage:
+    covered spans fold, uncovered bytes are never read, and the policy
+    fingerprint rides the stage's lowering token so plans with different
+    coverage stay distinct cache entries.
     """
-    checksum = ChecksumComputeStage()
+    checksum = ChecksumComputeStage(coverage=integrity)
     if convert_after:
         stages = [checksum]
         if encrypt is not None:
@@ -129,6 +136,12 @@ class AlfSender:
             streams over the scatter-gather chain segment-by-segment
             (no linearize); the ciphertext is memoized per ADU like the
             converted form, so retransmissions pay no second pass.
+        integrity: an :class:`~repro.integrity.IntegrityPolicy`
+            restricting the wire checksum to covered spans (SAP-style
+            selective integrity).  The receiver must run the same
+            policy — sessions negotiate it in INIT.  Incompatible with
+            a partial policy + FEC (parity repair verifies full
+            checksums).
         on_complete: called when every ADU is acknowledged or abandoned.
     """
 
@@ -151,6 +164,7 @@ class AlfSender:
         plan_cache: PlanCache | None = None,
         presentation: PresentationBinding | None = None,
         encryption: WordXorStage | int | None = None,
+        integrity: IntegrityPolicy | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         on_complete: Callable[[], None] | None = None,
@@ -159,6 +173,14 @@ class AlfSender:
             raise TransportError("mtu must be positive")
         if recovery is RecoveryMode.APP_RECOMPUTE and recompute is None:
             raise TransportError("APP_RECOMPUTE mode needs a recompute callback")
+        if fec_group is not None and integrity is not None and integrity.tolerant:
+            # FEC reassembly verifies recovered fragments against the
+            # full ADU checksum; a partial-coverage policy would reject
+            # every successfully repaired ADU.
+            raise TransportError(
+                "FEC requires full integrity coverage "
+                f"(policy is {integrity.fingerprint!r})"
+            )
         self.loop = loop
         self.host = host
         self.peer = peer
@@ -192,6 +214,7 @@ class AlfSender:
         if isinstance(encryption, int):
             encryption = WordXorStage(encryption, name="encrypt")
         self._encrypt: WordXorStage | None = encryption
+        self.integrity = integrity
         self._wire_plan: CompiledPlan | None = None
         self._wire_checksums: dict[int, int] = {}
         self._wire_payloads: dict[int, bytes | BufferChain] = {}
@@ -277,6 +300,7 @@ class AlfSender:
                 wire_pipeline(
                     self._convert if self._convert_fused else None,
                     encrypt=self._encrypt,
+                    integrity=self.integrity,
                 ),
                 self.machine,
             )

@@ -42,6 +42,14 @@ class DeliveredAdu:
             releases it (recycling pool buffers) when the callback
             returns, so applications that want zero-copy disposal must
             scatter from it synchronously and must not retain it.
+        corrupt_spans: ADU-relative ``(lo, hi)`` byte ranges the PHY
+            flagged as corrupted.  Non-empty only under a tolerant
+            integrity policy (``SPANS``/``HEADERS_ONLY``/``NONE``) when
+            the damage fell outside the covered spans: the checksum
+            still matched, so the ADU is delivered — the paper's ALF
+            "ignore" recovery mode — with the suspect ranges named so
+            the application can conceal or re-request them.  Bytes
+            outside these spans are exactly what the sender transmitted.
     """
 
     sequence: int
@@ -50,3 +58,4 @@ class DeliveredAdu:
     arrival_time: float
     in_order: bool
     chain: BufferChain | None = None
+    corrupt_spans: tuple[tuple[int, int], ...] = ()

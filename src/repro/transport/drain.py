@@ -13,7 +13,8 @@ from different associations into one vectorized dispatch.
 
 :class:`SharedDrainEngine` does exactly that.  Receivers register keyed
 by their :attr:`~repro.transport.alf.receiver.AlfReceiver.drain_key`
-(compiled-plan cache key × schema fingerprint × cipher token); each
+(compiled-plan cache key × schema fingerprint × cipher token ×
+integrity-policy fingerprint); each
 drain epoch coalesces the completed-but-unverified ADUs of *all* flows
 sharing a key into one ``run_batch`` call:
 
@@ -79,12 +80,18 @@ class ReadyAdu:
             released when the row resolves).
         adu: the reassembled ADU (payload may be a scatter-gather chain).
         expected: the checksum the wire plan's observation must match.
+        corrupt_spans: ADU-relative ``(lo, hi)`` byte ranges the PHY
+            flagged as corrupted that fall outside the flow's integrity
+            policy coverage.  Under a tolerant policy a matching row
+            delivers with these spans attached (ALF "ignore" mode)
+            instead of being discarded.
     """
 
     sequence: int
     partial: Any
     adu: Any
     expected: int
+    corrupt_spans: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass

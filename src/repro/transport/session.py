@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.errors import TransportError
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.ilp.pipeline import Pipeline
+from repro.integrity import IntegrityPolicy, integrity_token
 from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.net.host import Host
 from repro.net.packet import Packet
@@ -63,6 +64,7 @@ def session_wire_pipeline(
     schema: ASType | None = None,
     codec: TransferCodec | None = None,
     encrypt: WordXorStage | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> Pipeline:
     """The association's per-ADU wire manipulation.
 
@@ -82,6 +84,11 @@ def session_wire_pipeline(
     With an ``encrypt`` stage the cipher slots between conversion and
     checksum — the §6 sender order [convert, encrypt, checksum], still
     one fused loop, checksum over the ciphertext.
+
+    An ``integrity`` policy restricts the checksum stage to its covered
+    spans; the policy fingerprint rides the stage's lowering token, so
+    associations with different coverage compile (and cache) distinct
+    plans even though the pipeline shape is identical.
     """
     if schema is not None:
         local = LwtsCodec(byte_order=sender_syntax.byte_order)
@@ -90,12 +97,12 @@ def session_wire_pipeline(
         stages = [] if convert.identity else [convert]
         if encrypt is not None:
             stages.append(encrypt)
-        stages.append(ChecksumComputeStage())
+        stages.append(ChecksumComputeStage(coverage=integrity))
         return Pipeline(stages, name="session-wire")
     stages: list[Stage] = []
     if encrypt is not None:
         stages.append(encrypt)
-    stages.append(ChecksumComputeStage())
+    stages.append(ChecksumComputeStage(coverage=integrity))
     if sender_syntax.byte_order != receiver_syntax.byte_order:
         stages.append(ByteswapStage(name="presentation-byteswap"))
     return Pipeline(stages, name="session-wire")
@@ -172,6 +179,13 @@ class SessionListener:
             into the ALF receivers' wire plans ([checksum, decrypt,
             convert]); INITs whose cipher id does not match this
             configuration are rejected with a clear reason.
+        integrity: the :class:`~repro.integrity.IntegrityPolicy` this
+            listener requires.  Both ends must compute the checksum
+            over the same covered spans or every ADU would "fail"
+            verification, so the INIT carries the initiator's policy
+            fingerprint and a mismatch is rejected with a clear reason
+            (like the cipher check).  Accepted flows' receivers run the
+            policy's corrupt-tolerant delivery.
         batch_drain: forwarded to the ALF receivers this listener builds
             (queue completed ADUs and verify+decrypt+convert them in one
             batched pass).
@@ -214,6 +228,7 @@ class SessionListener:
         zero_copy: bool = True,
         presentation: bool = False,
         encryption: int | None = None,
+        integrity: IntegrityPolicy | None = None,
         batch_drain: bool = False,
         shared_drain: bool = False,
         drain_engine: SharedDrainEngine | None = None,
@@ -232,6 +247,7 @@ class SessionListener:
         self.zero_copy = bool(zero_copy)
         self.presentation = bool(presentation)
         self.encryption = encryption
+        self.integrity = integrity
         self.batch_drain = bool(batch_drain)
         if drain_engine is None and shared_drain:
             drain_engine = SharedDrainEngine(loop, tracer=self.tracer)
@@ -290,6 +306,23 @@ class SessionListener:
                 f"{local_cipher or 'cleartext'}",
             )
             return
+        # Integrity-coverage check: the checksum must be computed over
+        # the same spans at both ends, or every ADU would "fail" verify
+        # (or worse, damage in a span one side thinks is covered would
+        # slip through).  A missing header means full coverage —
+        # pre-policy initiators interoperate with full-coverage
+        # listeners.
+        local_integrity = integrity_token(self.integrity)
+        peer_integrity = packet.header.get("integrity", "full")
+        if peer_integrity != local_integrity:
+            self.rejected += 1
+            self._send_reject(
+                packet.src,
+                flow_id,
+                f"integrity policy mismatch: initiator offers "
+                f"{peer_integrity!r}, listener requires {local_integrity!r}",
+            )
+            return
         config = SessionConfig(
             schema_name=schema_name,
             recovery=RecoveryMode(packet.header["recovery"]),
@@ -325,6 +358,7 @@ class SessionListener:
                     if self.encryption is not None
                     else None
                 ),
+                integrity=self.integrity,
             ),
             self.machine,
         )
@@ -354,6 +388,7 @@ class SessionListener:
             ),
             batch_drain=self.batch_drain,
             drain_engine=rx_engine,
+            integrity=self.integrity,
         )
         self.sessions[flow_id] = session
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
@@ -437,6 +472,10 @@ class SessionInitiator:
             plan ([convert, encrypt, checksum]); the INIT carries the
             cipher id (a key fingerprint, never the key) so a listener
             with a different cipher config rejects the handshake.
+        integrity: the :class:`~repro.integrity.IntegrityPolicy` this
+            side proposes.  The INIT carries the policy fingerprint; a
+            listener configured differently rejects the handshake, so
+            coverage can never silently disagree between the ends.
     """
 
     def __init__(
@@ -457,6 +496,7 @@ class SessionInitiator:
         zero_copy: bool = False,
         presentation: bool = False,
         encryption: int | None = None,
+        integrity: IntegrityPolicy | None = None,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -478,6 +518,7 @@ class SessionInitiator:
         self.zero_copy = bool(zero_copy)
         self.presentation = bool(presentation)
         self.encryption = encryption
+        self.integrity = integrity
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
@@ -512,6 +553,7 @@ class SessionInitiator:
                         self.schemas[self.config.schema_name]
                     ),
                     "cipher": cipher_token(self.encryption),
+                    "integrity": integrity_token(self.integrity),
                     "recovery": self.config.recovery.value,
                     "mtu": self.config.mtu,
                     "syntax_name": self.config.local_syntax.name,
@@ -560,6 +602,7 @@ class SessionInitiator:
                     if self.encryption is not None
                     else None
                 ),
+                integrity=self.integrity,
             ),
             self.machine,
         )
@@ -580,6 +623,7 @@ class SessionInitiator:
                 if self.encryption is not None
                 else None
             ),
+            integrity=self.integrity,
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",
