@@ -873,6 +873,248 @@ def selective_integrity(
     )
 
 
+def rate_paced_trains(
+    n_adus: int = 400, payload_bytes: int = 960
+) -> ExperimentResult:
+    """P8: rate-paced train shaping with drain-pressure backpressure.
+
+    §3 argues the sending rate should be "computed on an out-of-band
+    basis" rather than discovered by window probing.  The pacer carries
+    that through the egress path: a token bucket releases whole tagged
+    trains at a configured rate, the switch's train-unit queues forward
+    each train contiguously under a fairness cap, and the receiver
+    piggybacks quantized drain pressure on ACKs so the rate adapts
+    *before* loss.  The unpaced baseline is the §5 pathology: a blast
+    overflows the switch queue and RTO-driven retransmission storms
+    re-overflow it.
+    """
+    from repro.machine.accounting import ShardCounters
+    from repro.net.packet import Packet
+    from repro.net.shard import ShardedHost, shard_index
+    from repro.net.topology import hosts_via_switch
+    from repro.transport.drain import SharedDrainEngine
+    from repro.transport.pacing import TrainPacer
+
+    link_bw = 10e6
+    prop = 0.005
+    mtu = 1024
+    target_train = 8
+    paced_rate = 400_000.0      # below the ~450 KB/s residual capacity
+    cross_rate = 800_000.0      # 2:1 cross-traffic into the same downlink
+    cross_burst = 4
+    queue_cap = 32
+    n_shards = 4
+    step, limit = 0.01, 30.0
+
+    def payload_for(seq: int) -> bytes:
+        return bytes(
+            (seq * 37 + off) & 0xFF for off in range(payload_bytes)
+        )
+
+    def contended(paced: bool, cross: bool) -> dict[str, float]:
+        net = hosts_via_switch(
+            ["a", "b", "c"],
+            seed=11,
+            bandwidth_bps=link_bw,
+            propagation_delay=prop,
+            queue_capacity=queue_cap,
+            preserve_trains=True,
+            train_fairness_cap=target_train,
+            max_train=target_train,
+            train_window=1e-3,
+        )
+        loop = net.loop
+        demux = ShardCounters()
+        sharded = ShardedHost(
+            net.hosts["b"], n_shards, rng=RngStreams(5), counters=demux
+        )
+        sharded.attach_link(net.downlinks["b"])
+        delivered: list[bytes] = []
+        shard = sharded.shards[shard_index("alf", 1, n_shards)]
+        AlfReceiver(
+            shard.loop,
+            shard.host,
+            "a",
+            1,
+            deliver=lambda adu: delivered.append(bytes(adu.payload)),
+            ack_interval=0,
+            drain_engine=shard.engine,
+        )
+        pacer = (
+            TrainPacer(
+                loop,
+                rate_bytes_per_s=paced_rate,
+                target_train=target_train,
+                mtu=mtu,
+                max_rate_bytes_per_s=paced_rate,
+            )
+            if paced
+            else None
+        )
+        done_at: list[float] = []
+        sender = AlfSender(
+            loop,
+            net.hosts["a"],
+            "b",
+            1,
+            mtu=mtu,
+            recovery=RecoveryMode.TRANSPORT_BUFFER,
+            rto=0.10,
+            max_attempts=200,
+            pacing=pacer,
+            on_complete=lambda: done_at.append(loop.now),
+        )
+        if cross:
+            tick = cross_burst * (payload_bytes + 40) / cross_rate
+            host_c = net.hosts["c"]
+
+            def cross_tick() -> None:
+                for _ in range(cross_burst):
+                    host_c.send(
+                        Packet(
+                            src="c", dst="b", protocol="cross",
+                            flow_id=9, header={},
+                            payload=bytes(payload_bytes),
+                        )
+                    )
+
+            for k in range(int(limit / tick)):
+                loop.schedule_at(k * tick, cross_tick)
+        for seq in range(n_adus):
+            sender.send_adu(Adu(seq, payload_for(seq), {"seq": seq}))
+        sender.close()
+        try:
+            while loop.now < limit and not done_at:
+                loop.run(until=loop.now + step)
+                sharded.drain()
+            loop.run(until=loop.now + step)
+            sharded.drain()
+        finally:
+            sharded.shutdown()
+        assert done_at, "transfer did not complete within the budget"
+        assert sorted(delivered) == sorted(
+            payload_for(seq) for seq in range(n_adus)
+        )
+        return {
+            "goodput": n_adus * payload_bytes / done_at[0],
+            "drops": float(sum(net.switch.stats.queue_drops.values())),
+            "retransmissions": float(sender.stats.retransmissions),
+            "probes_per_adu": demux.demux_runs / n_adus,
+            "train_units": float(net.switch.stats.train_units),
+        }
+
+    unpaced = contended(paced=False, cross=True)
+    paced = contended(paced=True, cross=True)
+    quiet = contended(paced=True, cross=False)
+    assert paced["drops"] < unpaced["drops"]
+    assert paced["retransmissions"] < unpaced["retransmissions"]
+    assert paced["train_units"] > 0
+
+    # Backpressure: a fast pacer against a slow adaptive-epoch drain.
+    rate0, epoch = 2_000_000.0, 0.01
+    path = two_hosts(
+        seed=7,
+        bandwidth_bps=link_bw,
+        propagation_delay=prop,
+        max_train=target_train,
+        train_window=1e-3,
+        pacing=True,
+        rate=rate0,
+        target_train=target_train,
+    )
+    loop = path.loop
+    engine = SharedDrainEngine(
+        loop, max_rows=256, max_delay=epoch, adaptive=True, ramp_rows=32
+    )
+    conv_got: list[bytes] = []
+    AlfReceiver(
+        loop, path.b, "a", 1,
+        deliver=lambda adu: conv_got.append(bytes(adu.payload)),
+        ack_interval=0, drain_engine=engine,
+    )
+    conv_done: list[float] = []
+    conv_sender = AlfSender(
+        loop, path.a, "b", 1,
+        mtu=mtu, recovery=RecoveryMode.TRANSPORT_BUFFER,
+        rto=0.5, max_attempts=20, pacing=path.pacer,
+        on_complete=lambda: conv_done.append(loop.now),
+    )
+    for seq in range(n_adus // 2):
+        conv_sender.send_adu(Adu(seq, payload_for(seq), {"seq": seq}))
+    conv_sender.close()
+    while loop.now < limit and not conv_done:
+        loop.run(until=loop.now + step)
+    assert conv_done and len(conv_got) == n_adus // 2
+    assert conv_sender.stats.retransmissions == 0
+    rtt = 2 * prop + 2 * (payload_bytes + 40) * 8 / link_bw + epoch
+    first = path.pacer.first_backoff_time
+    assert first is not None and path.pacer.backoffs >= 1
+
+    rows = [
+        Row(
+            "goodput, unpaced blast",
+            paper=None,
+            measured=unpaced["goodput"],
+            unit="bytes/s",
+            extra={
+                "queue_drops": unpaced["drops"],
+                "retransmissions": unpaced["retransmissions"],
+            },
+        ),
+        Row(
+            "goodput, rate-paced trains",
+            paper=None,
+            measured=paced["goodput"],
+            unit="bytes/s",
+            extra={
+                "queue_drops": paced["drops"],
+                "retransmissions": paced["retransmissions"],
+            },
+        ),
+        Row(
+            "paced / unpaced goodput",
+            paper=None,
+            measured=paced["goodput"] / unpaced["goodput"],
+            unit="ratio",
+        ),
+        Row(
+            "memo probes per ADU, contended",
+            paper=None,
+            measured=paced["probes_per_adu"],
+            unit="probes",
+            extra={"uncontended": quiet["probes_per_adu"]},
+        ),
+        Row(
+            "RTTs to first backoff (slow receiver)",
+            paper=None,
+            measured=first / rtt,
+            unit="RTTs",
+            extra={"backoffs": path.pacer.backoffs},
+        ),
+        Row(
+            "settled rate fraction of start",
+            paper=None,
+            measured=path.pacer.rate_bytes_per_s / rate0,
+            unit="fraction",
+            extra={"retransmissions": 0},
+        ),
+    ]
+    return ExperimentResult(
+        "P8",
+        "Rate-paced train shaping with drain-pressure backpressure",
+        rows,
+        notes=f"{n_adus} single-fragment ADUs of {payload_bytes} B "
+        "through a 3-host star (10 Mb/s links, 32-packet switch "
+        "queues) under 2:1 cross-traffic.  The blast loses to the §5 "
+        "retransmission storm; the pacer's 8-packet trains at 400 KB/s "
+        "traverse the train-preserving switch essentially lossless, and "
+        "the sharded receiver's memo probes stay at the uncontended "
+        "train level.  Against a slow adaptive-epoch receiver the "
+        "dp-quantum AIMD loop backs the rate off within a couple of "
+        "RTTs and finishes with zero retransmissions",
+    )
+
+
 def all_experiments() -> list[ExperimentResult]:
     """Run the full battery (used to regenerate EXPERIMENTS.md)."""
     return [
@@ -904,6 +1146,7 @@ def all_experiments() -> list[ExperimentResult]:
         multiflow_drain(),
         sharded_hosts(),
         selective_integrity(),
+        rate_paced_trains(),
     ]
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,7 @@ CATALOG: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
     "P5": ("Shared-plan cross-flow drain engine", experiments.multiflow_drain),
     "P6": ("Sharded hosts: per-shard drain workers", experiments.sharded_hosts),
     "P7": ("Selective integrity: coverage-span checksums", experiments.selective_integrity),
+    "P8": ("Rate-paced train shaping with drain-pressure backpressure", experiments.rate_paced_trains),
 }
 
 
@@ -260,8 +261,45 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"probes_saved {demux['probes_saved']}  "
             f"train_packets {demux['train_packets']}"
         )
+        if trains["switch_queue_drops"]:
+            print("switch queue drops by destination:")
+            for destination, count in trains["switch_queue_drops"].items():
+                print(f"  {destination}: {count}")
         return 0
     print(f"unknown train action {args.action!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_pacing(args: argparse.Namespace) -> int:
+    from repro.machine.accounting import pacing_counters
+
+    if args.action == "stats":
+        counters = pacing_counters().snapshot()
+        print("train pacing counters:")
+        print(
+            f"  packets_submitted {counters['packets_submitted']}  "
+            f"bytes_submitted {counters['bytes_submitted']}"
+        )
+        print(
+            f"  trains_released {counters['trains_released']}  "
+            f"train_packets {counters['train_packets']}  "
+            f"packets_per_train {counters['packets_per_train']:.2f}  "
+            f"full_trains {counters['full_trains']}"
+        )
+        print(f"  credit_stalls {counters['credit_stalls']}")
+        print("drain-pressure feedback:")
+        print(
+            f"  acks_stamped {counters['acks_stamped']}  "
+            f"pressure_signals {counters['pressure_signals']}  "
+            f"last_quantum {counters['last_quantum']}  "
+            f"max_quantum {counters['max_quantum']}"
+        )
+        print(
+            f"  rate_raises {counters['rate_raises']}  "
+            f"rate_backoffs {counters['rate_backoffs']}"
+        )
+        return 0
+    print(f"unknown pacing action {args.action!r}", file=sys.stderr)
     return 2
 
 
@@ -438,6 +476,18 @@ def build_parser() -> argparse.ArgumentParser:
         "amortization",
     )
     train_parser.set_defaults(handler=_cmd_train)
+
+    pacing_parser = commands.add_parser(
+        "pacing", help="inspect the rate-paced train shaping path"
+    )
+    pacing_parser.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints the pacer ledgers (trains released, credit "
+        "stalls) and the drain-pressure feedback loop (ACK quanta, "
+        "AIMD raises/backoffs)",
+    )
+    pacing_parser.set_defaults(handler=_cmd_pacing)
 
     integrity_parser = commands.add_parser(
         "integrity", help="inspect the selective-integrity coverage path"

@@ -433,11 +433,18 @@ class TrainCounters:
     delivered, how many packets rode them, and the length distribution
     (power-of-two buckets).  ``packets_delivered - trains`` is the
     number of per-packet delivery upcalls the aggregation removed.
+
+    Switches record their congestion drops here too, keyed by the
+    packet's destination (``switch_queue_drops``): a queue drop in the
+    middle of a forwarded train releases the chain silently, so the
+    per-destination breakdown is the only place the victim flow shows
+    up by name.
     """
 
     trains: int = 0
     train_packets: int = 0
     train_len_hist: dict[int, int] = field(default_factory=dict)
+    switch_queue_drops: dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -458,12 +465,20 @@ class TrainCounters:
                 self.train_len_hist.get(bucket, 0) + 1
             )
 
+    def record_switch_queue_drop(self, destination: str) -> None:
+        """Account one switch queue drop of a packet for ``destination``."""
+        with self._lock:
+            self.switch_queue_drops[destination] = (
+                self.switch_queue_drops.get(destination, 0) + 1
+            )
+
     def reset(self) -> None:
         """Zero every counter (benchmarks bracket measurements with this)."""
         with self._lock:
             self.trains = 0
             self.train_packets = 0
             self.train_len_hist.clear()
+            self.switch_queue_drops.clear()
 
     def snapshot(self) -> dict[str, object]:
         """One consistent plain-dict view for the CLI and bench records."""
@@ -475,6 +490,9 @@ class TrainCounters:
                     self.train_packets / self.trains if self.trains else 0.0
                 ),
                 "train_len_hist": dict(sorted(self.train_len_hist.items())),
+                "switch_queue_drops": dict(
+                    sorted(self.switch_queue_drops.items())
+                ),
             }
 
 
@@ -484,6 +502,127 @@ _TRAIN = TrainCounters()
 def train_counters() -> TrainCounters:
     """The process-wide counters links record train deliveries into."""
     return _TRAIN
+
+
+@dataclass
+class PacingCounters:
+    """Rate-paced train-shaping ledger (§3 rate-based flow control).
+
+    A :class:`~repro.transport.pacing.TrainPacer` shapes sender egress
+    into deliberate packet trains and adjusts its rate from the
+    receiver's quantized drain-pressure signal.  These counters make
+    both halves measurable: how many trains the pacer released (and how
+    full they were), how often a release had to wait for token-bucket
+    credit, and how the AIMD loop moved — pressure signals seen,
+    additive raises, multiplicative backoffs — plus how many ACKs the
+    receive side stamped with a pressure quantum.
+    """
+
+    packets_submitted: int = 0
+    bytes_submitted: int = 0
+    trains_released: int = 0
+    train_packets: int = 0
+    full_trains: int = 0
+    credit_stalls: int = 0
+    pressure_signals: int = 0
+    rate_raises: int = 0
+    rate_backoffs: int = 0
+    acks_stamped: int = 0
+    last_quantum: int = 0
+    max_quantum: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_submit(self, n_bytes: int) -> None:
+        """Account one packet handed to the pacer's egress queue."""
+        with self._lock:
+            self.packets_submitted += 1
+            self.bytes_submitted += n_bytes
+
+    def record_release(self, n_packets: int, full: bool) -> None:
+        """Account one train released back-to-back (``full`` when it
+        carried the configured target length)."""
+        with self._lock:
+            self.trains_released += 1
+            self.train_packets += n_packets
+            if full:
+                self.full_trains += 1
+
+    def record_stall(self) -> None:
+        """Account one release that had to wait for bucket credit."""
+        with self._lock:
+            self.credit_stalls += 1
+
+    def record_pressure(self, quantum: int) -> None:
+        """Account one drain-pressure quantum received on an ACK."""
+        with self._lock:
+            self.pressure_signals += 1
+            self.last_quantum = quantum
+            if quantum > self.max_quantum:
+                self.max_quantum = quantum
+
+    def record_raise(self) -> None:
+        """Account one additive rate increase (pressure low)."""
+        with self._lock:
+            self.rate_raises += 1
+
+    def record_backoff(self) -> None:
+        """Account one multiplicative back-off (pressure high)."""
+        with self._lock:
+            self.rate_backoffs += 1
+
+    def record_stamp(self, quantum: int) -> None:
+        """Account one ACK stamped with a drain-pressure quantum."""
+        with self._lock:
+            self.acks_stamped += 1
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measurements with this)."""
+        with self._lock:
+            self.packets_submitted = 0
+            self.bytes_submitted = 0
+            self.trains_released = 0
+            self.train_packets = 0
+            self.full_trains = 0
+            self.credit_stalls = 0
+            self.pressure_signals = 0
+            self.rate_raises = 0
+            self.rate_backoffs = 0
+            self.acks_stamped = 0
+            self.last_quantum = 0
+            self.max_quantum = 0
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent plain-dict view for the CLI and bench records."""
+        with self._lock:
+            return {
+                "packets_submitted": self.packets_submitted,
+                "bytes_submitted": self.bytes_submitted,
+                "trains_released": self.trains_released,
+                "train_packets": self.train_packets,
+                "packets_per_train": (
+                    self.train_packets / self.trains_released
+                    if self.trains_released
+                    else 0.0
+                ),
+                "full_trains": self.full_trains,
+                "credit_stalls": self.credit_stalls,
+                "pressure_signals": self.pressure_signals,
+                "rate_raises": self.rate_raises,
+                "rate_backoffs": self.rate_backoffs,
+                "acks_stamped": self.acks_stamped,
+                "last_quantum": self.last_quantum,
+                "max_quantum": self.max_quantum,
+            }
+
+
+_PACING = PacingCounters()
+
+
+def pacing_counters() -> PacingCounters:
+    """The process-wide counters train pacers record into by default."""
+    return _PACING
 
 
 @dataclass

@@ -59,6 +59,7 @@ class _OpenTrain:
     close_event: Event | None = None
     close_time: float = 0.0
     last_arrival: float = 0.0
+    tag: object | None = None
 
 
 class Link:
@@ -286,24 +287,36 @@ class Link:
         """Add one surviving packet to the open train, opening/closing
         trains as the aggregation window and ``max_train`` dictate."""
         arrival = self.loop.now + arrival_delay
+        tag = packet.header.get("train")
         train = self._open_train
         if train is not None and arrival <= train.close_time:
-            train.packets.append(packet)
-            train.last_arrival = max(train.last_arrival, arrival)
-            if len(train.packets) >= self.max_train:
-                # Full: leave no later than the last member's arrival.
-                train.close_event.cancel()
-                self._open_train = None
-                self.loop.schedule_at(
-                    train.last_arrival, self._deliver_train, train.packets
-                )
-            return
+            if tag == train.tag:
+                train.packets.append(packet)
+                train.last_arrival = max(train.last_arrival, arrival)
+                if len(train.packets) >= self.max_train:
+                    # Full: leave no later than the last member's arrival.
+                    train.close_event.cancel()
+                    self._open_train = None
+                    self.loop.schedule_at(
+                        train.last_arrival, self._deliver_train, train.packets
+                    )
+                return
+            # A shaped-train boundary: this packet belongs to a
+            # different tagged train, so the open one closes early —
+            # pacer-drawn boundaries survive the link's aggregation
+            # window instead of being glued to the next train's head.
+            train.close_event.cancel()
+            self._open_train = None
+            self.loop.schedule_at(
+                train.last_arrival, self._deliver_train, train.packets
+            )
         # This packet opens a new train; a previous still-open train
         # keeps its scheduled close (its event owns the packet list).
         train = _OpenTrain(
             packets=[packet],
             close_time=arrival + self.train_window,
             last_arrival=arrival,
+            tag=tag,
         )
         train.close_event = self.loop.schedule_at(
             train.close_time, self._close_train, train

@@ -609,6 +609,7 @@ class ShardedHost:
                     "index": shard.index,
                     "received": shard.host.received,
                     "ring": shard.ring.snapshot(),
+                    "pressure_quantum": shard.engine.pressure_quantum,
                     "engine": shard.engine.snapshot(),
                     "pool": (
                         shard.rx_pool.snapshot()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.net.host import Host
 from repro.net.link import Link
@@ -10,6 +11,9 @@ from repro.net.switch import StoreAndForwardSwitch
 from repro.sim.eventloop import EventLoop
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transport.pacing import TrainPacer
 
 
 @dataclass
@@ -22,6 +26,7 @@ class DuplexPath:
     a_to_b: Link
     b_to_a: Link
     tracer: Tracer
+    pacer: "TrainPacer | None" = None
 
 
 def two_hosts(
@@ -36,6 +41,9 @@ def two_hosts(
     reverse_loss_rate: float | None = None,
     max_train: int = 1,
     train_window: float = 0.0,
+    pacing: bool = False,
+    rate: float = 125_000.0,
+    target_train: int = 8,
     trace: bool = False,
 ) -> DuplexPath:
     """A duplex path: hosts ``a`` and ``b`` joined by symmetric links.
@@ -48,6 +56,11 @@ def two_hosts(
     link's bit flips to a payload byte range — the deterministic
     placement selective-integrity experiments use to land damage
     inside (or outside) a policy's covered spans.
+
+    ``pacing=True`` builds a :class:`~repro.transport.pacing.TrainPacer`
+    at ``rate`` bytes/s shaping trains of ``target_train`` packets,
+    returned as ``path.pacer`` (pass it to an ``AlfSender(pacing=...)``
+    on host ``a``) — pacing scenarios become one-liners in tests.
     """
     loop = EventLoop()
     rng = RngStreams(seed)
@@ -82,7 +95,18 @@ def two_hosts(
     b_to_a.connect(a.receive)
     a.add_link("b", a_to_b)
     b.add_link("a", b_to_a)
-    return DuplexPath(loop, a, b, a_to_b, b_to_a, tracer)
+    pacer = None
+    if pacing:
+        from repro.transport.pacing import TrainPacer
+
+        pacer = TrainPacer(
+            loop,
+            rate_bytes_per_s=rate,
+            target_train=target_train,
+            tracer=tracer,
+            name="pacer-a",
+        )
+    return DuplexPath(loop, a, b, a_to_b, b_to_a, tracer, pacer=pacer)
 
 
 @dataclass
@@ -93,6 +117,8 @@ class SwitchedPath:
     hosts: dict[str, Host]
     switch: StoreAndForwardSwitch
     tracer: Tracer
+    uplinks: dict[str, Link]
+    downlinks: dict[str, Link]
 
 
 def hosts_via_switch(
@@ -101,20 +127,34 @@ def hosts_via_switch(
     bandwidth_bps: float = 10e6,
     propagation_delay: float = 0.005,
     queue_capacity: int = 64,
+    preserve_trains: bool = False,
+    train_fairness_cap: int = 32,
+    max_train: int = 1,
+    train_window: float = 0.0,
     trace: bool = False,
 ) -> SwitchedPath:
     """Star topology: every host connects to one switch.
 
     Each host's traffic to any other host goes through the switch, whose
-    finite queues provide congestion loss.
+    finite queues provide congestion loss.  ``preserve_trains`` makes
+    the switch queue shaped trains as forwarding units (bounded by
+    ``train_fairness_cap``); ``max_train``/``train_window`` put the
+    *downlinks* in packet-train mode so preserved trains reach each
+    host as burst upcalls.
     """
     loop = EventLoop()
     rng = RngStreams(seed)
     tracer = Tracer(enabled=trace)
     switch = StoreAndForwardSwitch(
-        loop, queue_capacity=queue_capacity, tracer=tracer
+        loop,
+        queue_capacity=queue_capacity,
+        preserve_trains=preserve_trains,
+        train_fairness_cap=train_fairness_cap,
+        tracer=tracer,
     )
     hosts: dict[str, Host] = {}
+    uplinks: dict[str, Link] = {}
+    downlinks: dict[str, Link] = {}
     for name in names:
         host = Host(loop, name, tracer=tracer)
         uplink = Link(
@@ -130,6 +170,8 @@ def hosts_via_switch(
             rng.stream(f"down-{name}"),
             bandwidth_bps=bandwidth_bps,
             propagation_delay=propagation_delay,
+            max_train=max_train,
+            train_window=train_window,
             name=f"sw->{name}",
             tracer=tracer,
         )
@@ -141,7 +183,9 @@ def hosts_via_switch(
             if other != name:
                 host.add_link(other, uplink)
         hosts[name] = host
-    return SwitchedPath(loop, hosts, switch, tracer)
+        uplinks[name] = uplink
+        downlinks[name] = downlink
+    return SwitchedPath(loop, hosts, switch, tracer, uplinks, downlinks)
 
 
 @dataclass

@@ -22,7 +22,7 @@ from repro.errors import FramingError
 from repro.core.adu import AduFragment, reassemble_fragments
 from repro.ilp.compiler import CompiledPlan, PlanCache, shared_plan_cache
 from repro.integrity import IntegrityPolicy, integrity_token
-from repro.machine.accounting import integrity_counters
+from repro.machine.accounting import integrity_counters, pacing_counters
 from repro.machine.profile import MIPS_R2000, MachineProfile
 from repro.presentation.compiler import schema_fingerprint
 from repro.stages.encrypt import WordXorStage, cipher_token
@@ -210,6 +210,11 @@ class AlfReceiver:
         if sequence in self._delivered:
             self.stats.duplicates_discarded += 1
             self._discard_payload(packet.payload)
+            # A retransmission of a delivered ADU means the sender
+            # missed our acknowledgement — re-ACK, or a lost ACK
+            # becomes an unbounded retransmit loop (the amplification
+            # the pacing loop's convergence gate forbids).
+            self._send_ack()
             return
 
         fragment = AduFragment(
@@ -654,18 +659,29 @@ class AlfReceiver:
             for sequence in payload["missing"]
             if sequence not in self._partial and sequence not in pending
         ]
+        header: dict = {
+            "sack": {
+                "received": sorted(self._delivered),
+                "missing": missing,
+                "highest": payload["highest"],
+            }
+        }
+        if self.drain_engine is not None:
+            # Piggyback the drain engine's pressure quantum (§3: the
+            # rate is "computed on an out-of-band basis" — here, from
+            # receive-side backlog).  Computed *here*, after the
+            # coalescing latch above, so a latched ACK flushed by
+            # finish_drain_dispatch carries the quantum current at
+            # flush time, not the one when the first delivery latched.
+            quantum = self.drain_engine.pressure_quantum
+            header["dp"] = quantum
+            pacing_counters().record_stamp(quantum)
         ack = Packet(
             src=self.host.name,
             dst=self.peer,
             protocol=PROTOCOL,
             flow_id=self.flow_id,
-            header={
-                "sack": {
-                    "received": sorted(self._delivered),
-                    "missing": missing,
-                    "highest": payload["highest"],
-                }
-            },
+            header=header,
             payload=b"",
         )
         self.host.send(ack)

@@ -30,6 +30,7 @@ from repro.stages.encrypt import WordXorStage
 from repro.stages.presentation import PresentationBinding, PresentationConvertStage
 from repro.transport.alf.recovery import RecoveryMode
 from repro.transport.base import TransportStats
+from repro.transport.pacing import TrainPacer
 
 PROTOCOL = "alf"
 
@@ -142,6 +143,13 @@ class AlfSender:
             policy — sessions negotiate it in INIT.  Incompatible with
             a partial policy + FEC (parity repair verifies full
             checksums).
+        pacing: a :class:`~repro.transport.pacing.TrainPacer` shaping
+            this flow's egress into rate-paced packet trains (§3
+            rate-based flow control).  Wire units route through the
+            pacer's token bucket and leave as back-to-back tagged
+            trains; drain-pressure quanta piggybacked on ACKs
+            (``header["dp"]``) feed its AIMD loop.  Supersedes
+            ``pace_interval``.
         on_complete: called when every ADU is acknowledged or abandoned.
     """
 
@@ -165,6 +173,7 @@ class AlfSender:
         presentation: PresentationBinding | None = None,
         encryption: WordXorStage | int | None = None,
         integrity: IntegrityPolicy | None = None,
+        pacing: TrainPacer | None = None,
         counter: InstructionCounter | None = None,
         tracer: Tracer | None = None,
         on_complete: Callable[[], None] | None = None,
@@ -215,6 +224,9 @@ class AlfSender:
             encryption = WordXorStage(encryption, name="encrypt")
         self._encrypt: WordXorStage | None = encryption
         self.integrity = integrity
+        self.pacing = pacing
+        if pacing is not None:
+            pacing.bind(host.send)
         self._wire_plan: CompiledPlan | None = None
         self._wire_checksums: dict[int, int] = {}
         self._wire_payloads: dict[int, bytes | BufferChain] = {}
@@ -432,6 +444,23 @@ class AlfSender:
     # Transmission
 
     def _transmit(self, adu: Adu) -> None:
+        if self.pacing is not None:
+            for header, payload in self._wire_units(adu):
+                header["ts"] = self.loop.now
+                packet = Packet(
+                    src=self.host.name,
+                    dst=self.peer,
+                    protocol=PROTOCOL,
+                    flow_id=self.flow_id,
+                    header=header,
+                    payload=payload,
+                )
+                self.stats.segments_sent += 1
+                self.stats.bytes_sent += len(payload)
+                self.pacing.submit(packet, on_release=self._on_paced_release)
+            self.tracer.emit(self.loop.now, "alf", "send-adu",
+                             seq=adu.sequence, length=len(adu.payload))
+            return
         delay = max(self._next_send_time - self.loop.now, 0.0)
         for header, payload in self._wire_units(adu):
             header["ts"] = self.loop.now
@@ -454,6 +483,13 @@ class AlfSender:
             self._next_send_time = self.loop.now + delay
         self.tracer.emit(self.loop.now, "alf", "send-adu",
                          seq=adu.sequence, length=len(adu.payload))
+
+    def _on_paced_release(self, packet: Packet) -> None:
+        """A paced fragment reached the wire: restart its ADU's repair
+        clock — queueing delay inside the pacer is not network time."""
+        entry = self._outstanding.get(packet.header.get("adu_seq"))
+        if entry is not None:
+            entry.last_sent = self.loop.now
 
     def _wire_units(self, adu: Adu):
         """(header, payload) pairs for one ADU, FEC-encoded if enabled."""
@@ -505,6 +541,9 @@ class AlfSender:
         self.counter.record("header_parse")
         self.counter.record("demux_lookup")
         self.stats.acks_received += 1
+        quantum = packet.header.get("dp")
+        if quantum is not None and self.pacing is not None:
+            self.pacing.on_pressure(int(quantum))
         sack = packet.header["sack"]
         received: set[int] = set(sack["received"])
         missing: list[int] = list(sack["missing"])
@@ -526,6 +565,8 @@ class AlfSender:
         entry = self._outstanding.get(sequence)
         if entry is None:
             return  # already acked, abandoned, or never buffered
+        if self.pacing is not None and self.pacing.holds(self.flow_id, sequence):
+            return  # still queued in the pacer — not lost, not even sent
         # Debounce: a missing report races with an in-flight repair.
         if self.loop.now - entry.last_sent < self.rto / 2:
             return

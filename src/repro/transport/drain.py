@@ -286,6 +286,22 @@ class SharedDrainEngine:
         return max(floor, min(self.max_rows, scaled))
 
     @property
+    def pressure_quantum(self) -> int:
+        """The backlog EWMA folded into the 4-bit ACK field.
+
+        Receivers stamp this on outgoing ACKs (``header["dp"]``) so a
+        :class:`~repro.transport.pacing.TrainPacer` at the sender can
+        close the rate loop.  Non-adaptive engines (no backlog
+        integrator) always report 0 — the sender sees an always-idle
+        receiver and additive-increases to its configured maximum.
+        """
+        if not self.adaptive:
+            return 0
+        from repro.transport.pacing import quantize_pressure
+
+        return quantize_pressure(self.backlog_ewma, self.ramp_rows)
+
+    @property
     def flush_horizon(self) -> float:
         """How far a worker must run its loop to settle this engine.
 
@@ -462,4 +478,5 @@ class SharedDrainEngine:
                 data["backlog_ewma"] = self.backlog_ewma
                 data["effective_max_rows"] = self.effective_max_rows
                 data["effective_max_delay"] = self.effective_max_delay
+                data["pressure_quantum"] = self.pressure_quantum
             return data

@@ -47,6 +47,7 @@ from repro.stages.presentation import (
 from repro.transport.alf import AlfReceiver, AlfSender, RecoveryMode
 from repro.transport.base import DeliveredAdu
 from repro.transport.drain import SharedDrainEngine
+from repro.transport.pacing import TrainPacer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.net.shard import ShardedHost
@@ -212,6 +213,13 @@ class SessionListener:
         sharded: an existing :class:`~repro.net.shard.ShardedHost` to
             place accepted flows on (the caller keeps ownership);
             overrides ``shards``.
+        adaptive_drain: build the listener's drain engines (host-wide
+            and per shard) with adaptive epochs — the backlog
+            integrator then drives both the epoch window and the
+            drain-pressure quantum stamped on outgoing ACKs, closing
+            the pacing loop against a paced initiator.
+        drain_max_delay: epoch window for the engines this listener
+            creates (the adaptive ramp scales off it).
     """
 
     def __init__(
@@ -234,6 +242,8 @@ class SessionListener:
         drain_engine: SharedDrainEngine | None = None,
         shards: int = 0,
         sharded: "ShardedHost | None" = None,
+        adaptive_drain: bool = False,
+        drain_max_delay: float = 0.0,
     ):
         self.loop = loop
         self.host = host
@@ -250,14 +260,24 @@ class SessionListener:
         self.integrity = integrity
         self.batch_drain = bool(batch_drain)
         if drain_engine is None and shared_drain:
-            drain_engine = SharedDrainEngine(loop, tracer=self.tracer)
+            drain_engine = SharedDrainEngine(
+                loop,
+                max_delay=drain_max_delay,
+                adaptive=adaptive_drain,
+                tracer=self.tracer,
+            )
         self.drain_engine = drain_engine
         self._owns_sharded = False
         if sharded is None and shards > 0:
             from repro.net.shard import ShardedHost
 
             sharded = ShardedHost(
-                host, shards, tracer=self.tracer, protocols=("alf",)
+                host,
+                shards,
+                max_delay=drain_max_delay,
+                adaptive=adaptive_drain,
+                tracer=self.tracer,
+                protocols=("alf",),
             )
             self._owns_sharded = True
         self.sharded = sharded
@@ -476,6 +496,14 @@ class SessionInitiator:
             side proposes.  The INIT carries the policy fingerprint; a
             listener configured differently rejects the handshake, so
             coverage can never silently disagree between the ends.
+        pacing: shape the session's egress into rate-paced packet
+            trains.  Either ``True`` (a :class:`TrainPacer` is built
+            with ``rate_bytes_per_s``/``target_train``) or an existing
+            pacer instance; it is handed to the ALF sender once the
+            handshake completes, and drain-pressure quanta on the
+            listener's ACKs drive its AIMD rate loop.
+        rate_bytes_per_s: initial pacing rate when ``pacing=True``.
+        target_train: packets per shaped train when ``pacing=True``.
     """
 
     def __init__(
@@ -497,6 +525,9 @@ class SessionInitiator:
         presentation: bool = False,
         encryption: int | None = None,
         integrity: IntegrityPolicy | None = None,
+        pacing: "TrainPacer | bool" = False,
+        rate_bytes_per_s: float = 125_000.0,
+        target_train: int = 8,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -519,6 +550,18 @@ class SessionInitiator:
         self.presentation = bool(presentation)
         self.encryption = encryption
         self.integrity = integrity
+        if pacing is True:
+            pacing = TrainPacer(
+                loop,
+                rate_bytes_per_s=rate_bytes_per_s,
+                target_train=target_train,
+                mtu=config.mtu,
+                tracer=self.tracer,
+                name=f"pacer-{host.name}",
+            )
+        elif pacing is False:
+            pacing = None
+        self.pacing = pacing
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
@@ -624,6 +667,7 @@ class SessionInitiator:
                 else None
             ),
             integrity=self.integrity,
+            pacing=self.pacing,
         )
         self.session = session
         self.tracer.emit(self.loop.now, "session", "established",
