@@ -232,6 +232,33 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             f"hash_dispatches {counters['hash_dispatches']}  "
             f"memo_hit_rate {counters['memo_hit_rate']:.2f}"
         )
+        print("zero-hop steering:")
+        print(
+            f"  steered_trains {counters['steered_trains']}  "
+            f"steered_packets {counters['steered_packets']}  "
+            f"fallback_trains {counters['fallback_trains']}  "
+            f"fallback_packets {counters['fallback_packets']}"
+        )
+        print(
+            f"  table_hits {counters['steering_hits']}  "
+            f"table_misses {counters['steering_misses']}  "
+            f"table_hit_rate {counters['steering_hit_rate']:.2f}"
+        )
+        print(
+            f"  migrations {counters['migrations']}  "
+            f"migrated_flows {counters['migrated_flows']}"
+        )
+        if counters["shard_packets"]:
+            loads = "  ".join(
+                f"shard{index}: {count}"
+                for index, count in counters["shard_packets"].items()
+            )
+            print(f"per-shard packets:  {loads}")
+        for index, hist in counters["shard_backlog_hist"].items():
+            bars = "  ".join(
+                f"<={bucket}: {count}" for bucket, count in hist.items()
+            )
+            print(f"  shard{index} backlog_hist  {bars}")
         return 0
     print(f"unknown shard action {args.action!r}", file=sys.stderr)
     return 2

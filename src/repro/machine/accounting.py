@@ -321,6 +321,17 @@ class ShardCounters:
     packet-at-a-time front would have paid on top, and
     ``train_len_hist`` buckets train lengths (power-of-two buckets) so
     the amortization per train is visible, not just the aggregate.
+
+    Zero-hop ingress adds steering accounting: ``steered_trains`` /
+    ``steered_packets`` count trains the link delivered straight onto a
+    shard (no front-end demux at all), ``fallback_trains`` the
+    mixed-shard or stale-epoch trains that still took the front-end
+    slow path, and ``steering_hits`` / ``steering_misses`` the
+    steering-table memo behaviour behind those decisions.
+    ``migrations`` / ``migrated_flows`` count committed bucket remaps;
+    ``shard_packets`` and ``shard_backlog_hist`` break arrival volume
+    and sampled backlog depth (power-of-two buckets; 0 = idle) down per
+    shard so hash skew — and a rebalancer fixing it — is visible.
     """
 
     packets: int = 0
@@ -332,6 +343,16 @@ class ShardCounters:
     demux_runs: int = 0
     probes_saved: int = 0
     worker_services: int = 0
+    steered_trains: int = 0
+    steered_packets: int = 0
+    fallback_trains: int = 0
+    fallback_packets: int = 0
+    steering_hits: int = 0
+    steering_misses: int = 0
+    migrations: int = 0
+    migrated_flows: int = 0
+    shard_packets: dict[int, int] = field(default_factory=dict)
+    shard_backlog_hist: dict[int, dict[int, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -382,6 +403,47 @@ class ShardCounters:
         with self._lock:
             self.worker_services += 1
 
+    def record_steered(self, n_packets: int) -> None:
+        """Account one train the link delivered straight onto a shard."""
+        with self._lock:
+            self.steered_trains += 1
+            self.steered_packets += n_packets
+
+    def record_fallback(self, n_packets: int) -> None:
+        """Account one train that took the front-end slow path while
+        link steering was active (mixed shards, stale epoch, unclaimed
+        protocol runs)."""
+        with self._lock:
+            self.fallback_trains += 1
+            self.fallback_packets += n_packets
+
+    def record_steering(self, hits: int, misses: int) -> None:
+        """Fold a steering-table lookup delta into the ledger (the
+        table keeps lock-free counts; the sharded host flushes deltas
+        once per train, not per lookup)."""
+        if hits == 0 and misses == 0:
+            return
+        with self._lock:
+            self.steering_hits += hits
+            self.steering_misses += misses
+
+    def record_migration(self, flows: int) -> None:
+        """Account one committed bucket remap carrying ``flows`` flows."""
+        with self._lock:
+            self.migrations += 1
+            self.migrated_flows += flows
+
+    def record_shard_load(self, index: int, n_packets: int, depth: int) -> None:
+        """Account one dispatched burst against shard ``index``, sampling
+        the shard's queue occupancy (``depth``) into its histogram."""
+        with self._lock:
+            self.shard_packets[index] = (
+                self.shard_packets.get(index, 0) + n_packets
+            )
+            hist = self.shard_backlog_hist.setdefault(index, {})
+            bucket = _train_bucket(depth) if depth > 0 else 0
+            hist[bucket] = hist.get(bucket, 0) + 1
+
     def reset(self) -> None:
         """Zero every counter (benchmarks bracket measurements with this)."""
         with self._lock:
@@ -394,10 +456,21 @@ class ShardCounters:
             self.demux_runs = 0
             self.probes_saved = 0
             self.worker_services = 0
+            self.steered_trains = 0
+            self.steered_packets = 0
+            self.fallback_trains = 0
+            self.fallback_packets = 0
+            self.steering_hits = 0
+            self.steering_misses = 0
+            self.migrations = 0
+            self.migrated_flows = 0
+            self.shard_packets.clear()
+            self.shard_backlog_hist.clear()
 
     def snapshot(self) -> dict[str, object]:
         """One consistent plain-dict view for the CLI and bench records."""
         with self._lock:
+            steering_probes = self.steering_hits + self.steering_misses
             return {
                 "packets": self.packets,
                 "bursts": self.bursts,
@@ -411,6 +484,24 @@ class ShardCounters:
                 "demux_runs": self.demux_runs,
                 "probes_saved": self.probes_saved,
                 "worker_services": self.worker_services,
+                "steered_trains": self.steered_trains,
+                "steered_packets": self.steered_packets,
+                "fallback_trains": self.fallback_trains,
+                "fallback_packets": self.fallback_packets,
+                "steering_hits": self.steering_hits,
+                "steering_misses": self.steering_misses,
+                "steering_hit_rate": (
+                    self.steering_hits / steering_probes
+                    if steering_probes
+                    else 0.0
+                ),
+                "migrations": self.migrations,
+                "migrated_flows": self.migrated_flows,
+                "shard_packets": dict(sorted(self.shard_packets.items())),
+                "shard_backlog_hist": {
+                    index: dict(sorted(hist.items()))
+                    for index, hist in sorted(self.shard_backlog_hist.items())
+                },
             }
 
 

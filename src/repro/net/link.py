@@ -49,17 +49,36 @@ class LinkStats:
     bytes_delivered: int = 0
     trains: int = 0
     train_packets: int = 0
+    steered_trains: int = 0
+    steered_packets: int = 0
+    stale_steer_trains: int = 0
+    steer_hints: int = 0
 
 
 @dataclass
 class _OpenTrain:
-    """A train still accepting packets (closes on window or max_train)."""
+    """A train still accepting packets (closes on window or max_train).
+
+    The ``steer_*`` fields are the link-level shard steering state: the
+    open run's flow key and its resolved target, the train's single
+    destination shard (−1 once runs disagree or a run is unclaimed),
+    the table epoch the first placement was made under (staleness
+    check at delivery), and the per-run ``[bucket, shard, n]`` arrival
+    charges settled into the table only if the train is steered (a
+    fallback train is re-walked — and re-charged — by the front end).
+    """
 
     packets: list[Packet] = field(default_factory=list)
     close_event: Event | None = None
     close_time: float = 0.0
     last_arrival: float = 0.0
     tag: object | None = None
+    steer_proto: str | None = None
+    steer_flow: int | None = None
+    steer_epoch: int = -1
+    steer_first_epoch: int = -1
+    steer_shard: int | None = None
+    steer_charges: list[list[int]] = field(default_factory=list)
 
 
 class Link:
@@ -159,6 +178,8 @@ class Link:
         self.stats = LinkStats()
         self._receiver: Callable[[Packet], None] | None = None
         self._burst_receiver: Callable[[list[Packet]], None] | None = None
+        self._steering = None
+        self._steered_receiver: Callable[[int, list[Packet]], None] | None = None
         self._busy_until = 0.0
         self._open_train: _OpenTrain | None = None
 
@@ -186,6 +207,26 @@ class Link:
             ):
                 burst_receiver = getattr(owner, "receive_burst", None)
         self._burst_receiver = burst_receiver
+
+    def set_steering(
+        self,
+        table,
+        steered_receiver: Callable[[int, list[Packet]], None],
+    ) -> None:
+        """Learn a shard steering table (zero-hop ingress, §4).
+
+        ``table`` is a :class:`~repro.net.shard.SteeringTable` the
+        receiving sharded host exports; the link consults it while
+        coalescing trains, one lookup per flow-run.  A train whose runs
+        all place on one shard — and whose placements are still current
+        at delivery (no steering epoch bump since the first board) — is
+        handed to ``steered_receiver(shard_index, packets)`` instead of
+        the burst receiver: the front-end demux hop disappears for the
+        single-shard common case.  Mixed, stale or unclaimed trains
+        keep the ordinary burst path.
+        """
+        self._steering = table
+        self._steered_receiver = steered_receiver
 
     @property
     def train_mode(self) -> bool:
@@ -292,13 +333,15 @@ class Link:
         if train is not None and arrival <= train.close_time:
             if tag == train.tag:
                 train.packets.append(packet)
+                if self._steering is not None:
+                    self._steer(train, packet)
                 train.last_arrival = max(train.last_arrival, arrival)
                 if len(train.packets) >= self.max_train:
                     # Full: leave no later than the last member's arrival.
                     train.close_event.cancel()
                     self._open_train = None
                     self.loop.schedule_at(
-                        train.last_arrival, self._deliver_train, train.packets
+                        train.last_arrival, self._deliver_train, train
                     )
                 return
             # A shaped-train boundary: this packet belongs to a
@@ -308,7 +351,7 @@ class Link:
             train.close_event.cancel()
             self._open_train = None
             self.loop.schedule_at(
-                train.last_arrival, self._deliver_train, train.packets
+                train.last_arrival, self._deliver_train, train
             )
         # This packet opens a new train; a previous still-open train
         # keeps its scheduled close (its event owns the packet list).
@@ -318,19 +361,64 @@ class Link:
             last_arrival=arrival,
             tag=tag,
         )
+        if self._steering is not None:
+            self._steer(train, packet)
         train.close_event = self.loop.schedule_at(
             train.close_time, self._close_train, train
         )
         self._open_train = train
 
+    def _steer(self, train: _OpenTrain, packet: Packet) -> None:
+        """Resolve one boarding packet's shard, one lookup per run.
+
+        The common case — the packet continues the open run — is two
+        comparisons and an increment, no hashing and no tuple building:
+        the zero-extra-probes promise of the steered hot path.
+        """
+        table = self._steering
+        epoch = table.epoch
+        if (
+            packet.flow_id == train.steer_flow
+            and packet.protocol == train.steer_proto
+            and epoch == train.steer_epoch
+        ):
+            charges = train.steer_charges
+            if charges:
+                charges[-1][2] += 1
+            return
+        train.steer_proto = packet.protocol
+        train.steer_flow = packet.flow_id
+        train.steer_epoch = epoch
+        if train.steer_first_epoch < 0:
+            train.steer_first_epoch = epoch
+        hint = packet.header.get("steer")
+        if hint is not None and hint[0] == epoch:
+            # A switch upstream already placed this flow (steered
+            # forwarding); trust the stamp while its epoch is current.
+            placed = (hint[1], hint[2])
+            self.stats.steer_hints += 1
+        else:
+            placed = table.steer(packet.protocol, packet.flow_id)
+        if placed is None:
+            # Unclaimed protocol: the whole train takes the slow path.
+            train.steer_shard = -1
+            return
+        shard, bucket = placed
+        train.steer_charges.append([bucket, shard, 1])
+        if train.steer_shard is None:
+            train.steer_shard = shard
+        elif train.steer_shard != shard:
+            train.steer_shard = -1
+
     def _close_train(self, train: _OpenTrain) -> None:
         """Window expiry: the train leaves with whatever it aggregated."""
         if self._open_train is train:
             self._open_train = None
-        self._deliver_train(train.packets)
+        self._deliver_train(train)
 
-    def _deliver_train(self, packets: list[Packet]) -> None:
+    def _deliver_train(self, train: _OpenTrain) -> None:
         """Hand one train to the receiver as a single burst upcall."""
+        packets = train.packets
         self.stats.trains += 1
         self.stats.train_packets += len(packets)
         train_counters().record_train(len(packets))
@@ -339,6 +427,25 @@ class Link:
             self.stats.bytes_delivered += packet.wire_size
         self.tracer.emit(self.loop.now, "link", "train", link=self.name,
                          packets=len(packets))
+        table = self._steering
+        if (
+            table is not None
+            and self._steered_receiver is not None
+            and train.steer_shard is not None
+            and train.steer_shard >= 0
+        ):
+            if train.steer_first_epoch == table.epoch:
+                # Zero-hop delivery: every run placed on one shard and
+                # no migration committed since the first placement.
+                table.apply_charges(train.steer_charges)
+                self.stats.steered_trains += 1
+                self.stats.steered_packets += len(packets)
+                self._steered_receiver(train.steer_shard, packets)
+                return
+            # A bucket migrated while this train was open: the boards'
+            # placements can't be trusted, so the front end re-demuxes
+            # (and re-charges) the train under the fresh table.
+            self.stats.stale_steer_trains += 1
         if self._burst_receiver is not None:
             self._burst_receiver(packets)
             return

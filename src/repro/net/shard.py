@@ -24,12 +24,26 @@ self-contained receive stack:
   shard index (:meth:`~repro.sim.rng.RngStreams.derive`), so
   multi-shard experiments replay exactly.
 
-The front end routes each packet by a stable flow hash —
-``crc32(protocol/flow_id) % N`` — and memoizes the last flow's shard
-(§4 header prediction applied to shard placement), so a packet train
-dispatches without re-hashing.  Because the shard is a pure function of
-the flow key, a flow can never migrate shards mid-stream: not across
-bursts, not across rebinds, not across close-and-reopen.
+The front end routes each packet by a stable flow hash, split through
+a bucket indirection — ``crc32(protocol/flow_id) % n_buckets`` names a
+bucket, a flat :class:`SteeringTable` names the bucket's shard (the
+identity mapping reproduces the historical ``crc32 % N`` placement
+exactly) — and memoizes the last flow's shard (§4 header prediction
+applied to shard placement), so a packet train dispatches without
+re-hashing.  Placement is a pure function of the flow key *and the
+table epoch*: between migrations a flow can never change shards — not
+across bursts, not across rebinds, not across close-and-reopen — and a
+migration is only committed at a train boundary with the flow
+quiescent, by a :class:`RebalancePolicy` chasing flow-hash skew.
+
+**Zero-hop ingress** (§4 demultiplex-once, pushed to the wire): a
+link attached with ``attach_link(link, steer=True)`` consults the
+exported steering table *while coalescing trains*, so a train whose
+packets all place on one shard is delivered straight onto that shard
+via :meth:`ShardedHost.steer_burst` — no front-end demux walk, no
+placement-memo probes.  The front end survives as the slow path for
+mixed-shard trains, stale-epoch trains (a migration committed while
+the train was open) and unclaimed protocols.
 
 **Train demux** (§4 burst amortization): :meth:`ShardedHost.receive_burst`
 walks a whole train in one pass, charging one placement-memo probe per
@@ -95,6 +109,280 @@ def shard_index(protocol: str, flow_id: int, n_shards: int) -> int:
     if n_shards <= 0:
         raise NetworkError(f"n_shards must be positive, got {n_shards}")
     return zlib.crc32(f"{protocol}/{flow_id}".encode()) % n_shards
+
+
+class SteeringTable:
+    """Compact flow-key → bucket → shard placement, consultable below
+    the front end (RSS-style flow steering).
+
+    The placement function is the same stable CRC32 the front end has
+    always used, split through a bucket indirection: ``crc32(key) %
+    n_buckets`` names a *bucket*, and a flat ``bucket → shard`` array
+    names the shard.  With the default identity mapping (bucket mod N)
+    the composition collapses to ``crc32(key) % n_shards`` exactly —
+    byte-for-byte the historical :func:`shard_index` placement, because
+    ``n_buckets`` is constrained to a multiple of N.  The indirection
+    exists so a :class:`RebalancePolicy` can *remap* hot buckets to
+    cold shards without touching the hash.
+
+    The table is exported by a :class:`ShardedHost` and consulted by a
+    :class:`~repro.net.link.Link` while coalescing trains — §4's
+    "demultiplex once, as low as possible" pushed to the wire.  Every
+    mutation bumps ``epoch`` and clears the single-entry lookup memo,
+    so a consulting link can tell a stale decision from a fresh one.
+
+    Counters are plain ints on purpose: lookups happen on the link's
+    per-packet hot path, always from the front loop's thread, and the
+    sharded host flushes deltas into the locked
+    :class:`~repro.machine.accounting.ShardCounters` once per train.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        protocols: tuple[str, ...] = ("alf",),
+        buckets_per_shard: int = 64,
+    ):
+        if n_shards <= 0:
+            raise NetworkError(f"n_shards must be positive, got {n_shards}")
+        if buckets_per_shard <= 0:
+            raise NetworkError(
+                f"buckets_per_shard must be positive, got {buckets_per_shard}"
+            )
+        self.n_shards = n_shards
+        self.n_buckets = n_shards * buckets_per_shard
+        # Identity mapping: bucket b lives on shard b % N, which makes
+        # the two-step placement equal the historical one-step hash.
+        self.map = [bucket % n_shards for bucket in range(self.n_buckets)]
+        self.protocols = frozenset(protocols) or None
+        self.epoch = 0
+        self.remaps = 0
+        self.lookups = 0
+        self.memo_hits = 0
+        # Per-bucket / per-shard arrival ledgers (cumulative packets).
+        # The rebalance policy plans from these: a bucket's share of the
+        # traffic predicts its share after a remap.
+        self.bucket_packets = [0] * self.n_buckets
+        self.shard_packets = [0] * n_shards
+        self._memo_key: tuple[str, int] | None = None
+        self._memo_place: tuple[int, int] = (0, 0)
+
+    def bucket_of(self, protocol: str, flow_id: int) -> int:
+        """The (stable, remap-independent) bucket of a flow key."""
+        return zlib.crc32(f"{protocol}/{flow_id}".encode()) % self.n_buckets
+
+    def place(self, protocol: str, flow_id: int) -> tuple[int, int]:
+        """Resolve ``(shard, bucket)`` for a flow key (any protocol)."""
+        key = (protocol, flow_id)
+        if key == self._memo_key:
+            self.memo_hits += 1
+            return self._memo_place
+        bucket = zlib.crc32(f"{protocol}/{flow_id}".encode()) % self.n_buckets
+        placed = (self.map[bucket], bucket)
+        self._memo_key = key
+        self._memo_place = placed
+        self.lookups += 1
+        return placed
+
+    def steer(self, protocol: str, flow_id: int) -> tuple[int, int] | None:
+        """Link-side lookup: ``(shard, bucket)``, or None for protocols
+        this table's owner never claimed (those packets belong to the
+        front host's ordinary demux, not to any shard)."""
+        if self.protocols is not None and protocol not in self.protocols:
+            return None
+        return self.place(protocol, flow_id)
+
+    def charge(self, bucket: int, shard: int, n_packets: int) -> None:
+        """Account ``n_packets`` arrivals against a bucket and shard."""
+        self.bucket_packets[bucket] += n_packets
+        self.shard_packets[shard] += n_packets
+
+    def apply_charges(self, charges: list[list[int]]) -> None:
+        """Apply a train's accumulated ``[bucket, shard, n]`` charges
+        (a steered link batches them per run and settles at delivery)."""
+        buckets = self.bucket_packets
+        shards = self.shard_packets
+        for bucket, shard, n_packets in charges:
+            buckets[bucket] += n_packets
+            shards[shard] += n_packets
+
+    def remap(self, bucket: int, shard: int) -> None:
+        """Point ``bucket`` at ``shard``; bumps the epoch and drops the
+        memo so every cached placement revalidates."""
+        if not 0 <= bucket < self.n_buckets:
+            raise NetworkError(f"no bucket {bucket}")
+        if not 0 <= shard < self.n_shards:
+            raise NetworkError(f"no shard {shard}")
+        self.map[bucket] = shard
+        self.epoch += 1
+        self.remaps += 1
+        self._memo_key = None
+
+    def predicted_loads(self, mapping: list[int] | None = None) -> list[float]:
+        """Per-shard traffic share implied by the cumulative bucket
+        ledger under ``mapping`` (default: the live map)."""
+        mapping = self.map if mapping is None else mapping
+        loads = [0.0] * self.n_shards
+        for bucket, count in enumerate(self.bucket_packets):
+            if count:
+                loads[mapping[bucket]] += count
+        return loads
+
+    def snapshot(self) -> dict[str, object]:
+        probes = self.lookups + self.memo_hits
+        return {
+            "n_buckets": self.n_buckets,
+            "epoch": self.epoch,
+            "remaps": self.remaps,
+            "lookups": self.lookups,
+            "memo_hits": self.memo_hits,
+            "memo_hit_rate": self.memo_hits / probes if probes else 0.0,
+            "shard_packets": list(self.shard_packets),
+        }
+
+
+class RebalancePolicy:
+    """Skew detector + bucket remapping planner for a sharded host.
+
+    Detection reuses the adaptive-drain leaky integrator shape: each
+    shard's arrivals fold into a backlog EWMA whose old weight halves
+    every ``half_life`` seconds of simulated time, so a burst of skew
+    registers quickly and is forgotten once traffic moves on.  When the
+    hottest shard's EWMA exceeds ``threshold`` × the mean, the policy
+    plans bucket remaps on the *cumulative* per-bucket ledger — a
+    bucket's historical share predicts its future share — moving the
+    hottest buckets of the hottest shard to the coldest shard until the
+    predicted max/mean ratio is at most ``goal``.
+
+    The policy only *proposes*; the :class:`ShardedHost` commits each
+    remap at a train boundary, and only when every registered flow in
+    the bucket is quiescent (no in-flight reassembly rows, no undrained
+    ready rows) — a deferred commit is simply re-proposed at the next
+    boundary, because the predicted loads that triggered it have not
+    changed.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.5,
+        goal: float = 1.15,
+        half_life: float = 0.01,
+        min_packets: int = 256,
+        cooldown: float = 0.0,
+        max_moves: int = 8,
+    ):
+        if threshold <= 1.0:
+            raise NetworkError(f"threshold must be > 1, got {threshold}")
+        if not 1.0 <= goal <= threshold:
+            raise NetworkError(
+                f"goal must be in [1, threshold], got {goal}"
+            )
+        if half_life <= 0.0:
+            raise NetworkError(f"half_life must be positive, got {half_life}")
+        if max_moves < 1:
+            raise NetworkError(f"max_moves must be >= 1, got {max_moves}")
+        self.threshold = threshold
+        self.goal = goal
+        self.half_life = half_life
+        self.min_packets = min_packets
+        self.cooldown = cooldown
+        self.max_moves = max_moves
+        self.proposals = 0
+        self.triggers = 0
+        self._ewma: list[float] | None = None
+        self._last_counts: list[int] | None = None
+        self._stamp = 0.0
+        self._last_commit = float("-inf")
+
+    def observe(self, now: float, table: SteeringTable) -> None:
+        """Fold the arrivals since the last boundary into the EWMAs."""
+        counts = table.shard_packets
+        if self._ewma is None:
+            self._ewma = [0.0] * len(counts)
+            self._last_counts = [0] * len(counts)
+        elapsed = now - self._stamp
+        decay = 0.5 ** (elapsed / self.half_life) if elapsed > 0.0 else 1.0
+        ewma = self._ewma
+        last = self._last_counts
+        for shard, count in enumerate(counts):
+            ewma[shard] = ewma[shard] * decay + (count - last[shard])
+            last[shard] = count
+        self._stamp = now
+
+    @property
+    def shard_ewma(self) -> list[float]:
+        """The per-shard backlog integrators as of the last observation."""
+        return list(self._ewma) if self._ewma is not None else []
+
+    def skew_ratio(self) -> float:
+        """Max/mean of the live shard EWMAs (1.0 when idle/balanced)."""
+        if not self._ewma:
+            return 1.0
+        mean = sum(self._ewma) / len(self._ewma)
+        if mean <= 0.0:
+            return 1.0
+        return max(self._ewma) / mean
+
+    def tick(self, now: float, table: SteeringTable) -> list[tuple[int, int]]:
+        """One train-boundary pass: observe, and propose ``(bucket,
+        target_shard)`` remaps when the live skew warrants them."""
+        self.observe(now, table)
+        if sum(table.shard_packets) < self.min_packets:
+            return []
+        if now - self._last_commit < self.cooldown:
+            return []
+        if self.skew_ratio() <= self.threshold:
+            return []
+        self.triggers += 1
+        return self._plan(table)
+
+    def _plan(self, table: SteeringTable) -> list[tuple[int, int]]:
+        """Greedy bucket moves on predicted loads until max/mean ≤ goal."""
+        mapping = list(table.map)
+        loads = table.predicted_loads(mapping)
+        n = len(loads)
+        mean = sum(loads) / n
+        if mean <= 0.0:
+            return []
+        moves: list[tuple[int, int]] = []
+        while len(moves) < self.max_moves:
+            hot = max(range(n), key=loads.__getitem__)
+            cold = min(range(n), key=loads.__getitem__)
+            if loads[hot] <= self.goal * mean:
+                break
+            gap = loads[hot] - loads[cold]
+            # The largest bucket that still strictly improves the split:
+            # moving more than the gap would just swap who is hottest.
+            best_bucket = -1
+            best_count = 0
+            for bucket, count in enumerate(table.bucket_packets):
+                if mapping[bucket] != hot or count <= 0:
+                    continue
+                if count < gap and count > best_count:
+                    best_bucket, best_count = bucket, count
+            if best_bucket < 0:
+                break
+            mapping[best_bucket] = cold
+            loads[hot] -= best_count
+            loads[cold] += best_count
+            moves.append((best_bucket, cold))
+            self.proposals += 1
+        return moves
+
+    def committed(self, now: float) -> None:
+        """The host committed a proposed remap (starts the cooldown)."""
+        self._last_commit = now
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "goal": self.goal,
+            "half_life": self.half_life,
+            "shard_ewma": self.shard_ewma,
+            "skew_ratio": self.skew_ratio(),
+            "proposals": self.proposals,
+            "triggers": self.triggers,
+        }
 
 
 @dataclass
@@ -324,6 +612,12 @@ class ShardedHost:
         protocols: protocol names the front end claims
             (``front.bind_protocol``) and demuxes; pass ``()`` when the
             caller routes packets to :meth:`receive` itself.
+        buckets_per_shard: steering-table resolution — the flow hash
+            lands in ``shards × buckets_per_shard`` buckets, and a
+            bucket is the unit a rebalance remaps.
+        rebalance: optional :class:`RebalancePolicy`; when set, every
+            train boundary may commit bucket migrations for registered
+            flows (see :meth:`register_flow`).
         counters: demux ledger (defaults to the process-wide
             :func:`~repro.machine.accounting.shard_counters`).
         tracer: optional event tracer shared by every shard.
@@ -342,6 +636,8 @@ class ShardedHost:
         adaptive: bool = False,
         ring_capacity: int = 64,
         protocols: tuple[str, ...] = ("alf",),
+        buckets_per_shard: int = 64,
+        rebalance: "RebalancePolicy | None" = None,
         counters: ShardCounters | None = None,
         tracer: Tracer | None = None,
     ):
@@ -370,13 +666,26 @@ class ShardedHost:
         self.scheduler = SerialShardScheduler([shard.loop for shard in self.shards])
         # §4 header prediction applied to placement: the last flow's
         # shard is memoized, so a packet train skips the hash.  The
-        # memo never needs invalidation — the shard is a pure function
-        # of the flow key, so the cached answer cannot go stale.
+        # placement is a pure function of the flow key *and the
+        # steering epoch*: only a committed bucket migration can change
+        # the answer, and every commit clears this memo.
         self._memo_key: tuple[str, int] | None = None
         self._memo_shard: HostShard | None = None
+        self._memo_bucket = -1
         self._pump_scheduled = False
         self._protocols = tuple(protocols)
         self._claimed = frozenset(self._protocols) or None
+        self.steering = SteeringTable(
+            shards,
+            protocols=self._protocols,
+            buckets_per_shard=buckets_per_shard,
+        )
+        self.rebalance = rebalance
+        self._steered = False
+        self._flows: dict[tuple[str, int], object] = {}
+        self._bucket_flows: dict[int, set[tuple[str, int]]] = {}
+        self._steer_hits_seen = 0
+        self._steer_misses_seen = 0
         self._started = False
         self._closed = False
         for protocol in self._protocols:
@@ -388,10 +697,11 @@ class ShardedHost:
     # Demux
 
     def shard_for(self, protocol: str, flow_id: int) -> HostShard:
-        """The home shard of (protocol, flow) — pure, no memo traffic."""
-        return self.shards[shard_index(protocol, flow_id, len(self.shards))]
+        """The home shard of (protocol, flow) under the live steering
+        table — the historical pure hash until a migration commits."""
+        return self.shards[self.steering.place(protocol, flow_id)[0]]
 
-    def attach_link(self, link) -> None:
+    def attach_link(self, link, steer: bool = False) -> None:
         """Point a link's delivery at this front end, trains included.
 
         Per-packet delivery goes through the front host's normal demux
@@ -399,18 +709,32 @@ class ShardedHost:
         train-mode link hands whole trains to :meth:`receive_burst`, so
         the one-pass shard demux sees the same aggregation the link
         built.
+
+        ``steer=True`` additionally exports the steering table to the
+        link: a coalescing train whose packets all place on one shard
+        is delivered straight onto that shard via :meth:`steer_burst` —
+        zero front-end hops, zero placement-memo probes — while
+        mixed-shard, stale-epoch and unclaimed-protocol trains keep the
+        :meth:`receive_burst` slow path.
         """
         link.connect(self.front.receive, burst_receiver=self.receive_burst)
+        if steer:
+            link.set_steering(self.steering, self.steer_burst)
+            self._steered = True
 
     def _route(self, packet: Packet) -> HostShard:
         key = (packet.protocol, packet.flow_id)
         if key == self._memo_key:
             self.counters.record_packet(memo_hit=True)
+            self.steering.charge(self._memo_bucket, self._memo_shard.index, 1)
             return self._memo_shard
-        shard = self.shard_for(packet.protocol, packet.flow_id)
+        index, bucket = self.steering.place(packet.protocol, packet.flow_id)
+        shard = self.shards[index]
         self._memo_key = key
         self._memo_shard = shard
+        self._memo_bucket = bucket
         self.counters.record_packet(memo_hit=False)
+        self.steering.charge(bucket, index, 1)
         return shard
 
     def receive(self, packet: Packet) -> None:
@@ -426,17 +750,25 @@ class ShardedHost:
         of a shard's packets across the train, consecutive or not, land
         in a single :class:`Burst` descriptor, so a train touching K
         shards costs K handoffs however many packets it carried.
+
+        With link steering active this is the *slow path* — only
+        mixed-shard, stale-epoch or unclaimed-protocol trains land
+        here, counted as fallbacks.
         """
         if not packets:
             return
         self.counters.record_burst(len(packets))
+        if self._steered:
+            self.counters.record_fallback(len(packets))
         per_shard: dict[int, list[Packet]] = {}
         touched: list[HostShard] = []
         run_key: tuple[str, int] | None = None
         run_shard: HostShard | None = None
+        run_bucket = -1
         run_len = 0
         run_memo_hit = False
         claimed = self._claimed
+        steering = self.steering
         for packet in packets:
             key = (packet.protocol, packet.flow_id)
             if key == run_key:
@@ -445,6 +777,7 @@ class ShardedHost:
                 continue
             if run_len:
                 self.counters.record_run(run_len, run_memo_hit)
+                steering.charge(run_bucket, run_shard.index, run_len)
             if claimed is not None and packet.protocol not in claimed:
                 # A train arriving off a link may interleave protocols
                 # this front never claimed; those packets take the front
@@ -458,10 +791,15 @@ class ShardedHost:
             run_memo_hit = key == self._memo_key
             if run_memo_hit:
                 run_shard = self._memo_shard
+                run_bucket = self._memo_bucket
             else:
-                run_shard = self.shard_for(packet.protocol, packet.flow_id)
+                index, run_bucket = steering.place(
+                    packet.protocol, packet.flow_id
+                )
+                run_shard = self.shards[index]
                 self._memo_key = key
                 self._memo_shard = run_shard
+                self._memo_bucket = run_bucket
             bucket = per_shard.get(run_shard.index)
             if bucket is None:
                 bucket = per_shard[run_shard.index] = []
@@ -469,16 +807,47 @@ class ShardedHost:
             bucket.append(packet)
         if run_len:
             self.counters.record_run(run_len, run_memo_hit)
+            steering.charge(run_bucket, run_shard.index, run_len)
         for shard in touched:
             self._dispatch(shard, per_shard[shard.index])
+        self._train_boundary()
+
+    def steer_burst(self, index: int, packets: list[Packet]) -> None:
+        """Zero-hop ingress: a steered link delivers a single-shard
+        train here, straight onto the shard — no front-end demux walk,
+        no placement-memo probes (the link already consulted the
+        steering table while coalescing)."""
+        shard = self.shards[index]
+        self.counters.record_steered(len(packets))
+        self._flush_steering_counters()
+        self._dispatch(shard, packets)
+        self._train_boundary()
+
+    def _flush_steering_counters(self) -> None:
+        """Fold the table's lock-free lookup counts into the ledger."""
+        table = self.steering
+        hits, misses = table.memo_hits, table.lookups
+        self.counters.record_steering(
+            hits - self._steer_hits_seen, misses - self._steer_misses_seen
+        )
+        self._steer_hits_seen = hits
+        self._steer_misses_seen = misses
 
     def _dispatch(self, shard: HostShard, packets: list[Packet]) -> None:
         if self.threaded:
             # One ring append and one service submission per burst —
             # the per-train (not per-packet) front→worker handoff.
+            if len(packets) > 1:
+                self.counters.record_shard_load(
+                    shard.index, len(packets), len(shard.ring)
+                )
             shard.ring.push(Burst(packets))
             shard.futures.append(shard.executor.submit(self._service, shard))
             return
+        if len(packets) > 1:
+            self.counters.record_shard_load(
+                shard.index, len(packets), shard.engine.pending_rows
+            )
         # Serial mode: deliver inline at the front's current time.  The
         # shard's clock catches up first so flush epochs scheduled by
         # this delivery land at the same global timestep.
@@ -517,6 +886,120 @@ class ShardedHost:
         shard.loop.run(until=shard.loop.now + shard.engine.flush_horizon)
         if serviced:
             self.counters.record_service()
+
+    # ------------------------------------------------------------------
+    # Skew-aware rebalancing
+
+    def register_flow(self, protocol: str, flow_id: int, receiver) -> None:
+        """Enrol a flow's receiver for bucket migration.
+
+        Rebalancing moves *buckets*; the receivers of the flows inside
+        a bucket must move with it (rebound onto the target shard's
+        host, loop and engine), so the host needs to know them.  Only
+        registered flows migrate: a bucket containing unregistered
+        traffic keeps its placement.  ``receiver`` must expose
+        ``quiescent`` and ``rehome`` (:class:`AlfReceiver` does).
+        """
+        key = (protocol, flow_id)
+        self._flows[key] = receiver
+        bucket = self.steering.bucket_of(protocol, flow_id)
+        self._bucket_flows.setdefault(bucket, set()).add(key)
+
+    def unregister_flow(self, protocol: str, flow_id: int) -> None:
+        """Drop a flow from the migration registry (e.g. on close)."""
+        key = (protocol, flow_id)
+        if self._flows.pop(key, None) is None:
+            return
+        bucket = self.steering.bucket_of(protocol, flow_id)
+        flows = self._bucket_flows.get(bucket)
+        if flows is not None:
+            flows.discard(key)
+            if not flows:
+                del self._bucket_flows[bucket]
+
+    def _train_boundary(self) -> None:
+        """End-of-train hook: let the rebalance policy commit remaps.
+
+        Migrations happen *only* here — between trains, never inside
+        one — so a flow's packets can't split across shards mid-train.
+        """
+        policy = self.rebalance
+        if policy is None or self._closed:
+            return
+        now = self.front.loop.now
+        remaps = policy.tick(now, self.steering)
+        if not remaps:
+            return
+        committed = False
+        for bucket, target in remaps:
+            if self._commit_migration(bucket, target):
+                committed = True
+        if committed:
+            policy.committed(now)
+
+    def migrate_bucket(self, bucket: int, target: int) -> bool:
+        """Force one bucket remap through the safe commit path (the
+        rebalancer's mechanism without its policy) — True on commit,
+        False when a flow in the bucket is not quiescent."""
+        return self._commit_migration(bucket, target)
+
+    def _commit_migration(self, bucket: int, target: int) -> bool:
+        """Remap one bucket and rehome its registered flows.
+
+        The stability contract: a commit happens at a train boundary,
+        with the source shard's ingress drained and every registered
+        flow in the bucket quiescent (no in-flight reassembly rows, no
+        undrained ready rows).  Anything else defers — the policy will
+        simply re-propose at the next boundary.  Exactly-once delivery
+        survives because no fragment of any ADU is in flight across the
+        rebind, and the placement memos (front, table, link) are all
+        epoch-invalidated before the next packet routes.
+        """
+        if not 0 <= bucket < self.steering.n_buckets:
+            return False
+        source = self.steering.map[bucket]
+        if source == target or not 0 <= target < len(self.shards):
+            return False
+        flows = self._bucket_flows.get(bucket, ())
+        source_shard = self.shards[source]
+        target_shard = self.shards[target]
+        if self.threaded:
+            # The source worker must have nothing queued or in flight:
+            # a burst being serviced could still hold this bucket's
+            # packets, and rebinding under it would race the delivery.
+            if len(source_shard.ring) or any(
+                not future.done() for future in source_shard.futures
+            ):
+                return False
+        else:
+            # Settle zero-delay flush epochs first (the pump that would
+            # run them is scheduled behind this event at the same
+            # timestamp) so "quiescent" reflects this train's drains.
+            self.scheduler.run(until=self.front.loop.now)
+        receivers = []
+        for key in flows:
+            receiver = self._flows[key]
+            if not receiver.quiescent:
+                return False
+            receivers.append(receiver)
+        target_shard.advance_to(self.front.loop.now)
+        for receiver in receivers:
+            engine = (
+                target_shard.engine
+                if getattr(receiver, "drain_engine", None) is not None
+                else None
+            )
+            receiver.rehome(target_shard.loop, target_shard.host, engine)
+        self.steering.remap(bucket, target)
+        self._memo_key = None
+        self._memo_shard = None
+        self._memo_bucket = -1
+        self.counters.record_migration(len(receivers))
+        self.tracer.emit(
+            self.front.loop.now, "shard", "migrate", bucket=bucket,
+            source=source, target=target, flows=len(receivers),
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -600,16 +1083,22 @@ class ShardedHost:
 
     def snapshot(self) -> dict[str, object]:
         """Demux counters plus per-shard engine state, for the CLI."""
+        self._flush_steering_counters()
         return {
             "shards": len(self.shards),
             "threaded": self.threaded,
             "demux": self.counters.snapshot(),
+            "steering": self.steering.snapshot(),
+            "rebalance": (
+                self.rebalance.snapshot() if self.rebalance is not None else None
+            ),
             "per_shard": [
                 {
                     "index": shard.index,
                     "received": shard.host.received,
                     "ring": shard.ring.snapshot(),
                     "pressure_quantum": shard.engine.pressure_quantum,
+                    "backlog": shard.engine.backlog_export(),
                     "engine": shard.engine.snapshot(),
                     "pool": (
                         shard.rx_pool.snapshot()

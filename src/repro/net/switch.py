@@ -138,6 +138,7 @@ class StoreAndForwardSwitch:
         self.tracer = tracer or Tracer(enabled=False)
         self._ports: dict[str, _Port] = {}
         self._routes: dict[str, str] = {}
+        self._steering: dict[str, object] = {}
         self.stats = SwitchStats()
         self._memo_dst: str | None = None
         self._memo_port: _Port | None = None
@@ -173,6 +174,36 @@ class StoreAndForwardSwitch:
         self._routes[destination] = port_name
         self._memo_dst = None
         self._memo_port = None
+
+    def remove_route(self, destination: str) -> bool:
+        """Withdraw ``destination``'s route; returns True if one existed.
+
+        Invalidates the hot-destination memo unconditionally — a removed
+        route must stop forwarding on the next packet, not keep riding a
+        stale memo entry until some other destination evicts it.
+        """
+        removed = self._routes.pop(destination, None) is not None
+        self._memo_dst = None
+        self._memo_port = None
+        self._steering.pop(destination, None)
+        return removed
+
+    def set_steering(self, destination: str, table) -> None:
+        """Stamp shard placements onto packets bound for ``destination``.
+
+        Steered forwarding: when the switch knows the destination is a
+        :class:`~repro.net.shard.ShardedHost`, it consults the host's
+        exported :class:`~repro.net.shard.SteeringTable` while
+        forwarding and writes ``header["steer"] = (epoch, shard,
+        bucket)`` on claimed-protocol packets.  A downstream steering
+        link trusts the stamp while its epoch is current, skipping even
+        the one-hash-per-run placement lookup.  Pass ``None`` to stop
+        stamping.
+        """
+        if table is None:
+            self._steering.pop(destination, None)
+        else:
+            self._steering[destination] = table
 
     def _route_port(self, dst: str) -> _Port | None:
         """Resolve the output port, riding the hot-destination memo.
@@ -223,6 +254,16 @@ class StoreAndForwardSwitch:
             return
         if isinstance(packet.payload, BufferChain):
             datapath_counters().record_zero_copy()
+        if self._steering:
+            table = self._steering.get(packet.dst)
+            if table is not None:
+                placed = table.steer(packet.protocol, packet.flow_id)
+                if placed is not None:
+                    # Defensive copy, as on the corruption path: headers
+                    # may be shared with a sender's retransmit queue.
+                    header = dict(packet.header)
+                    header["steer"] = (table.epoch, placed[0], placed[1])
+                    packet.header = header
         tag = self._train_tag(packet)
         if tag is not None:
             unit = port.open_units.get(tag)

@@ -13,6 +13,7 @@ from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.shard import RebalancePolicy, ShardedHost
     from repro.transport.pacing import TrainPacer
 
 
@@ -107,6 +108,100 @@ def two_hosts(
             name="pacer-a",
         )
     return DuplexPath(loop, a, b, a_to_b, b_to_a, tracer, pacer=pacer)
+
+
+@dataclass
+class ShardedIngress:
+    """A sender feeding a sharded receiver over a train-mode link."""
+
+    loop: EventLoop
+    a: Host
+    b: Host
+    a_to_b: Link
+    b_to_a: Link
+    sharded: "ShardedHost"
+    tracer: Tracer
+
+
+def sharded_ingress(
+    seed: int = 0,
+    shards: int = 4,
+    steer: bool = True,
+    threaded: bool = False,
+    bandwidth_bps: float = 1e9,
+    propagation_delay: float = 0.001,
+    loss_rate: float = 0.0,
+    reorder_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    max_train: int = 16,
+    train_window: float = 200e-6,
+    buckets_per_shard: int = 64,
+    rebalance: "RebalancePolicy | None" = None,
+    pool_buffers: int = 0,
+    max_rows: int = 256,
+    max_delay: float = 0.0,
+    adaptive: bool = False,
+    counters=None,
+    trace: bool = False,
+) -> ShardedIngress:
+    """Host ``a`` sending into a :class:`ShardedHost` front end ``b``.
+
+    The forward link runs in packet-train mode and — with ``steer=True``
+    (the default) — consults the sharded host's exported steering table
+    while coalescing, so single-shard trains take the zero-hop path
+    straight onto their shard's ring.  ``steer=False`` wires the same
+    topology through the front-end demux hop, which is the baseline the
+    zero-hop bench compares against.  The reverse link carries ACKs.
+    """
+    from repro.net.shard import ShardedHost
+
+    loop = EventLoop()
+    rng = RngStreams(seed)
+    tracer = Tracer(enabled=trace)
+    a = Host(loop, "a", tracer=tracer)
+    b = Host(loop, "b", tracer=tracer)
+    a_to_b = Link(
+        loop,
+        rng.stream("link-a-b"),
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay=propagation_delay,
+        loss_rate=loss_rate,
+        reorder_rate=reorder_rate,
+        duplicate_rate=duplicate_rate,
+        corrupt_rate=corrupt_rate,
+        max_train=max_train,
+        train_window=train_window,
+        name="a->b",
+        tracer=tracer,
+    )
+    b_to_a = Link(
+        loop,
+        rng.stream("link-b-a"),
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay=propagation_delay,
+        name="b->a",
+        tracer=tracer,
+    )
+    sharded = ShardedHost(
+        b,
+        shards,
+        rng=rng,
+        threaded=threaded,
+        pool_buffers=pool_buffers,
+        max_rows=max_rows,
+        max_delay=max_delay,
+        adaptive=adaptive,
+        buckets_per_shard=buckets_per_shard,
+        rebalance=rebalance,
+        counters=counters,
+        tracer=tracer,
+    )
+    sharded.attach_link(a_to_b, steer=steer)
+    b_to_a.connect(a.receive)
+    a.add_link("b", a_to_b)
+    b.add_link("a", b_to_a)
+    return ShardedIngress(loop, a, b, a_to_b, b_to_a, sharded, tracer)
 
 
 @dataclass

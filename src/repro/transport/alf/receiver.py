@@ -533,6 +533,45 @@ class AlfReceiver:
             self._discard_payload(entry.adu.payload)
             self._release_fragments(entry.partial)
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no reassembly row is in flight.
+
+        The migration safety gate from the zero-hop ingress design: a
+        flow may only change shards at a train boundary when it holds
+        no partially reassembled ADU and no ready-but-undrained row, so
+        the move can never split an ADU's fragments across engines.
+        """
+        return not self._partial and not self._ready
+
+    def rehome(self, loop, host, drain_engine=None) -> bool:
+        """Move this flow to another shard's loop/host/engine.
+
+        Refuses (returns ``False``) unless :attr:`quiescent` — the
+        caller (``ShardedHost._commit_migration``) settles the source
+        shard first, so a refusal means fragments arrived between the
+        settle and the commit and the migration should be retried at a
+        later train boundary.  On success the flow unbinds from its
+        old host, re-binds on the new one, and re-registers with the
+        target engine (or reverts to immediate drains when the target
+        shard runs without one).
+        """
+        if self._closed or not self.quiescent:
+            return False
+        self.host.unbind(PROTOCOL, self.flow_id)
+        if self.drain_engine is not None:
+            self.drain_engine.unregister(self)
+        self.loop = loop
+        self.host = host
+        host.bind(PROTOCOL, self.flow_id, self._on_fragment)
+        if drain_engine is not None:
+            self.drain_engine = drain_engine
+            self.batch_drain = True
+            drain_engine.register(self)
+        else:
+            self.drain_engine = None
+        return True
+
     def close(self) -> None:
         """Tear the flow down: release buffers and unbind.
 

@@ -459,6 +459,23 @@ class SharedDrainEngine:
     # ------------------------------------------------------------------
     # Introspection
 
+    def backlog_export(self) -> dict[str, object]:
+        """The compact backlog view a sharded front end samples per shard.
+
+        A :class:`~repro.net.shard.RebalancePolicy` and the ``repro
+        shard stats`` CLI want just the load-bearing numbers — queued
+        rows, the pressure integrator, lifetime deliveries — without
+        paying for a full counter snapshot on every train boundary.
+        Taken under the engine mutex for a consistent view.
+        """
+        with self._mutex:
+            return {
+                "pending_rows": self.pending_rows,
+                "backlog_ewma": self.backlog_ewma if self.adaptive else 0.0,
+                "delivered_total": self.delivered_total,
+                "pressure_quantum": self.pressure_quantum,
+            }
+
     def snapshot(self) -> dict[str, object]:
         """Engine state plus its counters, for benches and the CLI.
 

@@ -192,6 +192,22 @@ class TrainPacer:
         """Attach (or replace) the transmission callback."""
         self._send = send
 
+    def seed_rate(self, rate_bytes_per_s: float) -> float:
+        """Replace the shaping rate with a measured estimate.
+
+        Used by ``pacing_auto_rate=``: a session that sampled its INIT
+        round-trip seeds the pacer at one shaped train per RTT instead
+        of the operator-configured default, so AIMD starts its search
+        from a path-informed point.  The estimate is clamped to the
+        configured AIMD bounds; returns the rate actually installed.
+        """
+        rate = max(
+            self.min_rate_bytes_per_s,
+            min(self.max_rate_bytes_per_s, float(rate_bytes_per_s)),
+        )
+        self.rate_bytes_per_s = rate
+        return rate
+
     # ------------------------------------------------------------------
     # Egress queue
 

@@ -411,6 +411,10 @@ class SessionListener:
             integrity=self.integrity,
         )
         self.sessions[flow_id] = session
+        if self.sharded is not None:
+            # Register with the rebalancer's flow ledger so a bucket
+            # migration can rehome this receiver at a train boundary.
+            self.sharded.register_flow("alf", flow_id, session.receiver)
         self.tracer.emit(self.loop.now, "session", "accepted", flow_id=flow_id)
         self._send_accept(packet.src, flow_id)
         if self.on_session is not None:
@@ -428,8 +432,10 @@ class SessionListener:
         if self._closed:
             return
         self._closed = True
-        for session in self.sessions.values():
+        for flow_id, session in self.sessions.items():
             if session.receiver is not None:
+                if self.sharded is not None:
+                    self.sharded.unregister_flow("alf", flow_id)
                 session.receiver.close()
         if self._owns_sharded and self.sharded is not None:
             self.sharded.shutdown()
@@ -528,6 +534,7 @@ class SessionInitiator:
         pacing: "TrainPacer | bool" = False,
         rate_bytes_per_s: float = 125_000.0,
         target_train: int = 8,
+        pacing_auto_rate: bool = False,
     ):
         if config.schema_name not in schemas:
             raise TransportError(
@@ -562,11 +569,14 @@ class SessionInitiator:
         elif pacing is False:
             pacing = None
         self.pacing = pacing
+        self.pacing_auto_rate = bool(pacing_auto_rate)
 
         self.flow_id = next(_flow_ids)
         self.session: Session | None = None
         self.failed_reason: str | None = None
+        self.init_rtt: float | None = None
         self._attempts = 0
+        self._init_sent_at = loop.now
         host.bind(PROTOCOL, self.flow_id, self._on_packet)
         self._send_init()
 
@@ -582,6 +592,10 @@ class SessionInitiator:
             self._fail("handshake timed out")
             return
         self._attempts += 1
+        # Karn's rule for the handshake sample: each (re)send restarts
+        # the stopwatch, so the RTT is measured from the attempt the
+        # ACCEPT actually answers, never across a lost INIT.
+        self._init_sent_at = self.loop.now
         self.host.send(
             Packet(
                 src=self.host.name,
@@ -614,6 +628,22 @@ class SessionInitiator:
             return
         if kind != "accept" or self.established:
             return
+        self.init_rtt = max(self.loop.now - self._init_sent_at, 0.0)
+        if (
+            self.pacing_auto_rate
+            and self.pacing is not None
+            and self.init_rtt > 0.0
+        ):
+            # One shaped train per measured round trip: the INIT/ACCEPT
+            # sample replaces the operator's blind 125 KB/s default as
+            # the AIMD starting point (clamped to the pacer's bounds).
+            pacer = self.pacing
+            seeded = pacer.seed_rate(
+                pacer.target_train * pacer.mtu / self.init_rtt
+            )
+            self.tracer.emit(self.loop.now, "session", "auto-rate",
+                             flow_id=self.flow_id, rtt=self.init_rtt,
+                             rate=seeded)
         receiver_syntax = LocalSyntax(
             packet.header["syntax_name"], packet.header["byte_order"]
         )

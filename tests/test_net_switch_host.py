@@ -204,6 +204,35 @@ class TestSwitch:
         with pytest.raises(NetworkError):
             switch.add_route("c", "missing-port")
 
+    def test_remove_route_stops_forwarding(self):
+        loop, switch, got = self.make()
+        switch.receive(packet(dst="b"))
+        loop.run()
+        assert len(got) == 1
+        assert switch.remove_route("b")
+        switch.receive(packet(dst="b"))
+        loop.run()
+        assert len(got) == 1
+        assert switch.stats.no_route_drops == 1
+        assert not switch.remove_route("b")  # already gone
+
+    def test_remove_route_invalidates_hot_memo(self):
+        # Regression: the first packet primes the hot-destination memo;
+        # a removal that left it intact would keep forwarding "b"
+        # traffic through the dead route until another destination
+        # happened to evict it.
+        loop, switch, got = self.make()
+        switch.receive(packet(dst="b"))
+        switch.receive(packet(dst="b"))  # memo hit
+        loop.run()
+        assert switch.route_memo_hits == 1
+        switch.remove_route("b")
+        switch.receive(packet(dst="b"))
+        loop.run()
+        assert len(got) == 2
+        assert switch.stats.no_route_drops == 1
+        assert switch.route_memo_hits == 1  # no post-removal memo ride
+
 
 class TestTopology:
     def test_two_hosts_duplex(self):

@@ -92,6 +92,18 @@ class TestTrainPacerValidation:
         with pytest.raises(TransportError, match="no send callback"):
             pacer.submit(wire_packet())
 
+    def test_seed_rate_installs_and_clamps(self):
+        pacer = TrainPacer(
+            EventLoop(),
+            min_rate_bytes_per_s=1_000.0,
+            max_rate_bytes_per_s=1e6,
+        )
+        assert pacer.seed_rate(50_000.0) == 50_000.0
+        assert pacer.rate_bytes_per_s == 50_000.0
+        assert pacer.seed_rate(10.0) == 1_000.0  # clamped up
+        assert pacer.seed_rate(1e12) == 1e6  # clamped down
+        assert pacer.rate_bytes_per_s == 1e6
+
 
 class TestTrainAlignedRelease:
     def test_batch_leaves_as_full_trains_never_singles(self):

@@ -127,6 +127,55 @@ def test_duplicate_init_is_idempotent():
     assert len(listener.sessions) == 1
 
 
+def test_pacing_auto_rate_seeds_from_init_rtt():
+    path = two_hosts(seed=3)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="ints"), SCHEMAS,
+        pacing=True, pacing_auto_rate=True,
+    )
+    path.loop.run(until=5)
+    assert initiator.established
+    assert initiator.init_rtt is not None and initiator.init_rtt > 0
+    pacer = initiator.pacing
+    expected = pacer.target_train * pacer.mtu / initiator.init_rtt
+    expected = max(
+        pacer.min_rate_bytes_per_s,
+        min(pacer.max_rate_bytes_per_s, expected),
+    )
+    # One shaped train per measured round trip, not the blind default.
+    assert pacer.rate_bytes_per_s == pytest.approx(expected)
+    assert pacer.rate_bytes_per_s != 125_000.0
+
+
+def test_pacing_auto_rate_off_keeps_configured_default():
+    path = two_hosts(seed=3)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="ints"), SCHEMAS,
+        pacing=True,
+    )
+    path.loop.run(until=5)
+    assert initiator.established
+    assert initiator.init_rtt is not None  # sampled either way
+    assert initiator.pacing.rate_bytes_per_s == 125_000.0
+
+
+def test_pacing_auto_rate_without_pacer_is_harmless():
+    path = two_hosts(seed=3)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="ints"), SCHEMAS,
+        pacing_auto_rate=True,
+    )
+    path.loop.run(until=5)
+    assert initiator.established
+    assert initiator.pacing is None
+
+
 def test_recovery_mode_travels():
     path, listener, initiator, _ = make_pair(
         recovery=RecoveryMode.NO_RETRANSMIT
