@@ -101,6 +101,14 @@ class Host:
         self._handlers.pop((protocol, flow_id), None)
         self._invalidate_memo()
 
+    def bound_flows(self) -> tuple[tuple[str, int], ...]:
+        """The (protocol, flow) keys with a per-flow handler bound
+        (protocol fallbacks excluded).  The sharded front end consults
+        this before committing a bucket migration: a flow bound here
+        without ``ShardedHost.register_flow`` pins its bucket in place,
+        because the migration has no receiver to rehome."""
+        return tuple(self._handlers)
+
     def unbind_protocol(self, protocol: str) -> None:
         """Remove a protocol's fallback handler (inverse of
         :meth:`bind_protocol`), so a listener can be torn down and a new

@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import threading
 import zlib
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -531,7 +532,7 @@ class HostShard:
         )
         self.ring = BurstRing(ring_capacity)
         self.executor: ThreadPoolExecutor | None = None
-        self.futures: list[Future] = []
+        self.futures: deque[Future] = deque()
 
     def advance_to(self, time: float) -> None:
         """Run this shard's loop up to ``time`` (clock catches up too)."""
@@ -691,6 +692,15 @@ class ShardedHost:
         for protocol in self._protocols:
             front.bind_protocol(protocol, self.receive)
         if self.threaded:
+            # Threaded mode shares loops across threads at defined
+            # points (a worker ACKing through the uplink schedules on
+            # the front loop; a migration commit advances the target
+            # loop from the front thread), so an event can land timed
+            # before the receiving loop's clock — run it late rather
+            # than treating it as heap corruption.
+            front.loop.tolerate_late = True
+            for shard in self.shards:
+                shard.loop.tolerate_late = True
             self.start()
 
     # ------------------------------------------------------------------
@@ -842,7 +852,14 @@ class ShardedHost:
                     shard.index, len(packets), len(shard.ring)
                 )
             shard.ring.push(Burst(packets))
-            shard.futures.append(shard.executor.submit(self._service, shard))
+            # The single worker completes FIFO, so settled futures form
+            # a prefix: prune it on every append to keep the outstanding
+            # set (and the migration-commit scan over it) bounded by
+            # in-flight work instead of growing for the whole run.
+            futures = shard.futures
+            while futures and futures[0].done():
+                futures.popleft()
+            futures.append(shard.executor.submit(self._service, shard))
             return
         if len(packets) > 1:
             self.counters.record_shard_load(
@@ -897,7 +914,9 @@ class ShardedHost:
         a bucket must move with it (rebound onto the target shard's
         host, loop and engine), so the host needs to know them.  Only
         registered flows migrate: a bucket containing unregistered
-        traffic keeps its placement.  ``receiver`` must expose
+        traffic keeps its placement — the commit path defers any remap
+        while an unregistered flow is still bound on the source shard
+        (see :meth:`_commit_migration`).  ``receiver`` must expose
         ``quiescent`` and ``rehome`` (:class:`AlfReceiver` does).
         """
         key = (protocol, flow_id)
@@ -947,10 +966,16 @@ class ShardedHost:
         """Remap one bucket and rehome its registered flows.
 
         The stability contract: a commit happens at a train boundary,
-        with the source shard's ingress drained and every registered
-        flow in the bucket quiescent (no in-flight reassembly rows, no
-        undrained ready rows).  Anything else defers — the policy will
-        simply re-propose at the next boundary.  Exactly-once delivery
+        with both the source and the target shard's ingress settled
+        (the source defers when busy; the target's in-flight service
+        passes are waited out — they are short and only the front
+        thread submits new ones), every registered flow in the bucket
+        quiescent (no in-flight
+        reassembly rows, no undrained ready rows), and no *unregistered*
+        flow bound on the source shard inside the bucket (remapping one
+        would route its future packets to a shard where nothing is
+        bound).  Anything else defers — the policy will simply
+        re-propose at the next boundary.  Exactly-once delivery
         survives because no fragment of any ADU is in flight across the
         rebind, and the placement memos (front, table, link) are all
         epoch-invalidated before the next packet routes.
@@ -966,16 +991,46 @@ class ShardedHost:
         if self.threaded:
             # The source worker must have nothing queued or in flight:
             # a burst being serviced could still hold this bucket's
-            # packets, and rebinding under it would race the delivery.
+            # packets, and the quiescence check below is only
+            # meaningful once the source has settled.  Defer — the
+            # policy re-proposes at the next boundary.
             if len(source_shard.ring) or any(
                 not future.done() for future in source_shard.futures
             ):
+                return False
+            # The commit runs the target's loop (advance_to) and
+            # rebinds receivers onto its host and engine from this
+            # thread — none of which is safe under a concurrent
+            # service pass on the target's worker.  Its passes are
+            # short (pop the queued bursts, run the flush horizon) and
+            # only this thread submits new ones, so wait them out
+            # rather than deferring forever on a busy shard.
+            for future in list(target_shard.futures):
+                future.result()
+            if len(target_shard.ring):
+                # Every push pairs with a submission, so a settled
+                # worker leaves an empty ring; anything else means the
+                # target is not safely idle — defer.
                 return False
         else:
             # Settle zero-delay flush epochs first (the pump that would
             # run them is scheduled behind this event at the same
             # timestamp) so "quiescent" reflects this train's drains.
             self.scheduler.run(until=self.front.loop.now)
+        # The register_flow contract: a bucket carrying traffic the
+        # migration registry doesn't know about keeps its placement.  A
+        # per-flow handler bound on the source shard (e.g. a receiver
+        # bound directly, without register_flow) cannot be rehomed, so
+        # remapping its bucket would strand it — packets would route to
+        # the target shard and drop as undeliverable.
+        for key in source_shard.host.bound_flows():
+            protocol, flow_id = key
+            if self._claimed is not None and protocol not in self._claimed:
+                continue
+            if key in flows:
+                continue
+            if self.steering.bucket_of(protocol, flow_id) == bucket:
+                return False
         receivers = []
         for key in flows:
             receiver = self._flows[key]
@@ -1039,7 +1094,7 @@ class ShardedHost:
                 futures, pending = [], False
                 for shard in self.shards:
                     futures.extend(shard.futures)
-                    shard.futures = []
+                    shard.futures = deque()
                 for future in futures:
                     future.result()
                 for shard in self.shards:

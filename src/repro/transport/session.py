@@ -592,10 +592,12 @@ class SessionInitiator:
             self._fail("handshake timed out")
             return
         self._attempts += 1
-        # Karn's rule for the handshake sample: each (re)send restarts
-        # the stopwatch, so the RTT is measured from the attempt the
-        # ACCEPT actually answers, never across a lost INIT.
-        self._init_sent_at = self.loop.now
+        # Karn's rule for the handshake sample: a retransmitted INIT is
+        # ambiguous — the ACCEPT may answer any earlier copy — so only
+        # the first attempt arms the stopwatch, and a retransmitted
+        # handshake yields no RTT sample at all.
+        if self._attempts == 1:
+            self._init_sent_at = self.loop.now
         self.host.send(
             Packet(
                 src=self.host.name,
@@ -628,10 +630,12 @@ class SessionInitiator:
             return
         if kind != "accept" or self.established:
             return
-        self.init_rtt = max(self.loop.now - self._init_sent_at, 0.0)
+        if self._attempts == 1:
+            self.init_rtt = max(self.loop.now - self._init_sent_at, 0.0)
         if (
             self.pacing_auto_rate
             and self.pacing is not None
+            and self.init_rtt is not None
             and self.init_rtt > 0.0
         ):
             # One shaped train per measured round trip: the INIT/ACCEPT

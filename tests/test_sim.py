@@ -87,6 +87,33 @@ class TestEventLoop:
         loop.run()
         assert loop.events_run == 5
 
+    def test_late_event_raises_unless_tolerated(self):
+        # A cross-thread scheduler can land an event timed before the
+        # loop's clock (it snapshotted `now` before the owner advanced
+        # it).  The strict serial default treats that as corruption;
+        # a threaded sharded host opts in to running it late instead,
+        # without ever rewinding the clock.
+        def make_late():
+            loop = EventLoop()
+            loop.schedule(2.0, lambda: None)
+            loop.run()
+            # Simulate the race: an event carrying a stale timestamp.
+            event = loop.schedule(0.0, log.append, "late")
+            event.time = 1.0
+            return loop
+
+        log = []
+        loop = make_late()
+        with pytest.raises(SimulationError, match="time went backwards"):
+            loop.run()
+        log = []
+        loop = make_late()
+        loop.tolerate_late = True
+        loop.run()
+        assert log == ["late"]
+        assert loop.late_events == 1
+        assert loop.now == 2.0  # the clock never rewound
+
 
 class TestRngStreams:
     def test_same_seed_same_draws(self):

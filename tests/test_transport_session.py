@@ -163,6 +163,24 @@ def test_pacing_auto_rate_off_keeps_configured_default():
     assert initiator.pacing.rate_bytes_per_s == 125_000.0
 
 
+def test_pacing_auto_rate_skips_retransmitted_handshake():
+    # Karn's rule: once the INIT is retransmitted, the ACCEPT could be
+    # answering any earlier copy — the sample is ambiguous, so the
+    # handshake yields no RTT and the pacer keeps its configured rate.
+    path = two_hosts(seed=5, reverse_loss_rate=0.5)
+    SessionListener(path.loop, path.b, SCHEMAS)
+    initiator = SessionInitiator(
+        path.loop, path.a, "b",
+        SessionConfig(schema_name="ints"), SCHEMAS,
+        pacing=True, pacing_auto_rate=True,
+    )
+    path.loop.run(until=30)
+    assert initiator.established
+    assert initiator._attempts > 1  # the seed really forced a resend
+    assert initiator.init_rtt is None
+    assert initiator.pacing.rate_bytes_per_s == 125_000.0
+
+
 def test_pacing_auto_rate_without_pacer_is_harmless():
     path = two_hosts(seed=3)
     SessionListener(path.loop, path.b, SCHEMAS)

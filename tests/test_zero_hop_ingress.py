@@ -342,11 +342,87 @@ class TestMigration:
         sharded.unregister_flow(PROTOCOL, 7)
         bucket = sharded.steering.bucket_of(PROTOCOL, 7)
         target = (home.index + 1) % 4
-        # No registered flows left in the bucket: the remap commits
-        # trivially and the (now unmanaged) receiver stays put.
-        assert sharded.migrate_bucket(bucket, target)
+        # The receiver is still bound on the home shard but no longer
+        # registered: remapping its bucket would route future packets
+        # to a shard with no binding, so the commit defers instead.
+        assert not sharded.migrate_bucket(bucket, target)
         assert receiver.host is home.host
+        assert sharded.steering.epoch == 0
+        # Once the flow is torn down the bucket carries no unregistered
+        # traffic and the remap commits trivially.
+        receiver.close()
+        assert sharded.migrate_bucket(bucket, target)
         sharded.shutdown()
+
+    def test_unregistered_bound_flow_pins_its_bucket(self):
+        # An AlfReceiver bound directly on a shard host, never passed
+        # through register_flow, must keep its bucket's placement — a
+        # remap would silently strand its delivery.
+        path = two_hosts(seed=11)
+        sharded = ShardedHost(path.b, 4, counters=ShardCounters())
+        delivered: dict[int, list[bytes]] = {}
+        home, receiver = bind_flow(sharded, 7, delivered)
+        bucket = sharded.steering.bucket_of(PROTOCOL, 7)
+        target = (home.index + 1) % 4
+        assert not sharded.migrate_bucket(bucket, target)
+        assert sharded.steering.epoch == 0
+        # Delivery keeps working on the pinned placement.
+        payloads = [adu_payload(3)]
+        sharded.receive_burst(adu_packets(7, payloads))
+        sharded.drain()
+        assert delivered[7] == payloads
+        sharded.shutdown()
+
+    def test_threaded_migration_requires_idle_target(self):
+        # Committing a migration runs the target shard's loop and
+        # rebinds onto its host from the front thread — unsafe while
+        # the target worker could be servicing.  In-flight service
+        # passes are waited out, but a burst sitting on the target's
+        # ring with no settled worker must defer the commit.
+        from repro.net.shard import Burst
+
+        path, sharded, home, receiver, delivered = self.make_flow(
+            threaded=True
+        )
+        payloads = [adu_payload(80 + i) for i in range(2)]
+        stream = adu_packets(7, payloads)
+        sharded.receive_burst(stream[:1])
+        sharded.drain()
+        bucket = sharded.steering.bucket_of(PROTOCOL, 7)
+        target = (home.index + 1) % 4
+        target_shard = sharded.shards[target]
+        target_shard.ring.push(Burst([]))
+        assert not sharded.migrate_bucket(bucket, target)
+        assert sharded.steering.epoch == 0
+        target_shard.ring.pop()
+        assert sharded.migrate_bucket(bucket, target)
+        sharded.receive_burst(stream[1:])
+        sharded.drain()
+        assert delivered[7] == payloads
+        reports = sharded.shutdown()
+        assert all(report == [] for report in reports.values())
+
+    def test_threaded_futures_stay_bounded_without_drain(self):
+        # One future per dispatched burst, pruned on append: a long run
+        # that never drains must not accumulate settled futures.
+        path, sharded, home, receiver, delivered = self.make_flow(
+            threaded=True
+        )
+        payloads = [adu_payload(90 + i) for i in range(64)]
+        stream = adu_packets(7, payloads)
+        for packet in stream[:-1]:
+            sharded.receive(packet)
+        # Settle every outstanding service pass without drain(), then
+        # dispatch once more: the append-time prune must drop the whole
+        # settled prefix rather than keep one future per burst forever.
+        for future in list(home.futures):
+            future.result()
+        sharded.receive(stream[-1])
+        assert len(home.futures) == 1
+        sharded.drain()
+        assert delivered[7] == payloads
+        reports = sharded.shutdown()
+        assert all(report == [] for report in reports.values())
 
     def test_policy_driven_rebalance_end_to_end(self):
         # Skew every packet onto one shard, let the policy see it at
